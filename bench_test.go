@@ -1,0 +1,386 @@
+// Benchmarks, one per table/figure of the paper's evaluation (§5).
+//
+// The BenchmarkSimFig* benchmarks run the tilesim reproduction and
+// report the figure's metric (Mops/s, cycles/op, stall cycles/op,
+// combining rate) via b.ReportMetric — these are the numbers compared
+// against the paper in EXPERIMENTS.md. The BenchmarkNative* benchmarks
+// exercise the native Go layer on real goroutines (ns/op there is the
+// per-operation latency on the host).
+//
+// Run everything:  go test -bench=. -benchmem
+// One figure:      go test -bench=BenchmarkSimFig3a -benchtime=1x
+package hybsync_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hybsync/internal/conc"
+	"hybsync/internal/core"
+	"hybsync/internal/shmsync"
+	"hybsync/internal/simalgo"
+	"hybsync/internal/spin"
+	"hybsync/internal/tilesim"
+)
+
+// simHorizon is the simulated-cycle budget per benchmark iteration.
+const simHorizon = 60_000
+
+// runSim executes one simulated workload and returns the result.
+func runSim(b *simalgo.Builder, threads int, seed uint64,
+	opFor func(int, uint64) (uint64, uint64), prof tilesim.Profile) simalgo.Result {
+	return simalgo.RunWorkload(prof, b, simalgo.WorkloadCfg{
+		Threads:      threads,
+		Horizon:      simHorizon,
+		MaxLocalWork: 50,
+		Seed:         seed,
+	}, opFor)
+}
+
+// counterSimBuilders returns fresh builders for the four approaches.
+func counterSimBuilders(maxOps int) map[string]func() *simalgo.Builder {
+	return map[string]func() *simalgo.Builder{
+		"mp-server":  func() *simalgo.Builder { return simalgo.NewMPServerBuilder(simalgo.CounterFactory) },
+		"HybComb":    func() *simalgo.Builder { return simalgo.NewHybCombBuilder(simalgo.CounterFactory, maxOps) },
+		"shm-server": func() *simalgo.Builder { return simalgo.NewSHMServerBuilder(simalgo.CounterFactory) },
+		"CC-Synch":   func() *simalgo.Builder { return simalgo.NewCCSynchBuilder(simalgo.CounterFactory, maxOps) },
+	}
+}
+
+var simOrder = []string{"mp-server", "HybComb", "shm-server", "CC-Synch"}
+
+// BenchmarkSimFig3aCounterThroughput reproduces Figure 3a at full
+// concurrency (35 application threads); Mops/s is the figure's y-axis.
+func BenchmarkSimFig3aCounterThroughput(b *testing.B) {
+	for _, name := range simOrder {
+		mk := counterSimBuilders(200)[name]
+		b.Run(name, func(b *testing.B) {
+			var mops float64
+			for i := 0; i < b.N; i++ {
+				res := runSim(mk(), 35, uint64(i+1), simalgo.CounterOps, tilesim.ProfileTileGx())
+				mops = res.Mops()
+			}
+			b.ReportMetric(mops, "Mops/s")
+		})
+	}
+}
+
+// BenchmarkSimFig3bCounterLatency reproduces Figure 3b (cycles/op).
+func BenchmarkSimFig3bCounterLatency(b *testing.B) {
+	for _, name := range simOrder {
+		mk := counterSimBuilders(200)[name]
+		b.Run(name, func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				res := runSim(mk(), 35, uint64(i+1), simalgo.CounterOps, tilesim.ProfileTileGx())
+				lat = res.AvgLatency()
+			}
+			b.ReportMetric(lat, "cycles/op")
+		})
+	}
+}
+
+// BenchmarkSimFig3cMaxOps reproduces Figure 3c: HybComb throughput as a
+// function of MAX_OPS at 35 threads.
+func BenchmarkSimFig3cMaxOps(b *testing.B) {
+	for _, maxOps := range []int{10, 200, 1000, 5000} {
+		b.Run(fmt.Sprintf("HybComb/maxops=%d", maxOps), func(b *testing.B) {
+			var mops float64
+			for i := 0; i < b.N; i++ {
+				mk := simalgo.NewHybCombBuilder(simalgo.CounterFactory, maxOps)
+				res := runSim(mk, 35, uint64(i+1), simalgo.CounterOps, tilesim.ProfileTileGx())
+				mops = res.Mops()
+			}
+			b.ReportMetric(mops, "Mops/s")
+		})
+	}
+}
+
+// BenchmarkSimFig4aServiceStalls reproduces Figure 4a: stalled and total
+// cycles per operation at the servicing thread (fixed combiner).
+func BenchmarkSimFig4aServiceStalls(b *testing.B) {
+	const inf = 1 << 40
+	mks := map[string]func() *simalgo.Builder{
+		"mp-server":  counterSimBuilders(200)["mp-server"],
+		"HybComb":    counterSimBuilders(inf)["HybComb"],
+		"shm-server": counterSimBuilders(200)["shm-server"],
+		"CC-Synch":   counterSimBuilders(inf)["CC-Synch"],
+	}
+	for _, name := range simOrder {
+		b.Run(name, func(b *testing.B) {
+			var stall, total float64
+			for i := 0; i < b.N; i++ {
+				res := runSim(mks[name](), 35, uint64(i+1), simalgo.CounterOps, tilesim.ProfileTileGx())
+				svc := res.Service
+				var busiest *tilesim.Proc
+				if len(svc) > 0 {
+					busiest = svc[0]
+				} else {
+					for _, p := range res.Clients {
+						if busiest == nil || p.BusyCycles() > busiest.BusyCycles() {
+							busiest = p
+						}
+					}
+				}
+				stall = float64(busiest.StallCycles) / float64(res.Ops)
+				total = float64(busiest.BusyCycles()) / float64(res.Ops)
+			}
+			b.ReportMetric(stall, "stall-cycles/op")
+			b.ReportMetric(total, "total-cycles/op")
+		})
+	}
+}
+
+// BenchmarkSimFig4bCombiningRate reproduces Figure 4b at 35 threads.
+func BenchmarkSimFig4bCombiningRate(b *testing.B) {
+	for _, name := range []string{"HybComb", "CC-Synch"} {
+		mk := counterSimBuilders(200)[name]
+		b.Run(name, func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				res := runSim(mk(), 35, uint64(i+1), simalgo.CounterOps, tilesim.ProfileTileGx())
+				rate = res.CombiningRate()
+			}
+			b.ReportMetric(rate, "reqs/round")
+		})
+	}
+}
+
+// BenchmarkSimFig4cCSLength reproduces Figure 4c: cycles per CS as the
+// CS body grows.
+func BenchmarkSimFig4cCSLength(b *testing.B) {
+	for _, iters := range []uint64{0, 4, 15} {
+		for _, name := range []string{"mp-server", "shm-server"} {
+			b.Run(fmt.Sprintf("%s/iters=%d", name, iters), func(b *testing.B) {
+				var cpo float64
+				for i := 0; i < b.N; i++ {
+					var mk *simalgo.Builder
+					if name == "mp-server" {
+						mk = simalgo.NewMPServerBuilder(simalgo.ArrayCounterFactory(16))
+					} else {
+						mk = simalgo.NewSHMServerBuilder(simalgo.ArrayCounterFactory(16))
+					}
+					res := runSim(mk, 35, uint64(i+1), simalgo.ArrayOps(iters), tilesim.ProfileTileGx())
+					cpo = float64(res.Cycles) / float64(res.Ops)
+				}
+				b.ReportMetric(cpo, "cycles/CS")
+			})
+		}
+	}
+}
+
+// BenchmarkSimFig5aQueues reproduces Figure 5a at 35 clients.
+func BenchmarkSimFig5aQueues(b *testing.B) {
+	mks := []struct {
+		name string
+		mk   func() *simalgo.Builder
+	}{
+		{"mp-server-1", func() *simalgo.Builder { return simalgo.NewMPServerBuilder(simalgo.QueueFactory) }},
+		{"HybComb-1", func() *simalgo.Builder { return simalgo.NewHybCombBuilder(simalgo.QueueFactory, 200) }},
+		{"shm-server-1", func() *simalgo.Builder { return simalgo.NewSHMServerBuilder(simalgo.QueueFactory) }},
+		{"CC-Synch-1", func() *simalgo.Builder { return simalgo.NewCCSynchBuilder(simalgo.QueueFactory, 200) }},
+		{"LCRQ", func() *simalgo.Builder { return simalgo.NewLCRQBuilder(1024) }},
+		{"mp-server-2", simalgo.NewTwoLockQueueBuilder},
+	}
+	for _, e := range mks {
+		b.Run(e.name, func(b *testing.B) {
+			threads := 35
+			if e.name == "mp-server-2" {
+				threads = 34 // two server cores
+			}
+			var mops float64
+			for i := 0; i < b.N; i++ {
+				res := runSim(e.mk(), threads, uint64(i+1), simalgo.QueueOps, tilesim.ProfileTileGx())
+				mops = res.Mops()
+			}
+			b.ReportMetric(mops, "Mops/s")
+		})
+	}
+}
+
+// BenchmarkSimFig5bStacks reproduces Figure 5b at 35 clients.
+func BenchmarkSimFig5bStacks(b *testing.B) {
+	mks := []struct {
+		name string
+		mk   func() *simalgo.Builder
+	}{
+		{"mp-server", func() *simalgo.Builder { return simalgo.NewMPServerBuilder(simalgo.StackFactory) }},
+		{"HybComb", func() *simalgo.Builder { return simalgo.NewHybCombBuilder(simalgo.StackFactory, 200) }},
+		{"shm-server", func() *simalgo.Builder { return simalgo.NewSHMServerBuilder(simalgo.StackFactory) }},
+		{"CC-Synch", func() *simalgo.Builder { return simalgo.NewCCSynchBuilder(simalgo.StackFactory, 200) }},
+		{"Treiber", simalgo.NewTreiberBuilder},
+	}
+	for _, e := range mks {
+		b.Run(e.name, func(b *testing.B) {
+			var mops float64
+			for i := 0; i < b.N; i++ {
+				res := runSim(e.mk(), 35, uint64(i+1), simalgo.StackOps, tilesim.ProfileTileGx())
+				mops = res.Mops()
+			}
+			b.ReportMetric(mops, "Mops/s")
+		})
+	}
+}
+
+// BenchmarkSimX86Profile reproduces the §5.5 discussion: the
+// shared-memory approaches on the x86-like profile.
+func BenchmarkSimX86Profile(b *testing.B) {
+	prof := tilesim.ProfileX86Like()
+	for _, name := range []string{"shm-server", "CC-Synch"} {
+		mk := counterSimBuilders(200)[name]
+		b.Run(name, func(b *testing.B) {
+			var mops float64
+			for i := 0; i < b.N; i++ {
+				res := runSim(mk(), prof.NumCores()-1, uint64(i+1), simalgo.CounterOps, prof)
+				mops = res.Mops()
+			}
+			b.ReportMetric(mops, "Mops/s")
+		})
+	}
+}
+
+// --- Native-layer benchmarks -------------------------------------------
+
+// nativeExecutors enumerates the native constructions for benching.
+func nativeExecutors() []struct {
+	name string
+	mk   func() (conc.ExecutorFactory, func())
+} {
+	return []struct {
+		name string
+		mk   func() (conc.ExecutorFactory, func())
+	}{
+		{"mp-server", func() (conc.ExecutorFactory, func()) {
+			var s *core.MPServer
+			return func(d core.Dispatch) core.Executor {
+				s = core.NewMPServer(d, core.Options{MaxThreads: 256})
+				return s
+			}, func() { s.Close() }
+		}},
+		{"HybComb", func() (conc.ExecutorFactory, func()) {
+			return func(d core.Dispatch) core.Executor {
+				return core.NewHybComb(d, core.Options{MaxThreads: 256})
+			}, func() {}
+		}},
+		{"shm-server", func() (conc.ExecutorFactory, func()) {
+			var s *shmsync.SHMServer
+			return func(d core.Dispatch) core.Executor {
+				s = shmsync.NewSHMServer(d, 256)
+				return s
+			}, func() { s.Close() }
+		}},
+		{"CC-Synch", func() (conc.ExecutorFactory, func()) {
+			return func(d core.Dispatch) core.Executor {
+				return shmsync.NewCCSynch(d, 200)
+			}, func() {}
+		}},
+		{"mcs-lock", func() (conc.ExecutorFactory, func()) {
+			return func(d core.Dispatch) core.Executor {
+				l := &spin.MCSLock{}
+				return spin.NewLockExecutor(d, func() spin.Lock { return l.NewMCSHandle() })
+			}, func() {}
+		}},
+	}
+}
+
+// BenchmarkNativeCounter is the native analogue of Figure 3a: contended
+// counter increments across goroutines (ns/op = per-op latency).
+func BenchmarkNativeCounter(b *testing.B) {
+	for _, e := range nativeExecutors() {
+		b.Run(e.name, func(b *testing.B) {
+			fac, closeAll := e.mk()
+			defer closeAll()
+			c := conc.NewCounter(fac)
+			var mu sync.Mutex // protects Handle() distribution
+			b.RunParallel(func(pb *testing.PB) {
+				mu.Lock()
+				h := c.Handle()
+				mu.Unlock()
+				for pb.Next() {
+					h.Inc()
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkNativeQueue is the native analogue of Figure 5a.
+func BenchmarkNativeQueue(b *testing.B) {
+	for _, e := range nativeExecutors() {
+		b.Run("MSQueue1/"+e.name, func(b *testing.B) {
+			fac, closeAll := e.mk()
+			defer closeAll()
+			q := conc.NewMSQueue1(fac)
+			var mu sync.Mutex
+			b.RunParallel(func(pb *testing.PB) {
+				mu.Lock()
+				h := q.Handle()
+				mu.Unlock()
+				var i uint64
+				for pb.Next() {
+					if i%2 == 0 {
+						h.Enqueue(i)
+					} else {
+						h.Dequeue()
+					}
+					i++
+				}
+			})
+		})
+	}
+	b.Run("LCRQ", func(b *testing.B) {
+		q := conc.NewLCRQueue(1024)
+		b.RunParallel(func(pb *testing.PB) {
+			var i uint64
+			for pb.Next() {
+				if i%2 == 0 {
+					q.Enqueue(i)
+				} else {
+					q.Dequeue()
+				}
+				i++
+			}
+		})
+	})
+}
+
+// BenchmarkNativeStack is the native analogue of Figure 5b.
+func BenchmarkNativeStack(b *testing.B) {
+	for _, e := range nativeExecutors() {
+		b.Run(e.name, func(b *testing.B) {
+			fac, closeAll := e.mk()
+			defer closeAll()
+			s := conc.NewStack(fac)
+			var mu sync.Mutex
+			b.RunParallel(func(pb *testing.PB) {
+				mu.Lock()
+				h := s.Handle()
+				mu.Unlock()
+				var i uint64
+				for pb.Next() {
+					if i%2 == 0 {
+						h.Push(i)
+					} else {
+						h.Pop()
+					}
+					i++
+				}
+			})
+		})
+	}
+	b.Run("Treiber", func(b *testing.B) {
+		s := conc.NewTreiberStack()
+		b.RunParallel(func(pb *testing.PB) {
+			var i uint64
+			for pb.Next() {
+				if i%2 == 0 {
+					s.Push(i)
+				} else {
+					s.Pop()
+				}
+				i++
+			}
+		})
+	})
+}

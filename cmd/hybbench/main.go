@@ -1,0 +1,287 @@
+// Command hybbench measures the native Go layer: the four constructions
+// (MP-SERVER, HYBCOMB, CC-SYNCH, SHM-SERVER) plus spin-lock baselines
+// over the paper's three objects (counter, queue, stack) on real
+// goroutines.
+//
+// Unlike cmd/tilebench — which reproduces the paper's numbers on the
+// simulated TILE-Gx — hybbench answers a different question: how do the
+// same algorithms behave on a commodity host through the Go runtime,
+// where "message passing" is a lock-free queue over coherent shared
+// memory? Shapes differ from the paper (there is no hardware UDN here);
+// EXPERIMENTS.md discusses the comparison.
+//
+// Usage:
+//
+//	hybbench -bench all -dur 200ms -threads 1,2,4,8,16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"hybsync/internal/conc"
+	"hybsync/internal/core"
+	"hybsync/internal/harness"
+	"hybsync/internal/shmsync"
+	"hybsync/internal/spin"
+)
+
+func main() {
+	bench := flag.String("bench", "all", "benchmark: counter, queue, stack, fairness, mpq, all")
+	dur := flag.Duration("dur", 200*time.Millisecond, "measurement duration per point")
+	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default scales to GOMAXPROCS)")
+	flag.Parse()
+
+	threads := defaultThreads()
+	if *threadsFlag != "" {
+		threads = nil
+		for _, s := range strings.Split(*threadsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "hybbench: bad thread count %q\n", s)
+				os.Exit(2)
+			}
+			threads = append(threads, n)
+		}
+	}
+
+	switch *bench {
+	case "counter":
+		benchCounter(threads, *dur)
+	case "queue":
+		benchQueue(threads, *dur)
+	case "stack":
+		benchStack(threads, *dur)
+	case "fairness":
+		benchFairness(threads, *dur)
+	case "all":
+		benchCounter(threads, *dur)
+		benchQueue(threads, *dur)
+		benchStack(threads, *dur)
+		benchFairness(threads, *dur)
+	default:
+		fmt.Fprintf(os.Stderr, "hybbench: unknown bench %q\n", *bench)
+		os.Exit(2)
+	}
+}
+
+func defaultThreads() []int {
+	max := runtime.GOMAXPROCS(0)
+	out := []int{1}
+	for n := 2; n < max; n *= 2 {
+		out = append(out, n)
+	}
+	if out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}
+
+// executorFactories enumerates the native constructions.
+func executorFactories() []struct {
+	Name string
+	Make func() (conc.ExecutorFactory, func())
+} {
+	return []struct {
+		Name string
+		Make func() (conc.ExecutorFactory, func())
+	}{
+		{"mp-server", func() (conc.ExecutorFactory, func()) {
+			var servers []*core.MPServer
+			return func(d core.Dispatch) core.Executor {
+					s := core.NewMPServer(d, core.Options{MaxThreads: 256})
+					servers = append(servers, s)
+					return s
+				}, func() {
+					for _, s := range servers {
+						s.Close()
+					}
+				}
+		}},
+		{"HybComb", func() (conc.ExecutorFactory, func()) {
+			return func(d core.Dispatch) core.Executor {
+				return core.NewHybComb(d, core.Options{MaxThreads: 256})
+			}, func() {}
+		}},
+		{"shm-server", func() (conc.ExecutorFactory, func()) {
+			var servers []*shmsync.SHMServer
+			return func(d core.Dispatch) core.Executor {
+					s := shmsync.NewSHMServer(d, 256)
+					servers = append(servers, s)
+					return s
+				}, func() {
+					for _, s := range servers {
+						s.Close()
+					}
+				}
+		}},
+		{"CC-Synch", func() (conc.ExecutorFactory, func()) {
+			return func(d core.Dispatch) core.Executor {
+				return shmsync.NewCCSynch(d, 200)
+			}, func() {}
+		}},
+		{"mcs-lock", func() (conc.ExecutorFactory, func()) {
+			return func(d core.Dispatch) core.Executor {
+				l := &spin.MCSLock{}
+				return spin.NewLockExecutor(d, func() spin.Lock { return l.NewMCSHandle() })
+			}, func() {}
+		}},
+	}
+}
+
+func benchCounter(threads []int, dur time.Duration) {
+	facs := executorFactories()
+	header := []string{"threads"}
+	for _, f := range facs {
+		header = append(header, f.Name)
+	}
+	t := harness.NewTable("Native counter throughput (Mops/sec)", header...)
+	t.Note = fmt.Sprintf("GOMAXPROCS=%d, local work <=50 iters, %v per point", runtime.GOMAXPROCS(0), dur)
+	for _, th := range threads {
+		row := []any{th}
+		for _, f := range facs {
+			fac, closeAll := f.Make()
+			c := conc.NewCounter(fac)
+			res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
+				h := c.Handle()
+				return func(uint64) { h.Inc() }
+			})
+			closeAll()
+			row = append(row, res.Mops())
+		}
+		t.AddRow(row...)
+	}
+	t.Render(os.Stdout)
+}
+
+func benchQueue(threads []int, dur time.Duration) {
+	facs := executorFactories()
+	header := []string{"threads"}
+	for _, f := range facs {
+		header = append(header, f.Name+"-1")
+	}
+	header = append(header, "LCRQ", "mp-server-2")
+	t := harness.NewTable("Native queue throughput under balanced load (Mops/sec)", header...)
+	for _, th := range threads {
+		row := []any{th}
+		for _, f := range facs {
+			fac, closeAll := f.Make()
+			q := conc.NewMSQueue1(fac)
+			res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
+				h := q.Handle()
+				return func(i uint64) {
+					if i%2 == 0 {
+						h.Enqueue(i)
+					} else {
+						h.Dequeue()
+					}
+				}
+			})
+			closeAll()
+			row = append(row, res.Mops())
+		}
+		// LCRQ
+		lq := conc.NewLCRQueue(1024)
+		res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
+			return func(i uint64) {
+				if i%2 == 0 {
+					lq.Enqueue(i)
+				} else {
+					lq.Dequeue()
+				}
+			}
+		})
+		row = append(row, res.Mops())
+		// Two-lock over mp-server.
+		fac, closeAll := facs[0].Make()
+		q2 := conc.NewMSQueue2(fac)
+		res = harness.RunNative(th, dur, 50, func(int) func(uint64) {
+			h := q2.Handle()
+			return func(i uint64) {
+				if i%2 == 0 {
+					h.Enqueue(i)
+				} else {
+					h.Dequeue()
+				}
+			}
+		})
+		closeAll()
+		row = append(row, res.Mops())
+		t.AddRow(row...)
+	}
+	t.Render(os.Stdout)
+}
+
+func benchStack(threads []int, dur time.Duration) {
+	facs := executorFactories()
+	header := []string{"threads"}
+	for _, f := range facs {
+		header = append(header, f.Name)
+	}
+	header = append(header, "Treiber")
+	t := harness.NewTable("Native stack throughput under balanced load (Mops/sec)", header...)
+	for _, th := range threads {
+		row := []any{th}
+		for _, f := range facs {
+			fac, closeAll := f.Make()
+			s := conc.NewStack(fac)
+			res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
+				h := s.Handle()
+				return func(i uint64) {
+					if i%2 == 0 {
+						h.Push(i)
+					} else {
+						h.Pop()
+					}
+				}
+			})
+			closeAll()
+			row = append(row, res.Mops())
+		}
+		ts := conc.NewTreiberStack()
+		res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
+			return func(i uint64) {
+				if i%2 == 0 {
+					ts.Push(i)
+				} else {
+					ts.Pop()
+				}
+			}
+		})
+		row = append(row, res.Mops())
+		t.AddRow(row...)
+	}
+	t.Render(os.Stdout)
+}
+
+func benchFairness(threads []int, dur time.Duration) {
+	facs := executorFactories()
+	header := []string{"threads"}
+	for _, f := range facs {
+		header = append(header, f.Name)
+	}
+	t := harness.NewTable("Native fairness (max/min per-thread op ratio; 1.0 = ideal)", header...)
+	for _, th := range threads {
+		if th < 2 {
+			continue
+		}
+		row := []any{th}
+		for _, f := range facs {
+			fac, closeAll := f.Make()
+			c := conc.NewCounter(fac)
+			res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
+				h := c.Handle()
+				return func(uint64) { h.Inc() }
+			})
+			closeAll()
+			row = append(row, res.Fairness())
+		}
+		t.AddRow(row...)
+	}
+	t.Render(os.Stdout)
+}

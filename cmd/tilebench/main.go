@@ -1,0 +1,63 @@
+// Command tilebench regenerates every table and figure of the paper's
+// evaluation (§5) on the tilesim simulated TILE-Gx chip. Each -fig value
+// prints the same series the paper plots; EXPERIMENTS.md records
+// paper-vs-measured values.
+//
+// Usage:
+//
+//	tilebench -fig all
+//	tilebench -fig 3a -horizon 300000 -runs 3
+//
+// Figures: 3a (counter throughput), 3b (counter latency), 3c (MAX_OPS
+// sweep), 4a (servicing-thread stalls), 4b (combining rate), 4c (CS
+// length), 5a (queues), 5b (stacks), cas (CAS rate and fairness), x86
+// (x86-like profile comparison), ablate-swap, ablate-drain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (3a,3b,3c,4a,4b,4c,5a,5b,cas,x86,ablate-swap,ablate-drain,locks,tail,all)")
+	horizon := flag.Uint64("horizon", 200_000, "simulated cycles per run")
+	runs := flag.Int("runs", 3, "runs per data point (seed-perturbed, averaged)")
+	maxOps := flag.Int("maxops", 200, "MAX_OPS for the combining algorithms")
+	flag.Parse()
+
+	cfg := figConfig{Horizon: *horizon, Runs: *runs, MaxOps: *maxOps}
+	figs := map[string]func(figConfig){
+		"3a":           fig3a,
+		"3b":           fig3b,
+		"3c":           fig3c,
+		"4a":           fig4a,
+		"4b":           fig4b,
+		"4c":           fig4c,
+		"5a":           fig5a,
+		"5b":           fig5b,
+		"cas":          figCAS,
+		"x86":          figX86,
+		"ablate-swap":  figAblateSwap,
+		"ablate-drain": figAblateDrain,
+		"locks":        figLocks,
+		"tail":         figTail,
+	}
+	order := []string{"3a", "3b", "3c", "4a", "4b", "4c", "5a", "5b", "cas", "x86", "ablate-swap", "ablate-drain", "locks", "tail"}
+
+	switch *fig {
+	case "all":
+		for _, name := range order {
+			figs[name](cfg)
+		}
+	default:
+		f, ok := figs[strings.ToLower(*fig)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tilebench: unknown figure %q (have %s, all)\n", *fig, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		f(cfg)
+	}
+}

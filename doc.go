@@ -1,0 +1,23 @@
+// Package hybsync reproduces "Leveraging Hardware Message Passing for
+// Efficient Thread Synchronization" (Petrović, Ropars, Schiper —
+// PPoPP 2014).
+//
+// The repository has two layers:
+//
+//   - internal/tilesim + internal/simalgo: a deterministic cycle-level
+//     simulator of a TILE-Gx-like hybrid manycore (mesh NoC, directory
+//     coherence, memory-controller atomics, UDN message network) running
+//     the paper's four constructions and evaluation objects. The
+//     cmd/tilebench driver regenerates every figure of the paper's §5.
+//
+//   - internal/core, internal/shmsync, internal/spin, internal/conc,
+//     internal/mpq: the same algorithms as a native Go library on real
+//     goroutines — MP-SERVER and HYBCOMB over lock-free bounded message
+//     queues, CC-SYNCH and SHM-SERVER over shared memory, classic spin
+//     locks, and the evaluation's concurrent objects (counter, MS-Queues,
+//     LCRQ, Treiber stack, coarse-lock stack). cmd/hybbench measures
+//     them.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package hybsync

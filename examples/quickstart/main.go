@@ -1,0 +1,49 @@
+// Quickstart: build a linearizable counter over HYBCOMB and MP-SERVER
+// and hammer it from many goroutines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"hybsync/internal/conc"
+	"hybsync/internal/core"
+)
+
+func main() {
+	const goroutines, perThread = 8, 10_000
+
+	// HYBCOMB: no dedicated server; threads combine for each other.
+	hybCounter := conc.NewCounter(func(d core.Dispatch) core.Executor {
+		return core.NewHybComb(d, core.Options{MaxThreads: goroutines})
+	})
+	run(hybCounter, goroutines, perThread)
+	fmt.Printf("HybComb counter:  %d (want %d)\n", hybCounter.Value(), goroutines*perThread)
+
+	// MP-SERVER: a dedicated server goroutine owns the counter.
+	var server *core.MPServer
+	mpCounter := conc.NewCounter(func(d core.Dispatch) core.Executor {
+		server = core.NewMPServer(d, core.Options{MaxThreads: goroutines})
+		return server
+	})
+	run(mpCounter, goroutines, perThread)
+	server.Close()
+	fmt.Printf("MPServer counter: %d (want %d)\n", mpCounter.Value(), goroutines*perThread)
+}
+
+func run(c *conc.Counter, goroutines, perThread int) {
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := c.Handle() // one handle per goroutine
+			for i := 0; i < perThread; i++ {
+				h.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,61 @@
+// Package conc implements the concurrent objects of the paper's
+// evaluation as native Go types: a linearizable counter, Michael & Scott
+// queues in one-lock and two-lock form, an LCRQ-style nonblocking queue,
+// Treiber's nonblocking stack and a coarse-lock stack. The blocking
+// variants are parameterized by a core.Executor factory, so each can run
+// over MP-SERVER, HYBCOMB, CC-SYNCH, SHM-SERVER or any spin lock.
+package conc
+
+import "hybsync/internal/core"
+
+// Opcodes understood by the executor-backed objects.
+const (
+	OpInc  uint64 = 1
+	OpEnq  uint64 = 2
+	OpDeq  uint64 = 3
+	OpPush uint64 = 4
+	OpPop  uint64 = 5
+)
+
+// EmptyVal is returned by Dequeue/Pop on an empty container.
+const EmptyVal = ^uint64(0)
+
+// ExecutorFactory builds an executor around the object's sequential
+// dispatch function — e.g. func(d core.Dispatch) core.Executor {
+// return core.NewHybComb(d, core.Options{}) }.
+type ExecutorFactory func(core.Dispatch) core.Executor
+
+// Counter is the §5.3 microbenchmark object: a linearizable
+// fetch-and-increment counter whose increment runs as a critical
+// section on the chosen executor.
+type Counter struct {
+	exec  core.Executor
+	value uint64 // touched only inside the CS
+}
+
+// NewCounter builds the counter over the given construction.
+func NewCounter(f ExecutorFactory) *Counter {
+	c := &Counter{}
+	c.exec = f(func(op, arg uint64) uint64 {
+		v := c.value
+		c.value++
+		return v
+	})
+	return c
+}
+
+// Handle returns a per-goroutine handle.
+func (c *Counter) Handle() *CounterHandle {
+	return &CounterHandle{h: c.exec.Handle()}
+}
+
+// Value reads the counter; call only while no increments are in flight.
+func (c *Counter) Value() uint64 { return c.value }
+
+// CounterHandle is a goroutine's capability to increment the counter.
+type CounterHandle struct {
+	h core.Handle
+}
+
+// Inc atomically increments the counter and returns the previous value.
+func (h *CounterHandle) Inc() uint64 { return h.h.Apply(OpInc, 0) }

@@ -1,0 +1,169 @@
+package conc
+
+import "sync/atomic"
+
+// LCRQueue is an LCRQ-style nonblocking queue (Morrison & Afek,
+// PPoPP'13) in the form the paper ports to the TILE-Gx (footnote 5):
+// values are 32-bit and each ring cell packs (safe bit, index, value)
+// into one 64-bit word manipulated with CAS, and the ring-closing
+// test-and-set is a CAS loop. Head and tail indexes advance with
+// fetch-and-add; full or starved rings are closed and a fresh ring is
+// linked behind them.
+type LCRQueue struct {
+	ringSize uint64
+	head     atomic.Pointer[crq]
+	_        [56]byte
+	tail     atomic.Pointer[crq]
+	_        [56]byte
+}
+
+type crq struct {
+	head atomic.Uint64
+	_    [56]byte
+	tail atomic.Uint64 // bit 63: closed
+	_    [56]byte
+	next atomic.Pointer[crq]
+	_    [56]byte
+	ring []paddedCell
+}
+
+type paddedCell struct {
+	v atomic.Uint64
+}
+
+const (
+	lcrqEmpty  = 0xFFFFFFFF
+	lcrqClosed = uint64(1) << 63
+	lcrqIdxCap = uint64(0x7FFFFFFF)
+)
+
+func lcrqPack(safe, idx, val uint64) uint64 {
+	return safe<<63 | (idx&lcrqIdxCap)<<32 | val&0xFFFFFFFF
+}
+
+func lcrqUnpack(c uint64) (safe, idx, val uint64) {
+	return c >> 63, (c >> 32) & lcrqIdxCap, c & 0xFFFFFFFF
+}
+
+// NewLCRQueue creates an empty queue with rings of ringSize cells
+// (power of two; 0 means 1024).
+func NewLCRQueue(ringSize int) *LCRQueue {
+	if ringSize == 0 {
+		ringSize = 1024
+	}
+	if ringSize < 0 || ringSize&(ringSize-1) != 0 {
+		panic("conc: LCRQ ring size must be a power of two")
+	}
+	q := &LCRQueue{ringSize: uint64(ringSize)}
+	r := q.newCRQ(0, false)
+	q.head.Store(r)
+	q.tail.Store(r)
+	return q
+}
+
+func (q *LCRQueue) newCRQ(val uint64, preload bool) *crq {
+	r := &crq{ring: make([]paddedCell, q.ringSize)}
+	for i := range r.ring {
+		r.ring[i].v.Store(lcrqPack(1, uint64(i), lcrqEmpty))
+	}
+	if preload {
+		r.ring[0].v.Store(lcrqPack(1, 0, val))
+		r.tail.Store(1)
+	}
+	return r
+}
+
+// Enqueue appends v (lock-free); v must fit in 32 bits (values ≥ 2^32-1
+// are truncated, matching the paper's 32-bit port).
+func (q *LCRQueue) Enqueue(v uint64) {
+	v &= 0xFFFFFFFF
+	for {
+		r := q.tail.Load()
+		if next := r.next.Load(); next != nil {
+			q.tail.CompareAndSwap(r, next)
+			continue
+		}
+		t := r.tail.Add(1) - 1
+		if t&lcrqClosed != 0 {
+			nr := q.newCRQ(v, true)
+			if r.next.CompareAndSwap(nil, nr) {
+				q.tail.CompareAndSwap(r, nr)
+				return
+			}
+			continue
+		}
+		cell := &r.ring[t&(q.ringSize-1)].v
+		cv := cell.Load()
+		safe, idx, val := lcrqUnpack(cv)
+		if val == lcrqEmpty && idx <= t && (safe == 1 || r.head.Load() <= t) {
+			if cell.CompareAndSwap(cv, lcrqPack(1, t, v)) {
+				return
+			}
+		}
+		if t-r.head.Load() >= q.ringSize {
+			q.closeCRQ(r)
+		}
+	}
+}
+
+// closeCRQ sets the closed bit with a CAS loop (no BTAS on the TILE-Gx).
+func (q *LCRQueue) closeCRQ(r *crq) {
+	for {
+		t := r.tail.Load()
+		if t&lcrqClosed != 0 || r.tail.CompareAndSwap(t, t|lcrqClosed) {
+			return
+		}
+	}
+}
+
+// Dequeue removes the oldest value, or returns EmptyVal when empty
+// (lock-free).
+func (q *LCRQueue) Dequeue() uint64 {
+	for {
+		r := q.head.Load()
+		h := r.head.Add(1) - 1
+		cell := &r.ring[h&(q.ringSize-1)].v
+		for {
+			cv := cell.Load()
+			safe, idx, val := lcrqUnpack(cv)
+			if val != lcrqEmpty {
+				if idx == h {
+					if cell.CompareAndSwap(cv, lcrqPack(safe, h+q.ringSize, lcrqEmpty)) {
+						return val
+					}
+				} else {
+					if cell.CompareAndSwap(cv, lcrqPack(0, idx, val)) {
+						break
+					}
+				}
+			} else {
+				if cell.CompareAndSwap(cv, lcrqPack(safe, h+q.ringSize, lcrqEmpty)) {
+					break
+				}
+			}
+		}
+		if t := r.tail.Load() &^ lcrqClosed; t <= h+1 {
+			q.fixState(r)
+			if next := r.next.Load(); next != nil {
+				q.head.CompareAndSwap(r, next)
+				continue
+			}
+			return EmptyVal
+		}
+	}
+}
+
+// fixState catches the tail up after dequeuers overran it on an empty
+// ring.
+func (q *LCRQueue) fixState(r *crq) {
+	for {
+		h := r.head.Load()
+		t := r.tail.Load()
+		if t&lcrqClosed != 0 || (t&^lcrqClosed) >= h {
+			return
+		}
+		if r.tail.CompareAndSwap(t, h) {
+			return
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package conc
+
+import (
+	"sync/atomic"
+
+	"hybsync/internal/core"
+)
+
+// qnode is a linked-list cell shared by the queue implementations.
+type qnode struct {
+	value uint64
+	next  *qnode
+}
+
+// MSQueue1 is the one-lock Michael & Scott queue of Figure 5a: a
+// sequential linked-list queue (with dummy node) whose enqueue and
+// dequeue both run as critical sections of one executor. The paper finds
+// this simple structure, over MP-SERVER or HYBCOMB, to be the fastest
+// queue on the TILE-Gx.
+type MSQueue1 struct {
+	exec core.Executor
+	head *qnode
+	tail *qnode
+}
+
+// NewMSQueue1 builds the queue over the given construction.
+func NewMSQueue1(f ExecutorFactory) *MSQueue1 {
+	q := &MSQueue1{}
+	dummy := &qnode{}
+	q.head, q.tail = dummy, dummy
+	q.exec = f(func(op, arg uint64) uint64 {
+		switch op {
+		case OpEnq:
+			n := &qnode{value: arg}
+			q.tail.next = n
+			q.tail = n
+			return 0
+		case OpDeq:
+			next := q.head.next
+			if next == nil {
+				return EmptyVal
+			}
+			q.head = next
+			return next.value
+		default:
+			panic("conc: bad queue opcode")
+		}
+	})
+	return q
+}
+
+// Handle returns a per-goroutine handle.
+func (q *MSQueue1) Handle() *QueueHandle {
+	h := q.exec.Handle()
+	return &QueueHandle{enq: h, deq: h}
+}
+
+// MSQueue2 is the two-lock Michael & Scott queue: enqueues and dequeues
+// are protected by two independent executors, so they can run in
+// parallel. The dummy-node representation keeps the two sides
+// structurally disjoint; the next pointer is atomic because the dequeue
+// side reads it while the enqueue side links new nodes.
+type MSQueue2 struct {
+	enqExec core.Executor
+	deqExec core.Executor
+	head    *aqnode
+	tail    *aqnode
+}
+
+// aqnode is qnode with an atomic next, required when the two sides of
+// the queue run concurrently.
+type aqnode struct {
+	value uint64
+	next  atomic.Pointer[aqnode]
+}
+
+// NewMSQueue2 builds the queue over two executors (for MP-SERVER this
+// means two dedicated server goroutines, the cost §5.4 discusses).
+func NewMSQueue2(f ExecutorFactory) *MSQueue2 {
+	q := &MSQueue2{}
+	dummy := &aqnode{}
+	q.head, q.tail = dummy, dummy
+	q.enqExec = f(func(op, arg uint64) uint64 {
+		n := &aqnode{value: arg}
+		q.tail.next.Store(n)
+		q.tail = n
+		return 0
+	})
+	q.deqExec = f(func(op, arg uint64) uint64 {
+		next := q.head.next.Load()
+		if next == nil {
+			return EmptyVal
+		}
+		q.head = next
+		return next.value
+	})
+	return q
+}
+
+// Handle returns a per-goroutine handle.
+func (q *MSQueue2) Handle() *QueueHandle {
+	return &QueueHandle{enq: q.enqExec.Handle(), deq: q.deqExec.Handle()}
+}
+
+// QueueHandle is a goroutine's capability to use a queue.
+type QueueHandle struct {
+	enq core.Handle
+	deq core.Handle
+}
+
+// Enqueue appends v.
+func (h *QueueHandle) Enqueue(v uint64) { h.enq.Apply(OpEnq, v) }
+
+// Dequeue removes the oldest value, or returns EmptyVal when empty.
+func (h *QueueHandle) Dequeue() uint64 { return h.deq.Apply(OpDeq, 0) }

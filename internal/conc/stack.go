@@ -1,0 +1,87 @@
+package conc
+
+import (
+	"sync/atomic"
+
+	"hybsync/internal/core"
+)
+
+// Stack is the coarse-lock stack of Figure 5b: a sequential linked-list
+// stack whose push and pop run as critical sections of one executor.
+type Stack struct {
+	exec core.Executor
+	top  *qnode
+}
+
+// NewStack builds the stack over the given construction.
+func NewStack(f ExecutorFactory) *Stack {
+	s := &Stack{}
+	s.exec = f(func(op, arg uint64) uint64 {
+		switch op {
+		case OpPush:
+			s.top = &qnode{value: arg, next: s.top}
+			return 0
+		case OpPop:
+			if s.top == nil {
+				return EmptyVal
+			}
+			v := s.top.value
+			s.top = s.top.next
+			return v
+		default:
+			panic("conc: bad stack opcode")
+		}
+	})
+	return s
+}
+
+// Handle returns a per-goroutine handle.
+func (s *Stack) Handle() *StackHandle {
+	return &StackHandle{h: s.exec.Handle()}
+}
+
+// StackHandle is a goroutine's capability to use a Stack.
+type StackHandle struct {
+	h core.Handle
+}
+
+// Push pushes v.
+func (h *StackHandle) Push(v uint64) { h.h.Apply(OpPush, v) }
+
+// Pop removes the top value, or returns EmptyVal when empty.
+func (h *StackHandle) Pop() uint64 { return h.h.Apply(OpPop, 0) }
+
+// TreiberStack is Treiber's nonblocking stack: a CAS loop on an atomic
+// top pointer. Go's garbage collector removes the ABA hazard that the
+// original algorithm must handle with counted pointers.
+type TreiberStack struct {
+	top atomic.Pointer[qnode]
+}
+
+// NewTreiberStack creates an empty stack.
+func NewTreiberStack() *TreiberStack { return &TreiberStack{} }
+
+// Push pushes v (lock-free).
+func (s *TreiberStack) Push(v uint64) {
+	n := &qnode{value: v}
+	for {
+		top := s.top.Load()
+		n.next = top
+		if s.top.CompareAndSwap(top, n) {
+			return
+		}
+	}
+}
+
+// Pop removes the top value, or returns EmptyVal when empty (lock-free).
+func (s *TreiberStack) Pop() uint64 {
+	for {
+		top := s.top.Load()
+		if top == nil {
+			return EmptyVal
+		}
+		if s.top.CompareAndSwap(top, top.next) {
+			return top.value
+		}
+	}
+}

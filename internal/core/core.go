@@ -1,0 +1,112 @@
+// Package core implements the paper's two message-passing constructions
+// for executing contended critical sections — MP-SERVER (§4.1) and
+// HYBCOMB (§4.2, Algorithm 1) — as a native Go library.
+//
+// On the TILE-Gx the request/response traffic rides the hardware User
+// Dynamic Network; in this library it rides bounded lock-free message
+// queues (package mpq) with the same interface contract (asynchronous
+// bounded send with back-pressure, blocking receive, FIFO). Combiner
+// identity in HybComb is managed with sync/atomic operations on shared
+// pointers, exactly mirroring Algorithm 1's CAS/FAA/SWAP structure.
+//
+// Both constructions execute operations described by an opcode and one
+// 64-bit argument against a Dispatch function — the paper's §5.2
+// optimization of shipping "a unique opcode of the CS" instead of a
+// function pointer, which lets the servicing thread's dispatch inline
+// the critical sections.
+//
+// Usage:
+//
+//	ctr := uint64(0)
+//	hc := core.NewHybComb(func(op, arg uint64) uint64 {
+//		old := ctr
+//		ctr++ // safe: Dispatch runs in mutual exclusion
+//		return old
+//	}, core.Options{MaxThreads: 64})
+//	h := hc.Handle()       // one per goroutine
+//	prev := h.Apply(0, 0)  // executes the CS
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"hybsync/internal/mpq"
+)
+
+// Dispatch executes opcode op with argument arg against the protected
+// object and returns the result. It is always invoked in mutual
+// exclusion, so it may touch shared state without further
+// synchronization.
+type Dispatch func(op, arg uint64) uint64
+
+// Executor is the common contract of all critical-section constructions
+// in this repository (core.MPServer, core.HybComb, shmsync.CCSynch,
+// shmsync.SHMServer, spin.LockExecutor).
+type Executor interface {
+	// Handle returns a per-goroutine handle. Each goroutine that submits
+	// operations must use its own Handle.
+	Handle() Handle
+}
+
+// Handle submits operations on behalf of one goroutine.
+type Handle interface {
+	// Apply executes (op, arg) in mutual exclusion and returns the result.
+	Apply(op, arg uint64) uint64
+}
+
+// Options configures the constructions.
+type Options struct {
+	// MaxThreads bounds how many Handles may be created (default 128).
+	MaxThreads int
+	// MaxOps is HybComb's MAX_OPS combining bound (default 200, the
+	// paper's evaluation setting).
+	MaxOps int32
+	// QueueCap is the per-thread message-queue capacity in messages
+	// (default 39 ≈ the TILE-Gx's 118-word buffer divided by 3-word
+	// requests).
+	QueueCap int
+	// UseChanQueues selects the channel backend instead of the lock-free
+	// ring (ablation).
+	UseChanQueues bool
+}
+
+func (o *Options) fill() {
+	if o.MaxThreads <= 0 {
+		o.MaxThreads = 128
+	}
+	if o.MaxOps <= 0 {
+		o.MaxOps = 200
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 39
+	}
+}
+
+func (o *Options) newQueue() mpq.Queue {
+	if o.UseChanQueues {
+		return mpq.NewChan(o.QueueCap)
+	}
+	return mpq.NewRing(o.QueueCap)
+}
+
+// errTooManyHandles reports Handle() calls beyond MaxThreads.
+func errTooManyHandles(max int) error {
+	return fmt.Errorf("core: more than %d handles requested (raise Options.MaxThreads)", max)
+}
+
+// spinWait yields periodically while spinning on a condition.
+func spinWait(spins *int) {
+	*spins++
+	if *spins%32 == 0 {
+		runtime.Gosched()
+	}
+}
+
+// padBool is an atomic bool padded to its own cache line so spinning on
+// it does not false-share with neighbours.
+type padBool struct {
+	v atomic.Bool
+	_ [63]byte
+}

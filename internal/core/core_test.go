@@ -1,0 +1,172 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMPServerBasic(t *testing.T) {
+	var state uint64
+	s := NewMPServer(func(op, arg uint64) uint64 {
+		old := state
+		state += arg
+		return old + op
+	}, Options{MaxThreads: 8})
+	defer s.Close()
+	h := s.Handle()
+	if got := h.Apply(5, 10); got != 5 {
+		t.Fatalf("Apply = %d, want 5", got)
+	}
+	if got := h.Apply(0, 1); got != 10 {
+		t.Fatalf("Apply = %d, want 10", got)
+	}
+	if state != 11 {
+		t.Fatalf("state = %d, want 11", state)
+	}
+}
+
+func TestMPServerConcurrentMutualExclusion(t *testing.T) {
+	// The dispatch deliberately does a racy read-modify-write; mutual
+	// exclusion (single server goroutine) must make it safe, and the
+	// race detector must stay silent.
+	var state uint64
+	s := NewMPServer(func(op, arg uint64) uint64 {
+		v := state
+		state = v + 1
+		return v
+	}, Options{MaxThreads: 32})
+	defer s.Close()
+	const goroutines, per = 16, 3000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := s.Handle()
+			for i := 0; i < per; i++ {
+				h.Apply(0, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if state != goroutines*per {
+		t.Fatalf("state = %d, want %d", state, goroutines*per)
+	}
+}
+
+func TestMPServerCloseIdempotent(t *testing.T) {
+	s := NewMPServer(func(op, arg uint64) uint64 { return 0 }, Options{})
+	s.Close()
+	s.Close() // must not hang or panic
+}
+
+func TestMPServerTooManyHandles(t *testing.T) {
+	s := NewMPServer(func(op, arg uint64) uint64 { return 0 }, Options{MaxThreads: 2})
+	defer s.Close()
+	s.Handle()
+	s.Handle()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("third Handle did not panic")
+		}
+	}()
+	s.Handle()
+}
+
+func TestHybCombSingleThread(t *testing.T) {
+	var state uint64
+	hc := NewHybComb(func(op, arg uint64) uint64 {
+		old := state
+		state++
+		return old
+	}, Options{MaxThreads: 4})
+	h := hc.Handle()
+	for i := uint64(0); i < 100; i++ {
+		if got := h.Apply(0, 0); got != i {
+			t.Fatalf("Apply = %d, want %d", got, i)
+		}
+	}
+	rounds, combined := hc.Stats()
+	if rounds != 100 {
+		t.Fatalf("rounds = %d, want 100 (single thread: one round per op)", rounds)
+	}
+	if combined != 0 {
+		t.Fatalf("combined = %d, want 0", combined)
+	}
+}
+
+func TestHybCombManyThreads(t *testing.T) {
+	for _, opts := range []Options{
+		{MaxThreads: 40},
+		{MaxThreads: 40, MaxOps: 1},   // degenerate combining bound
+		{MaxThreads: 40, MaxOps: 7},   // odd bound
+		{MaxThreads: 40, QueueCap: 2}, // tiny queues: heavy back-pressure
+		{MaxThreads: 40, UseChanQueues: true},
+	} {
+		var state uint64
+		hc := NewHybComb(func(op, arg uint64) uint64 {
+			v := state
+			state = v + 1
+			return v
+		}, opts)
+		const goroutines, per = 12, 2000
+		var wg sync.WaitGroup
+		results := make([]map[uint64]bool, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				h := hc.Handle()
+				results[g] = make(map[uint64]bool, per)
+				for i := 0; i < per; i++ {
+					results[g][h.Apply(0, 0)] = true
+				}
+			}(g)
+		}
+		wg.Wait()
+		if state != goroutines*per {
+			t.Fatalf("opts %+v: state = %d, want %d", opts, state, goroutines*per)
+		}
+		union := make(map[uint64]bool)
+		for _, m := range results {
+			for v := range m {
+				if union[v] {
+					t.Fatalf("opts %+v: duplicate pre-value %d", opts, v)
+				}
+				union[v] = true
+			}
+		}
+	}
+}
+
+func TestHybCombCombiningHappens(t *testing.T) {
+	hc := NewHybComb(func(op, arg uint64) uint64 { return 0 }, Options{MaxThreads: 16})
+	const goroutines, per = 8, 4000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := hc.Handle()
+			for i := 0; i < per; i++ {
+				h.Apply(0, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	rounds, combined := hc.Stats()
+	if rounds+combined != goroutines*per {
+		t.Fatalf("rounds %d + combined %d != total ops %d", rounds, combined, goroutines*per)
+	}
+	if combined == 0 {
+		t.Log("warning: no combining observed (acceptable on a single-core runner)")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o.fill()
+	if o.MaxThreads != 128 || o.MaxOps != 200 || o.QueueCap != 39 {
+		t.Fatalf("bad defaults: %+v", o)
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"hybsync/internal/mpq"
+)
+
+// HybComb is the paper's Algorithm 1 as a native Go construction.
+// Combiner identity lives in shared memory: last_registered_combiner is
+// an atomic pointer CASed by threads promoting themselves to combiner;
+// each combiner node carries an n_ops ticket counter (FAA to register a
+// request, SWAP to close the round) and a combining_done flag its
+// successor spins on. Requests and responses travel through per-thread
+// message queues, so while the combiner does not change the data path is
+// identical to MPServer — no shared-memory handshake per operation.
+type HybComb struct {
+	opts     Options
+	dispatch Dispatch
+
+	lastReg  atomic.Pointer[hcNode]
+	departed atomic.Pointer[hcNode]
+
+	inbox  []mpq.Queue
+	nextID atomic.Int32
+
+	// Stats counts combining activity (read with Stats after quiescence).
+	rounds   atomic.Uint64
+	combined atomic.Uint64
+}
+
+// hcNode is Algorithm 1's Node, padded so that the hot n_ops field does
+// not false-share with anything else.
+type hcNode struct {
+	threadID atomic.Int32
+	_        [60]byte
+	nOps     atomic.Int32
+	_        [60]byte
+	done     atomic.Bool
+	_        [63]byte
+}
+
+// NewHybComb creates the structure. Unlike MPServer there is no
+// background goroutine and nothing to Close: threads combine for each
+// other on demand, and an idle HybComb consumes no resources.
+func NewHybComb(dispatch Dispatch, opts Options) *HybComb {
+	opts.fill()
+	h := &HybComb{opts: opts, dispatch: dispatch}
+	h.inbox = make([]mpq.Queue, opts.MaxThreads)
+	for i := range h.inbox {
+		h.inbox[i] = opts.newQueue()
+	}
+	// The initial node {⊥, MAX_OPS, true}: full, so the first thread
+	// fails registration and promotes itself; done, so it proceeds
+	// immediately.
+	init := &hcNode{}
+	init.threadID.Store(-1)
+	init.nOps.Store(opts.MaxOps)
+	init.done.Store(true)
+	h.lastReg.Store(init)
+	h.departed.Store(init)
+	return h
+}
+
+// Handle implements Executor.
+func (h *HybComb) Handle() Handle {
+	id := h.nextID.Add(1) - 1
+	if int(id) >= h.opts.MaxThreads {
+		panic(errTooManyHandles(h.opts.MaxThreads))
+	}
+	n := &hcNode{}
+	n.threadID.Store(id)
+	n.nOps.Store(h.opts.MaxOps) // parked: nobody can register with it
+	return &hcHandle{h: h, id: id, myNode: n}
+}
+
+// Stats returns the number of completed combining rounds and the total
+// requests served by combiners for other threads. Call only while no
+// Apply is in flight.
+func (h *HybComb) Stats() (rounds, combined uint64) {
+	return h.rounds.Load(), h.combined.Load()
+}
+
+type hcHandle struct {
+	h      *HybComb
+	id     int32
+	myNode *hcNode
+}
+
+// Apply is apply_op of Algorithm 1 (lines 6-43); line numbers below
+// reference the paper.
+func (hd *hcHandle) Apply(op, arg uint64) uint64 {
+	h := hd.h
+	var opsCompleted int32
+
+	var lastReg *hcNode
+	for {
+		lastReg = h.lastReg.Load() // line 9
+		// Line 11: FAA on the combiner's ticket counter.
+		if lastReg.nOps.Add(1)-1 < h.opts.MaxOps {
+			// Lines 13-14: registered; ship the request, await response.
+			h.inbox[lastReg.threadID.Load()].Send(mpq.Words3(uint64(hd.id), op, arg))
+			return h.inbox[hd.id].Recv().W[0]
+		}
+		// Line 17: promote ourselves to combiner.
+		if h.lastReg.CompareAndSwap(lastReg, hd.myNode) {
+			hd.myNode.nOps.Store(0) // line 18
+			spins := 0
+			for !lastReg.done.Load() { // lines 19-20
+				spinWait(&spins)
+			}
+			break // line 21
+		}
+	}
+
+	// Line 23: the combiner's own operation runs first.
+	retval := h.dispatch(op, arg)
+
+	// Lines 25-28: eagerly drain the queue while requests keep arriving;
+	// postponing the closing SWAP increases the combining potential.
+	mine := h.inbox[hd.id]
+	for {
+		m, ok := mine.TryRecv()
+		if !ok {
+			break
+		}
+		h.inbox[m.W[0]].Send(mpq.Word(h.dispatch(m.W[1], m.W[2])))
+		opsCompleted++
+	}
+
+	// Lines 30-32: close the round; the old counter value is the number
+	// of tickets granted.
+	totalOps := hd.myNode.nOps.Swap(h.opts.MaxOps)
+	if totalOps > h.opts.MaxOps {
+		totalOps = h.opts.MaxOps
+	}
+
+	// Lines 34-37: serve the granted tickets that are still in flight.
+	for opsCompleted < totalOps {
+		m := mine.Recv()
+		h.inbox[m.W[0]].Send(mpq.Word(h.dispatch(m.W[1], m.W[2])))
+		opsCompleted++
+	}
+
+	// Lines 39-42: exchange nodes with the departed combiner, then
+	// release our successor. We take the node the previous combiner
+	// left behind — we were the thread spinning on it, so we are the
+	// one thread entitled to reset its done flag.
+	oldNode := hd.myNode
+	hd.myNode = h.departed.Swap(oldNode)
+	hd.myNode.done.Store(false)
+	hd.myNode.threadID.Store(hd.id)
+	oldNode.done.Store(true)
+
+	h.rounds.Add(1)
+	h.combined.Add(uint64(opsCompleted))
+	return retval // line 43
+}

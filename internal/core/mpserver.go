@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"hybsync/internal/mpq"
+)
+
+// MPServer is the paper's MP-SERVER: a dedicated server goroutine owns
+// the protected object and executes every critical section; clients send
+// {id, op, arg} request messages and block on a one-message response
+// queue. The server's receive reads from a local queue and its response
+// send never blocks (each client has at most one outstanding request),
+// so — as on the hardware — no synchronization-related waiting remains
+// on the server's critical path while requests are pending.
+type MPServer struct {
+	opts     Options
+	dispatch Dispatch
+	reqs     mpq.Queue
+	resp     []mpq.Queue // per client, capacity 1
+	nextID   atomic.Int32
+	stopped  atomic.Bool
+	done     chan struct{}
+}
+
+// opQuit is an internal opcode that stops the server loop.
+const opQuit = ^uint64(0)
+
+// NewMPServer starts the server goroutine. Close must be called to stop
+// it.
+func NewMPServer(dispatch Dispatch, opts Options) *MPServer {
+	opts.fill()
+	s := &MPServer{
+		opts:     opts,
+		dispatch: dispatch,
+		reqs:     opts.newQueue(),
+		resp:     make([]mpq.Queue, opts.MaxThreads),
+		done:     make(chan struct{}),
+	}
+	for i := range s.resp {
+		if opts.UseChanQueues {
+			s.resp[i] = mpq.NewChan(1)
+		} else {
+			s.resp[i] = mpq.NewRing(1)
+		}
+	}
+	go s.serve()
+	return s
+}
+
+// serve is the server loop: receive, execute, respond.
+func (s *MPServer) serve() {
+	defer close(s.done)
+	for {
+		m := s.reqs.Recv()
+		if m.W[1] == opQuit {
+			return
+		}
+		ret := s.dispatch(m.W[1], m.W[2])
+		s.resp[m.W[0]].Send(mpq.Word(ret))
+	}
+}
+
+// Handle implements Executor.
+func (s *MPServer) Handle() Handle {
+	id := s.nextID.Add(1) - 1
+	if int(id) >= s.opts.MaxThreads {
+		panic(errTooManyHandles(s.opts.MaxThreads))
+	}
+	return &mpHandle{s: s, id: uint64(id)}
+}
+
+// Close stops the server goroutine. No Apply may be in flight or issued
+// afterwards.
+func (s *MPServer) Close() {
+	if s.stopped.CompareAndSwap(false, true) {
+		s.reqs.Send(mpq.Words3(0, opQuit, 0))
+		<-s.done
+	}
+}
+
+type mpHandle struct {
+	s  *MPServer
+	id uint64
+}
+
+// Apply implements Handle: ship the request, block on the response.
+func (h *mpHandle) Apply(op, arg uint64) uint64 {
+	h.s.reqs.Send(mpq.Words3(h.id, op, arg))
+	return h.s.resp[h.id].Recv().W[0]
+}

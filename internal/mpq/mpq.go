@@ -1,0 +1,189 @@
+// Package mpq provides bounded FIFO message queues with the semantics of
+// the TILE-Gx User Dynamic Network the paper builds on (§2, §5.1): each
+// thread owns an incoming queue; sends are possible from any thread and
+// block only when the destination queue is full (back-pressure — messages
+// are never dropped); receives block until a message is available; the
+// words of one message arrive contiguously and messages from one sender
+// stay in order.
+//
+// Substitution note (DESIGN.md): hardware delivers raw 64-bit words and
+// receive(k) pops k of them; in native Go the queue is message-granular —
+// a Msg carries up to three words, matching the request {id, opcode, arg}
+// and response {value} frames the paper's algorithms exchange. This
+// preserves every property the algorithms rely on (FIFO, bounded,
+// blocking, contiguous) while staying allocation-free.
+//
+// Two interchangeable backends are provided: Ring, a lock-free bounded
+// MPMC ring (Vyukov-style, used by default), and ChanQueue, a thin
+// wrapper over a Go channel (the obvious baseline). The ablation
+// benchmark BenchmarkMPQBackends compares them.
+package mpq
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Msg is one hardware-style message: N words of payload (1..3).
+type Msg struct {
+	N int
+	W [3]uint64
+}
+
+// Word builds a 1-word message.
+func Word(v uint64) Msg { return Msg{N: 1, W: [3]uint64{v}} }
+
+// Words3 builds a 3-word message (the request frame {id, op, arg}).
+func Words3(a, b, c uint64) Msg { return Msg{N: 3, W: [3]uint64{a, b, c}} }
+
+// Queue is a bounded FIFO with blocking Send/Recv and a non-blocking
+// TryRecv (the paper's is_queue_empty + receive idiom).
+type Queue interface {
+	// Send enqueues m, blocking while the queue is full (back-pressure).
+	Send(m Msg)
+	// Recv dequeues the oldest message, blocking while the queue is empty.
+	Recv() Msg
+	// TryRecv dequeues if a message is available.
+	TryRecv() (Msg, bool)
+	// Empty reports whether the queue is currently empty. Like the
+	// hardware instruction it is advisory: a concurrent sender may
+	// enqueue immediately after.
+	Empty() bool
+}
+
+// spinThenYield busy-waits briefly, then yields the processor, mirroring
+// how a hardware receive parks the issuing core.
+func spinThenYield(spins *int) {
+	*spins++
+	if *spins%64 == 0 {
+		runtime.Gosched()
+	}
+}
+
+// Ring is a bounded lock-free MPMC ring buffer (Vyukov's algorithm):
+// each cell carries a sequence number; producers claim cells with a CAS
+// on the enqueue position and consumers with a CAS on the dequeue
+// position. With a single consumer per queue — the paper's usage — the
+// dequeue CAS never fails.
+type Ring struct {
+	_     [56]byte // padding: keep positions on separate cache lines
+	enq   atomic.Uint64
+	_     [56]byte
+	deq   atomic.Uint64
+	_     [56]byte
+	mask  uint64
+	cells []ringCell
+}
+
+type ringCell struct {
+	seq atomic.Uint64
+	msg Msg
+	_   [24]byte // pad to reduce false sharing between neighbours
+}
+
+// NewRing creates a ring with capacity cap messages (rounded up to a
+// power of two, minimum 2).
+func NewRing(cap int) *Ring {
+	n := 2
+	for n < cap {
+		n <<= 1
+	}
+	r := &Ring{mask: uint64(n - 1), cells: make([]ringCell, n)}
+	for i := range r.cells {
+		r.cells[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Send implements Queue.
+func (r *Ring) Send(m Msg) {
+	spins := 0
+	for {
+		pos := r.enq.Load()
+		cell := &r.cells[pos&r.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				cell.msg = m
+				cell.seq.Store(pos + 1)
+				return
+			}
+		case seq < pos:
+			// Full: the consumer has not freed this cell yet.
+			spinThenYield(&spins)
+		default:
+			// Another producer won the race; retry with a fresh pos.
+		}
+	}
+}
+
+// Recv implements Queue.
+func (r *Ring) Recv() Msg {
+	spins := 0
+	for {
+		if m, ok := r.TryRecv(); ok {
+			return m
+		}
+		spinThenYield(&spins)
+	}
+}
+
+// TryRecv implements Queue.
+func (r *Ring) TryRecv() (Msg, bool) {
+	for {
+		pos := r.deq.Load()
+		cell := &r.cells[pos&r.mask]
+		seq := cell.seq.Load()
+		if seq == pos+1 {
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				m := cell.msg
+				cell.seq.Store(pos + r.mask + 1)
+				return m, true
+			}
+			continue // another consumer took it; retry
+		}
+		if seq <= pos {
+			return Msg{}, false // empty
+		}
+		// seq > pos+1: a racing consumer already advanced; retry.
+	}
+}
+
+// Empty implements Queue.
+func (r *Ring) Empty() bool {
+	pos := r.deq.Load()
+	return r.cells[pos&r.mask].seq.Load() <= pos
+}
+
+// ChanQueue adapts a buffered Go channel to the Queue interface — the
+// baseline backend for the ablation benchmark.
+type ChanQueue struct {
+	ch chan Msg
+}
+
+// NewChan creates a channel-backed queue with the given capacity.
+func NewChan(cap int) *ChanQueue { return &ChanQueue{ch: make(chan Msg, cap)} }
+
+// Send implements Queue.
+func (q *ChanQueue) Send(m Msg) { q.ch <- m }
+
+// Recv implements Queue.
+func (q *ChanQueue) Recv() Msg { return <-q.ch }
+
+// TryRecv implements Queue.
+func (q *ChanQueue) TryRecv() (Msg, bool) {
+	select {
+	case m := <-q.ch:
+		return m, true
+	default:
+		return Msg{}, false
+	}
+}
+
+// Empty implements Queue.
+func (q *ChanQueue) Empty() bool { return len(q.ch) == 0 }
+
+// New returns the default backend (Ring) with the given capacity; the
+// TILE-Gx hardware queue holds 118 words, i.e. ~39 three-word requests.
+func New(cap int) Queue { return NewRing(cap) }

@@ -1,0 +1,119 @@
+// Package shmsync implements the paper's pure-shared-memory baselines:
+// CC-SYNCH (Fatourou & Kallimanis, PPoPP'12), the most efficient
+// shared-memory combining construction, and SHM-SERVER, a simplified RCL
+// (Lozi et al., USENIX ATC'12) where a dedicated server thread polls
+// per-client cache-line channels. Both satisfy core.Executor so every
+// concurrent object in this repository can run over them.
+package shmsync
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"hybsync/internal/core"
+)
+
+// CCSynch executes critical sections with the CC-Synch combining
+// algorithm: threads SWAP their spare node onto a shared tail to publish
+// a request, spin locally on their node's wait flag, and the thread
+// whose wait clears with completed unset becomes the combiner, serving
+// up to MaxOps requests along the list.
+type CCSynch struct {
+	dispatch core.Dispatch
+	tail     atomic.Pointer[ccNode]
+	maxOps   int32
+
+	rounds   atomic.Uint64
+	combined atomic.Uint64
+}
+
+// ccNode is a request cell; wait is padded since every thread spins on
+// its own node.
+type ccNode struct {
+	wait      atomic.Bool
+	completed bool
+	op        uint64
+	arg       uint64
+	ret       uint64
+	next      atomic.Pointer[ccNode]
+	_         [40]byte
+}
+
+// NewCCSynch creates the structure with the given combining bound
+// (<=0 means the paper's 200).
+func NewCCSynch(dispatch core.Dispatch, maxOps int32) *CCSynch {
+	if maxOps <= 0 {
+		maxOps = 200
+	}
+	c := &CCSynch{dispatch: dispatch, maxOps: maxOps}
+	c.tail.Store(&ccNode{}) // initial dummy: wait=false, completed=false
+	return c
+}
+
+// Handle implements core.Executor.
+func (c *CCSynch) Handle() core.Handle {
+	return &ccHandle{c: c, node: &ccNode{}}
+}
+
+// Stats returns combining rounds and requests combined for others.
+func (c *CCSynch) Stats() (rounds, combined uint64) {
+	return c.rounds.Load(), c.combined.Load()
+}
+
+type ccHandle struct {
+	c    *CCSynch
+	node *ccNode // thread-local spare node
+}
+
+// Apply implements core.Handle following CC-Synch.
+func (h *ccHandle) Apply(op, arg uint64) uint64 {
+	c := h.c
+
+	nextNode := h.node
+	nextNode.wait.Store(true)
+	nextNode.completed = false
+	nextNode.next.Store(nil)
+
+	cur := c.tail.Swap(nextNode)
+	cur.op = op
+	cur.arg = arg
+	h.node = cur
+	cur.next.Store(nextNode) // publish after filling the request
+
+	spins := 0
+	for cur.wait.Load() {
+		spins++
+		if spins%32 == 0 {
+			runtime.Gosched()
+		}
+	}
+	if cur.completed {
+		return cur.ret
+	}
+
+	// Combiner: serve the chain starting at our own request.
+	tmp := cur
+	var count int32
+	var myRet uint64
+	for count < c.maxOps {
+		next := tmp.next.Load()
+		if next == nil {
+			break
+		}
+		count++
+		ret := c.dispatch(tmp.op, tmp.arg)
+		if tmp == cur {
+			myRet = ret
+		} else {
+			tmp.ret = ret
+			tmp.completed = true
+			tmp.wait.Store(false)
+		}
+		tmp = next
+	}
+	// Hand over: the owner of tmp wakes with completed=false and combines.
+	tmp.wait.Store(false)
+	c.rounds.Add(1)
+	c.combined.Add(uint64(count))
+	return myRet
+}

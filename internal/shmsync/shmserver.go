@@ -1,0 +1,111 @@
+package shmsync
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"hybsync/internal/core"
+)
+
+// SHMServer is the paper's SHM-SERVER: a simplified RCL. Each client
+// owns one padded slot (its "cache line channel"); it publishes {op,
+// arg} there and spins until the server writes back the result. A
+// dedicated server goroutine scans the slots round-robin. This is
+// message passing emulated over coherent shared memory — the baseline
+// whose per-request coherence misses MP-SERVER eliminates.
+type SHMServer struct {
+	dispatch core.Dispatch
+	slots    []shmSlot
+	nextID   atomic.Int32
+	stop     atomic.Bool
+	done     chan struct{}
+}
+
+// shmSlot is one client channel, padded to its own cache line group.
+// req holds op+1 (0 = empty). The server writes ret then clears req;
+// the client spins on req.
+type shmSlot struct {
+	req atomic.Uint64
+	arg uint64
+	ret uint64
+	_   [40]byte
+}
+
+// NewSHMServer starts the polling server goroutine for up to maxClients
+// clients. Close must be called to stop it.
+func NewSHMServer(dispatch core.Dispatch, maxClients int) *SHMServer {
+	if maxClients <= 0 {
+		maxClients = 128
+	}
+	s := &SHMServer{
+		dispatch: dispatch,
+		slots:    make([]shmSlot, maxClients),
+		done:     make(chan struct{}),
+	}
+	go s.serve()
+	return s
+}
+
+func (s *SHMServer) serve() {
+	defer close(s.done)
+	idle := 0
+	for {
+		served := false
+		for i := range s.slots {
+			slot := &s.slots[i]
+			req := slot.req.Load()
+			if req == 0 {
+				continue
+			}
+			slot.ret = s.dispatch(req-1, slot.arg)
+			slot.req.Store(0) // release: the client observes ret before this
+			served = true
+		}
+		if !served {
+			if s.stop.Load() {
+				return
+			}
+			idle++
+			if idle%16 == 0 {
+				runtime.Gosched()
+			}
+		} else {
+			idle = 0
+		}
+	}
+}
+
+// Handle implements core.Executor.
+func (s *SHMServer) Handle() core.Handle {
+	id := s.nextID.Add(1) - 1
+	if int(id) >= len(s.slots) {
+		panic(fmt.Errorf("shmsync: more than %d clients", len(s.slots)))
+	}
+	return &shmHandle{slot: &s.slots[id]}
+}
+
+// Close stops the server once all in-flight requests are served.
+func (s *SHMServer) Close() {
+	s.stop.Store(true)
+	<-s.done
+}
+
+type shmHandle struct {
+	slot *shmSlot
+}
+
+// Apply publishes the request in the client's slot and spins locally
+// until the server clears it.
+func (h *shmHandle) Apply(op, arg uint64) uint64 {
+	h.slot.arg = arg
+	h.slot.req.Store(op + 1)
+	spins := 0
+	for h.slot.req.Load() != 0 {
+		spins++
+		if spins%32 == 0 {
+			runtime.Gosched()
+		}
+	}
+	return h.slot.ret
+}

@@ -1,0 +1,135 @@
+package shmsync
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCCSynchSequential(t *testing.T) {
+	var state uint64
+	c := NewCCSynch(func(op, arg uint64) uint64 {
+		old := state
+		state += arg
+		return old
+	}, 200)
+	h := c.Handle()
+	if got := h.Apply(0, 5); got != 0 {
+		t.Fatalf("Apply = %d, want 0", got)
+	}
+	if got := h.Apply(0, 3); got != 5 {
+		t.Fatalf("Apply = %d, want 5", got)
+	}
+	if state != 8 {
+		t.Fatalf("state = %d", state)
+	}
+}
+
+func TestCCSynchConcurrent(t *testing.T) {
+	for _, maxOps := range []int32{1, 3, 200} {
+		var state uint64
+		c := NewCCSynch(func(op, arg uint64) uint64 {
+			v := state
+			state = v + 1
+			return v
+		}, maxOps)
+		const goroutines, per = 12, 3000
+		var wg sync.WaitGroup
+		seen := make([]map[uint64]bool, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				h := c.Handle()
+				seen[g] = make(map[uint64]bool, per)
+				for i := 0; i < per; i++ {
+					seen[g][h.Apply(0, 0)] = true
+				}
+			}(g)
+		}
+		wg.Wait()
+		if state != goroutines*per {
+			t.Fatalf("maxOps=%d: state = %d, want %d", maxOps, state, goroutines*per)
+		}
+		union := make(map[uint64]bool)
+		for _, m := range seen {
+			for v := range m {
+				if union[v] {
+					t.Fatalf("maxOps=%d: duplicate pre-value %d", maxOps, v)
+				}
+				union[v] = true
+			}
+		}
+		rounds, combined := c.Stats()
+		if rounds+combined < goroutines*per {
+			t.Fatalf("maxOps=%d: stats undercount: rounds %d combined %d", maxOps, rounds, combined)
+		}
+	}
+}
+
+func TestSHMServerBasic(t *testing.T) {
+	var state uint64
+	s := NewSHMServer(func(op, arg uint64) uint64 {
+		old := state
+		state = old + arg + op
+		return old
+	}, 4)
+	defer s.Close()
+	h := s.Handle()
+	if got := h.Apply(1, 2); got != 0 {
+		t.Fatalf("Apply = %d, want 0", got)
+	}
+	if got := h.Apply(0, 0); got != 3 {
+		t.Fatalf("Apply = %d, want 3", got)
+	}
+}
+
+func TestSHMServerConcurrent(t *testing.T) {
+	var state uint64
+	s := NewSHMServer(func(op, arg uint64) uint64 {
+		v := state
+		state = v + 1
+		return v
+	}, 32)
+	defer s.Close()
+	const goroutines, per = 16, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := s.Handle()
+			for i := 0; i < per; i++ {
+				h.Apply(0, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if state != goroutines*per {
+		t.Fatalf("state = %d, want %d", state, goroutines*per)
+	}
+}
+
+func TestSHMServerTooManyClients(t *testing.T) {
+	s := NewSHMServer(func(op, arg uint64) uint64 { return 0 }, 1)
+	defer s.Close()
+	s.Handle()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Handle did not panic")
+		}
+	}()
+	s.Handle()
+}
+
+func TestSHMServerZeroResultValues(t *testing.T) {
+	// Results of zero must round-trip correctly (the req flag, not the
+	// result word, signals completion).
+	s := NewSHMServer(func(op, arg uint64) uint64 { return 0 }, 2)
+	defer s.Close()
+	h := s.Handle()
+	for i := 0; i < 100; i++ {
+		if got := h.Apply(7, 9); got != 0 {
+			t.Fatalf("Apply = %d, want 0", got)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package simalgo
+
+import "hybsync/internal/tilesim"
+
+// ObjectFactory builds the concurrent object under test on an engine.
+type ObjectFactory func(e *tilesim.Engine) Object
+
+// NewMPServerBuilder returns a Builder for MP-SERVER: the server runs on
+// core 0 and application threads start at core 1 (§5.2).
+func NewMPServerBuilder(obj ObjectFactory) *Builder {
+	b := &Builder{Name: "mp-server"}
+	b.Make = func(e *tilesim.Engine, threads int) (Executor, []*tilesim.Proc, int) {
+		s := NewMPServer(e, 0, obj(e))
+		return s, []*tilesim.Proc{s.ServerProc()}, 1
+	}
+	return b
+}
+
+// NewSHMServerBuilder returns a Builder for SHM-SERVER (simplified RCL).
+func NewSHMServerBuilder(obj ObjectFactory) *Builder {
+	b := &Builder{Name: "shm-server"}
+	b.Make = func(e *tilesim.Engine, threads int) (Executor, []*tilesim.Proc, int) {
+		s := NewSHMServer(e, 0, obj(e), threads)
+		return s, []*tilesim.Proc{s.ServerProc()}, 1
+	}
+	return b
+}
+
+// NewCCSynchBuilder returns a Builder for CC-SYNCH with the given
+// MAX_OPS. All threads run application code; none is dedicated.
+func NewCCSynchBuilder(obj ObjectFactory, maxOps int) *Builder {
+	b := &Builder{Name: "CC-Synch"}
+	b.Make = func(e *tilesim.Engine, threads int) (Executor, []*tilesim.Proc, int) {
+		c := NewCCSynch(e, obj(e), maxOps)
+		b.Stats = func() (uint64, uint64) { return c.Rounds, c.Combined }
+		return c, nil, 0
+	}
+	return b
+}
+
+// NewHybCombBuilder returns a Builder for HYBCOMB with the given MAX_OPS.
+func NewHybCombBuilder(obj ObjectFactory, maxOps int) *Builder {
+	b := &Builder{Name: "HybComb"}
+	b.Make = func(e *tilesim.Engine, threads int) (Executor, []*tilesim.Proc, int) {
+		h := NewHybComb(e, obj(e), maxOps)
+		b.Stats = func() (uint64, uint64) { return h.Rounds, h.Combined }
+		return h, nil, 0
+	}
+	return b
+}
+
+// CounterFactory builds the §5.3 counter object.
+func CounterFactory(e *tilesim.Engine) Object { return NewCounter(e) }
+
+// ArrayCounterFactory builds the Figure 4c array object with n cells.
+func ArrayCounterFactory(n int) ObjectFactory {
+	return func(e *tilesim.Engine) Object { return NewArrayCounter(e, n) }
+}
+
+// QueueFactory builds the sequential queue used by the one-lock MS-Queue
+// variants of Figure 5a.
+func QueueFactory(e *tilesim.Engine) Object { return NewSeqQueue(e) }
+
+// StackFactory builds the sequential stack used by the coarse-lock stack
+// variants of Figure 5b.
+func StackFactory(e *tilesim.Engine) Object { return NewSeqStack(e) }
+
+// NewLCRQBuilder wires the nonblocking LCRQ into the sweep driver.
+func NewLCRQBuilder(ringSize int) *Builder {
+	b := &Builder{Name: "LCRQ"}
+	b.Make = func(e *tilesim.Engine, threads int) (Executor, []*tilesim.Proc, int) {
+		return NewLCRQ(e, ringSize), nil, 0
+	}
+	return b
+}
+
+// NewTreiberBuilder wires the Treiber stack into the sweep driver.
+func NewTreiberBuilder() *Builder {
+	b := &Builder{Name: "Treiber"}
+	b.Make = func(e *tilesim.Engine, threads int) (Executor, []*tilesim.Proc, int) {
+		return NewTreiberStack(e), nil, 0
+	}
+	return b
+}

@@ -1,0 +1,257 @@
+package simalgo
+
+import (
+	"testing"
+
+	"hybsync/internal/tilesim"
+)
+
+// counterBuilder builds one named approach over a fresh counter; the
+// returned pointer-to-pointer is filled in when the factory runs.
+func counterBuilder(name string, maxOps int) (*Builder, **Counter) {
+	c := new(*Counter)
+	factory := func(e *tilesim.Engine) Object {
+		*c = NewCounter(e)
+		return *c
+	}
+	var b *Builder
+	switch name {
+	case "mp-server":
+		b = NewMPServerBuilder(factory)
+	case "shm-server":
+		b = NewSHMServerBuilder(factory)
+	case "CC-Synch":
+		b = NewCCSynchBuilder(factory, maxOps)
+	case "HybComb":
+		b = NewHybCombBuilder(factory, maxOps)
+	case "mcs-lock":
+		b = NewMCSLockBuilder(factory)
+	default:
+		panic("unknown builder " + name)
+	}
+	return b, c
+}
+
+var approachNames = []string{"mp-server", "shm-server", "CC-Synch", "HybComb", "mcs-lock"}
+
+// TestCounterLinearizable checks, for every approach, that the final
+// counter value equals the number of completed increments: increments
+// are never lost or duplicated, which for a counter is exactly mutual
+// exclusion of the read-modify-write CS.
+func TestCounterLinearizable(t *testing.T) {
+	for _, name := range approachNames {
+		for _, threads := range []int{1, 2, 7, 16, 35} {
+			b, c := counterBuilder(name, 200)
+			cfg := WorkloadCfg{Threads: threads, Horizon: 60_000, MaxLocalWork: 50}
+			res := RunWorkload(tilesim.ProfileTileGx(), b, cfg, CounterOps)
+			if res.Ops == 0 {
+				t.Fatalf("%s/%d: no ops completed", name, threads)
+			}
+			if final := (*c).Value(res.Engine); final != res.Ops {
+				t.Errorf("%s/%d: counter=%d but ops=%d (lost/duplicated increments)",
+					name, threads, final, res.Ops)
+			}
+			if err := res.Engine.CheckCoherence(); err != nil {
+				t.Errorf("%s/%d: %v", name, threads, err)
+			}
+		}
+	}
+}
+
+func TestCounterFairness(t *testing.T) {
+	for _, name := range approachNames {
+		b, _ := counterBuilder(name, 200)
+		cfg := WorkloadCfg{Threads: 16, Horizon: 120_000, MaxLocalWork: 50}
+		res := RunWorkload(tilesim.ProfileTileGx(), b, cfg, CounterOps)
+		if f := res.Fairness(); f == 0 || f > 2.0 {
+			t.Errorf("%s: fairness ratio %.2f out of expected range (0,2]", name, f)
+		}
+	}
+}
+
+func TestHybCombCombiningStats(t *testing.T) {
+	b, _ := counterBuilder("HybComb", 200)
+	cfg := WorkloadCfg{Threads: 24, Horizon: 150_000, MaxLocalWork: 50}
+	res := RunWorkload(tilesim.ProfileTileGx(), b, cfg, CounterOps)
+	if res.Rounds == 0 {
+		t.Fatal("no combining rounds recorded")
+	}
+	if res.CombiningRate() < 2 {
+		t.Errorf("combining rate %.1f too low under 24 threads", res.CombiningRate())
+	}
+	// §5.3: CAS per operation stays well below 1 in multithreaded runs.
+	if casPerOp := float64(res.CASAttempts) / float64(res.Ops); casPerOp > 1.0 {
+		t.Errorf("CAS per op = %.2f, expected < 1", casPerOp)
+	}
+}
+
+func TestMPServerFasterThanSHMServer(t *testing.T) {
+	cfg := WorkloadCfg{Threads: 30, Horizon: 120_000, MaxLocalWork: 50}
+	bMP, _ := counterBuilder("mp-server", 200)
+	bSHM, _ := counterBuilder("shm-server", 200)
+	mp := RunWorkload(tilesim.ProfileTileGx(), bMP, cfg, CounterOps)
+	shm := RunWorkload(tilesim.ProfileTileGx(), bSHM, cfg, CounterOps)
+	if mp.Mops() <= shm.Mops() {
+		t.Errorf("mp-server %.1f Mops <= shm-server %.1f Mops; paper expects ~4x advantage",
+			mp.Mops(), shm.Mops())
+	}
+}
+
+func TestHybCombFasterThanCCSynch(t *testing.T) {
+	cfg := WorkloadCfg{Threads: 30, Horizon: 120_000, MaxLocalWork: 50}
+	bH, _ := counterBuilder("HybComb", 200)
+	bC, _ := counterBuilder("CC-Synch", 200)
+	hy := RunWorkload(tilesim.ProfileTileGx(), bH, cfg, CounterOps)
+	cc := RunWorkload(tilesim.ProfileTileGx(), bC, cfg, CounterOps)
+	if hy.Mops() <= cc.Mops() {
+		t.Errorf("HybComb %.1f Mops <= CC-Synch %.1f Mops; paper expects ~2.5x advantage",
+			hy.Mops(), cc.Mops())
+	}
+}
+
+// TestServerStallsVsMessagePassing is the Figure 4a shape check: the
+// shared-memory servicing threads stall for a large fraction of their
+// cycles, while the message-passing server's stalls are near zero.
+func TestServerStallsVsMessagePassing(t *testing.T) {
+	cfg := WorkloadCfg{Threads: 30, Horizon: 120_000, MaxLocalWork: 50}
+	bMP, _ := counterBuilder("mp-server", 200)
+	bSHM, _ := counterBuilder("shm-server", 200)
+	mp := RunWorkload(tilesim.ProfileTileGx(), bMP, cfg, CounterOps)
+	shm := RunWorkload(tilesim.ProfileTileGx(), bSHM, cfg, CounterOps)
+
+	mpStallFrac := float64(mp.ServiceStall) / float64(mp.ServiceBusy)
+	shmStallFrac := float64(shm.ServiceStall) / float64(shm.ServiceBusy)
+	if mpStallFrac > 0.05 {
+		t.Errorf("mp-server stall fraction %.2f, expected ~0", mpStallFrac)
+	}
+	if shmStallFrac < 0.3 {
+		t.Errorf("shm-server stall fraction %.2f, expected > 0.3 (paper: >50%%)", shmStallFrac)
+	}
+}
+
+// TestMCSLockSlowerThanCombining quantifies the §3 locality argument:
+// under a queue lock the counter's line migrates to every acquiring
+// core, so even the slowest CS-migration approach beats it at high
+// concurrency.
+func TestMCSLockSlowerThanCombining(t *testing.T) {
+	cfg := WorkloadCfg{Threads: 30, Horizon: 120_000, MaxLocalWork: 50}
+	bM, _ := counterBuilder("mcs-lock", 200)
+	bC, _ := counterBuilder("CC-Synch", 200)
+	mcs := RunWorkload(tilesim.ProfileTileGx(), bM, cfg, CounterOps)
+	cc := RunWorkload(tilesim.ProfileTileGx(), bC, cfg, CounterOps)
+	if mcs.Mops() >= cc.Mops() {
+		t.Errorf("mcs-lock %.1f Mops >= CC-Synch %.1f Mops; §3 expects locks to lose", mcs.Mops(), cc.Mops())
+	}
+}
+
+// TestLatencyPercentiles checks the recording path and the §5.3 hiccup
+// claim: HybComb's p99/max far exceeds its median under high MAX_OPS,
+// while MP-SERVER's distribution is tight.
+func TestLatencyPercentiles(t *testing.T) {
+	cfg := WorkloadCfg{Threads: 25, Horizon: 150_000, MaxLocalWork: 50, RecordLatencies: true}
+	bH, _ := counterBuilder("HybComb", 5000)
+	bM, _ := counterBuilder("mp-server", 200)
+	hy := RunWorkload(tilesim.ProfileTileGx(), bH, cfg, CounterOps)
+	mp := RunWorkload(tilesim.ProfileTileGx(), bM, cfg, CounterOps)
+	if len(hy.Latencies) == 0 || uint64(len(hy.Latencies)) != hy.Ops {
+		t.Fatalf("latency recording: %d entries for %d ops", len(hy.Latencies), hy.Ops)
+	}
+	if p0, p100 := hy.LatencyPercentile(0), hy.LatencyPercentile(1); p0 > p100 {
+		t.Fatalf("percentiles not monotone: p0=%d p100=%d", p0, p100)
+	}
+	hyTail := float64(hy.LatencyPercentile(1)) / float64(hy.LatencyPercentile(0.5))
+	mpTail := float64(mp.LatencyPercentile(1)) / float64(mp.LatencyPercentile(0.5))
+	if hyTail <= mpTail {
+		t.Errorf("HybComb tail ratio %.1f <= mp-server %.1f; expected combiner hiccups", hyTail, mpTail)
+	}
+}
+
+// TestOversubscribedWorkload runs the §6 scenario: more application
+// threads than cores, sharing cores through the multiplexed message
+// queues. Correctness (no lost increments) must be unaffected; the cores
+// time-share, so throughput cannot exceed the one-thread-per-core run by
+// much.
+func TestOversubscribedWorkload(t *testing.T) {
+	for _, name := range []string{"mp-server", "HybComb"} {
+		b, c := counterBuilder(name, 200)
+		cfg := WorkloadCfg{Threads: 40, Horizon: 60_000, MaxLocalWork: 50, ProcsPerCore: 2}
+		res := RunWorkload(tilesim.ProfileTileGx(), b, cfg, CounterOps)
+		if res.Ops == 0 {
+			t.Fatalf("%s: no ops", name)
+		}
+		if final := (*c).Value(res.Engine); final != res.Ops {
+			t.Errorf("%s oversubscribed: counter=%d ops=%d", name, final, res.Ops)
+		}
+	}
+}
+
+// TestAblationVariantsLinearizable: the SWAP-registration and
+// no-eager-drain HybComb variants must still be mutually exclusive.
+func TestAblationVariantsLinearizable(t *testing.T) {
+	for _, mode := range []string{"swap", "nodrain"} {
+		var c *Counter
+		b := &Builder{Name: "HybComb-" + mode}
+		b.Make = func(e *tilesim.Engine, threads int) (Executor, []*tilesim.Proc, int) {
+			c = NewCounter(e)
+			h := NewHybComb(e, c, 200)
+			switch mode {
+			case "swap":
+				h.SwapRegistration = true
+			case "nodrain":
+				h.NoEagerDrain = true
+			}
+			return h, nil, 0
+		}
+		cfg := WorkloadCfg{Threads: 20, Horizon: 80_000, MaxLocalWork: 50}
+		res := RunWorkload(tilesim.ProfileTileGx(), b, cfg, CounterOps)
+		if final := c.Value(res.Engine); final != res.Ops {
+			t.Errorf("%s: counter=%d ops=%d", mode, final, res.Ops)
+		}
+	}
+}
+
+// TestArrayCounterObject checks the Figure 4c object applies exactly
+// `arg` increments per op.
+func TestArrayCounterObject(t *testing.T) {
+	e := tilesim.NewEngine(tilesim.ProfileTileGx())
+	a := NewArrayCounter(e, 8)
+	e.Spawn("t", 0, func(p *tilesim.Proc) {
+		a.Exec(p, OpIncN, 3)
+		a.Exec(p, OpIncN, 100) // clamped to 8
+	})
+	e.Run(0)
+	for i := 0; i < 8; i++ {
+		want := uint64(1)
+		if i < 3 {
+			want = 2
+		}
+		if got := e.Peek(a.base + tilesim.Addr(i)); got != want {
+			t.Fatalf("cell %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestX86ProfileCounterRuns exercises the §5.5 profile end to end.
+func TestX86ProfileCounterRuns(t *testing.T) {
+	prof := tilesim.ProfileX86Like()
+	for _, name := range []string{"shm-server", "CC-Synch", "mcs-lock"} {
+		b, c := counterBuilder(name, 200)
+		cfg := WorkloadCfg{Threads: prof.NumCores() - 1, Horizon: 60_000, MaxLocalWork: 50}
+		res := RunWorkload(prof, b, cfg, CounterOps)
+		if final := (*c).Value(res.Engine); final != res.Ops {
+			t.Errorf("%s on x86 profile: counter=%d ops=%d", name, final, res.Ops)
+		}
+	}
+}
+
+// TestEncodeDecodeVal round-trips the workload value packing.
+func TestEncodeDecodeVal(t *testing.T) {
+	for th := 0; th < 36; th++ {
+		for _, seq := range []uint64{0, 1, 12345, 1<<26 - 1} {
+			gt, gs := DecodeVal(EncodeVal(th, seq))
+			if gt != th || gs != seq {
+				t.Fatalf("round trip (%d,%d) -> (%d,%d)", th, seq, gt, gs)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package simalgo
+
+import "hybsync/internal/tilesim"
+
+// Counter is the paper's microbenchmark object (§5.3): a single shared
+// counter incremented inside the critical section. The increment is a
+// plain read-modify-write — the point of the experiment is that the
+// counter line stays Modified in the servicing core's cache, so the CS
+// body itself is nearly free and the synchronization overhead dominates.
+type Counter struct {
+	addr tilesim.Addr
+}
+
+// NewCounter allocates a counter on its own cache line.
+func NewCounter(e *tilesim.Engine) *Counter {
+	return &Counter{addr: e.AllocLine(1)}
+}
+
+// Exec implements Object.
+func (c *Counter) Exec(p *tilesim.Proc, op, arg uint64) uint64 {
+	v := p.Read(c.addr)
+	p.Write(c.addr, v+1)
+	return v
+}
+
+// Value reads the counter without simulated cost (for test assertions).
+func (c *Counter) Value(e *tilesim.Engine) uint64 { return peek(e, c.addr) }
+
+// ArrayCounter is the longer critical section of Figure 4c: the CS body
+// increments the elements of an array in a loop, one increment per
+// iteration, so CS length is controlled by the iteration count argument.
+type ArrayCounter struct {
+	base tilesim.Addr
+	n    int
+}
+
+// NewArrayCounter allocates an n-element array (line-aligned).
+func NewArrayCounter(e *tilesim.Engine, n int) *ArrayCounter {
+	return &ArrayCounter{base: e.AllocLine(n), n: n}
+}
+
+// Exec increments min(arg, len) array elements, one per loop iteration.
+func (a *ArrayCounter) Exec(p *tilesim.Proc, op, arg uint64) uint64 {
+	iters := int(arg)
+	if iters > a.n {
+		iters = a.n
+	}
+	for i := 0; i < iters; i++ {
+		addr := a.base + tilesim.Addr(i)
+		p.Write(addr, p.Read(addr)+1)
+	}
+	return arg
+}
+
+// SeqQueue is a sequential linked-list FIFO queue with head and tail
+// pointers — the structure underneath the one-lock MS-Queue of Figure
+// 5a. It always contains a dummy node, exactly like Michael & Scott's
+// two-lock queue, so head and tail manipulation never conflict
+// structurally (the two-lock variant in twolock.go relies on this).
+//
+// Node layout (line-aligned, so nodes do not false-share):
+// word 0: value, word 1: next (node address or 0).
+type SeqQueue struct {
+	head tilesim.Addr // word holding the head node address
+	tail tilesim.Addr // word holding the tail node address (separate line)
+}
+
+// NewSeqQueue allocates an empty queue (a single dummy node).
+func NewSeqQueue(e *tilesim.Engine) *SeqQueue {
+	q := &SeqQueue{head: e.AllocLine(1), tail: e.AllocLine(1)}
+	dummy := e.AllocLine(2)
+	poke(e, q.head, uint64(dummy))
+	poke(e, q.tail, uint64(dummy))
+	return q
+}
+
+// Exec implements Object for OpEnq and OpDeq.
+func (q *SeqQueue) Exec(p *tilesim.Proc, op, arg uint64) uint64 {
+	switch op {
+	case OpEnq:
+		q.Enqueue(p, arg)
+		return 0
+	case OpDeq:
+		return q.Dequeue(p)
+	default:
+		panic("simalgo: bad queue opcode")
+	}
+}
+
+// Enqueue appends v (the tail-side critical section).
+func (q *SeqQueue) Enqueue(p *tilesim.Proc, v uint64) {
+	node := p.Alloc(2)
+	p.Write(node, v)
+	p.Write(node+1, 0)
+	tail := tilesim.Addr(p.Read(q.tail))
+	p.Write(tail+1, uint64(node)) // tail.next = node
+	p.Write(q.tail, uint64(node))
+}
+
+// Dequeue removes from the head (the head-side critical section).
+func (q *SeqQueue) Dequeue(p *tilesim.Proc) uint64 {
+	head := tilesim.Addr(p.Read(q.head))
+	next := tilesim.Addr(p.Read(head + 1))
+	if next == 0 {
+		return EmptyVal
+	}
+	v := p.Read(next)
+	p.Write(q.head, uint64(next)) // next becomes the new dummy
+	return v
+}
+
+// SeqStack is a sequential linked-list LIFO stack — the structure under
+// the coarse-lock stacks of Figure 5b. Node layout as SeqQueue.
+type SeqStack struct {
+	top tilesim.Addr
+}
+
+// NewSeqStack allocates an empty stack.
+func NewSeqStack(e *tilesim.Engine) *SeqStack {
+	return &SeqStack{top: e.AllocLine(1)}
+}
+
+// Exec implements Object for OpPush and OpPop.
+func (s *SeqStack) Exec(p *tilesim.Proc, op, arg uint64) uint64 {
+	switch op {
+	case OpPush:
+		node := p.Alloc(2)
+		p.Write(node, arg)
+		p.Write(node+1, p.Read(s.top))
+		p.Write(s.top, uint64(node))
+		return 0
+	case OpPop:
+		top := tilesim.Addr(p.Read(s.top))
+		if top == 0 {
+			return EmptyVal
+		}
+		v := p.Read(top)
+		p.Write(s.top, p.Read(top+1))
+		return v
+	default:
+		panic("simalgo: bad stack opcode")
+	}
+}
+
+// peek / poke access simulated memory with no cost, for setup and test
+// assertions only.
+func peek(e *tilesim.Engine, a tilesim.Addr) uint64    { return e.Peek(a) }
+func poke(e *tilesim.Engine, a tilesim.Addr, v uint64) { e.Poke(a, v) }

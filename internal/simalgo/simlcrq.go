@@ -1,0 +1,211 @@
+package simalgo
+
+import "hybsync/internal/tilesim"
+
+// LCRQ is Morrison & Afek's nonblocking queue (PPoPP'13): a linked list
+// of circular ring queues (CRQs) whose head/tail indexes advance with
+// FAA. The paper ports it to the TILE-Gx with two adaptations (footnote
+// 5), which we reproduce: the missing bitwise test-and-set on the tail's
+// closed bit is replaced by a CAS loop, and for lack of a 128-bit CAS2
+// the queue stores 32-bit values packed with the cell index into one
+// 64-bit word. Every operation issues several atomics, all executed at
+// the two memory controllers — the false serialization that makes LCRQ
+// level off early on this platform (§5.4, Figure 5a).
+//
+// CRQ layout (line-aligned): word 0: head index; word 8: tail index
+// (bit 63 = closed); word 16: next CRQ address; word 24...: ring cells.
+// Cell packing: bit 63 = safe, bits 62..32 = index, bits 31..0 = value
+// (lcrqEmpty means no value).
+type LCRQ struct {
+	eng      *tilesim.Engine
+	ringSize uint64
+	qhead    tilesim.Addr // word holding the head CRQ address
+	qtail    tilesim.Addr // word holding the tail CRQ address
+}
+
+const (
+	crqHead = 0
+	crqTail = 8
+	crqNext = 16
+	crqRing = 24
+
+	lcrqEmpty = 0xFFFFFFFF
+	crqClosed = uint64(1) << 63
+	idxMask   = uint64(0x7FFFFFFF)
+)
+
+func packCell(safe, idx, val uint64) uint64 {
+	return safe<<63 | (idx&idxMask)<<32 | val&0xFFFFFFFF
+}
+
+func unpackCell(c uint64) (safe, idx, val uint64) {
+	return c >> 63, (c >> 32) & idxMask, c & 0xFFFFFFFF
+}
+
+// NewLCRQ creates an empty queue with rings of ringSize cells
+// (a power of two).
+func NewLCRQ(e *tilesim.Engine, ringSize int) *LCRQ {
+	if ringSize <= 0 || ringSize&(ringSize-1) != 0 {
+		panic("simalgo: LCRQ ring size must be a power of two")
+	}
+	q := &LCRQ{eng: e, ringSize: uint64(ringSize)}
+	q.qhead = e.AllocLine(1)
+	q.qtail = e.AllocLine(1)
+	crq := q.newCRQ(0, 0, false)
+	poke(e, q.qhead, uint64(crq))
+	poke(e, q.qtail, uint64(crq))
+	return q
+}
+
+// newCRQ allocates and initializes a ring; if preload is true, cell 0
+// holds val and tail starts at 1 (used when appending a ring on close).
+func (q *LCRQ) newCRQ(val uint64, _ uint64, preload bool) tilesim.Addr {
+	crq := q.eng.AllocLine(crqRing + int(q.ringSize))
+	for i := uint64(0); i < q.ringSize; i++ {
+		poke(q.eng, crq+crqRing+tilesim.Addr(i), packCell(1, i, lcrqEmpty))
+	}
+	if preload {
+		poke(q.eng, crq+crqRing, packCell(1, 0, val))
+		poke(q.eng, crq+crqTail, 1)
+	}
+	return crq
+}
+
+// Handle implements Executor.
+func (q *LCRQ) Handle(p *tilesim.Proc) Handle { return &lcrqHandle{q: q, p: p} }
+
+type lcrqHandle struct {
+	q *LCRQ
+	p *tilesim.Proc
+}
+
+// Apply dispatches OpEnq/OpDeq; enqueue arguments must fit in 32 bits
+// (the paper's port stores 32-bit values).
+func (h *lcrqHandle) Apply(op, arg uint64) uint64 {
+	switch op {
+	case OpEnq:
+		h.Enqueue(arg & 0xFFFFFFFF)
+		return 0
+	case OpDeq:
+		return h.Dequeue()
+	default:
+		panic("simalgo: bad LCRQ opcode")
+	}
+}
+
+func (h *lcrqHandle) cell(crq tilesim.Addr, i uint64) tilesim.Addr {
+	return crq + crqRing + tilesim.Addr(i&(h.q.ringSize-1))
+}
+
+// closeCRQ sets the closed bit on the ring's tail with a CAS loop — the
+// paper's replacement for the TILE-Gx's missing bitwise test-and-set.
+func (h *lcrqHandle) closeCRQ(crq tilesim.Addr) {
+	for {
+		t := h.p.Read(crq + crqTail)
+		if t&crqClosed != 0 {
+			return
+		}
+		if h.p.CAS(crq+crqTail, t, t|crqClosed) {
+			return
+		}
+	}
+}
+
+// Enqueue appends v to the queue.
+func (h *lcrqHandle) Enqueue(v uint64) {
+	p, q := h.p, h.q
+	for {
+		crq := tilesim.Addr(p.Read(q.qtail))
+		// Help advance the list tail if a new ring was appended.
+		if next := p.Read(crq + crqNext); next != 0 {
+			p.CAS(q.qtail, uint64(crq), next)
+			continue
+		}
+		t := p.FAA(crq+crqTail, 1)
+		if t&crqClosed != 0 {
+			// Ring closed: append a fresh ring preloaded with v.
+			newRing := q.newCRQ(v, 0, true)
+			if p.CAS(crq+crqNext, 0, uint64(newRing)) {
+				p.CAS(q.qtail, uint64(crq), uint64(newRing))
+				return
+			}
+			continue // someone else appended; retry into their ring
+		}
+		c := h.cell(crq, t)
+		cv := p.Read(c)
+		safe, idx, val := unpackCell(cv)
+		if val == lcrqEmpty && idx <= t &&
+			(safe == 1 || p.Read(crq+crqHead) <= t) {
+			if p.CAS(c, cv, packCell(1, t, v)) {
+				return
+			}
+		}
+		// Transition failed. Close the ring if it is full (tail ran a
+		// whole lap ahead of head).
+		if t-p.Read(crq+crqHead) >= q.ringSize {
+			h.closeCRQ(crq)
+		}
+	}
+}
+
+// Dequeue removes the oldest value, or returns EmptyVal when the queue
+// is empty.
+func (h *lcrqHandle) Dequeue() uint64 {
+	p, q := h.p, h.q
+	for {
+		crq := tilesim.Addr(p.Read(q.qhead))
+		hIdx := p.FAA(crq+crqHead, 1)
+		c := h.cell(crq, hIdx)
+		for {
+			cv := p.Read(c)
+			safe, idx, val := unpackCell(cv)
+			if val != lcrqEmpty {
+				if idx == hIdx {
+					// Dequeue transition: empty the cell for lap idx+R.
+					if p.CAS(c, cv, packCell(safe, hIdx+q.ringSize, lcrqEmpty)) {
+						return val
+					}
+				} else {
+					// A later-lap value lives here: mark unsafe so its
+					// enqueuer's lap cannot be harvested by mistake.
+					if p.CAS(c, cv, packCell(0, idx, val)) {
+						break
+					}
+				}
+			} else {
+				// Empty: advance the cell's index to our next lap so a
+				// slow enqueuer with ticket hIdx cannot deposit late.
+				if p.CAS(c, cv, packCell(safe, hIdx+q.ringSize, lcrqEmpty)) {
+					break
+				}
+			}
+		}
+		// Possibly empty: if tail has not passed us, fix up and leave.
+		t := p.Read(crq+crqTail) &^ crqClosed
+		if t <= hIdx+1 {
+			h.fixState(crq)
+			if next := p.Read(crq + crqNext); next != 0 {
+				// This ring is drained and closed; move to the next.
+				p.CAS(q.qhead, uint64(crq), next)
+				continue
+			}
+			return EmptyVal
+		}
+	}
+}
+
+// fixState catches the tail index up to the head after dequeuers
+// overran it on an empty ring (Morrison & Afek's FixState).
+func (h *lcrqHandle) fixState(crq tilesim.Addr) {
+	p := h.p
+	for {
+		hIdx := p.Read(crq + crqHead)
+		t := p.Read(crq + crqTail)
+		if t&crqClosed != 0 || (t&^crqClosed) >= hIdx {
+			return
+		}
+		if p.CAS(crq+crqTail, t, hIdx) {
+			return
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package simalgo
+
+import "hybsync/internal/tilesim"
+
+// TreiberStack is Treiber's nonblocking stack (IBM TR RJ 5118, 1986),
+// the lock-free baseline of Figure 5b. The top-of-stack pointer is
+// manipulated with CAS; under contention most CAS operations repeatedly
+// fail, which the paper identifies as the reason its throughput trails
+// the serialized implementations on the TILE-Gx.
+//
+// Node layout: word 0: value, word 1: next. ABA is not an issue in the
+// simulation because nodes are never reused.
+type TreiberStack struct {
+	top tilesim.Addr
+}
+
+// NewTreiberStack allocates an empty stack.
+func NewTreiberStack(e *tilesim.Engine) *TreiberStack {
+	return &TreiberStack{top: e.AllocLine(1)}
+}
+
+// Handle implements Executor (the stack needs no per-thread state but
+// keeps the common interface).
+func (s *TreiberStack) Handle(p *tilesim.Proc) Handle {
+	return &treiberHandle{s: s, p: p}
+}
+
+type treiberHandle struct {
+	s *TreiberStack
+	p *tilesim.Proc
+}
+
+// Apply dispatches OpPush/OpPop.
+func (h *treiberHandle) Apply(op, arg uint64) uint64 {
+	switch op {
+	case OpPush:
+		h.Push(arg)
+		return 0
+	case OpPop:
+		return h.Pop()
+	default:
+		panic("simalgo: bad treiber opcode")
+	}
+}
+
+// Push installs a new node with CAS on the top pointer.
+func (h *treiberHandle) Push(v uint64) {
+	p := h.p
+	node := p.Alloc(2)
+	p.Write(node, v)
+	for {
+		top := p.Read(h.s.top)
+		p.Write(node+1, top)
+		if p.CAS(h.s.top, top, uint64(node)) {
+			return
+		}
+	}
+}
+
+// Pop removes the top node with CAS, returning EmptyVal when empty.
+func (h *treiberHandle) Pop() uint64 {
+	p := h.p
+	for {
+		top := p.Read(h.s.top)
+		if top == 0 {
+			return EmptyVal
+		}
+		next := p.Read(tilesim.Addr(top) + 1)
+		if p.CAS(h.s.top, top, next) {
+			return p.Read(tilesim.Addr(top))
+		}
+	}
+}

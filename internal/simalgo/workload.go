@@ -1,0 +1,254 @@
+package simalgo
+
+import (
+	"fmt"
+	"sort"
+
+	"hybsync/internal/tilesim"
+)
+
+// WorkloadCfg describes one measurement run, following the paper's
+// methodology (§5.2): a number of application threads repeatedly execute
+// operations on a concurrent object, with a random number of empty loop
+// iterations (at most MaxLocalWork) between operations to simulate local
+// work and prevent long runs. Threads are pinned to cores in ascending
+// order; with server-based approaches the server occupies core 0 and
+// application threads start at core 1.
+type WorkloadCfg struct {
+	Threads      int
+	Horizon      uint64 // simulated cycles per run (measurement window)
+	MaxLocalWork uint64 // max empty-loop iterations between ops (paper: 50)
+	FirstCore    int    // core of the first application thread
+	Seed         uint64 // perturbs local-work randomness across runs
+
+	// ProcsPerCore oversubscribes application threads onto cores (§6:
+	// the TILE-Gx multiplexes up to four hardware queues per core, so up
+	// to four threads can share a core and keep private message queues).
+	// 0 or 1 means one thread per core.
+	ProcsPerCore int
+
+	// RecordLatencies keeps every per-op latency for percentile analysis
+	// (the paper's §5.3 discussion of combiner "hiccups").
+	RecordLatencies bool
+}
+
+// Result aggregates one run's measurements.
+type Result struct {
+	Cycles     uint64   // simulated cycles elapsed
+	Ops        uint64   // operations completed by application threads
+	LatencySum uint64   // sum of per-op latencies (cycles)
+	Latencies  []uint64 // per-op latencies when WorkloadCfg.RecordLatencies
+	FreqGHz    float64
+
+	// Per-thread op counts for fairness (max/min ratio, §5.3).
+	PerThreadOps []uint64
+
+	// Servicing-thread accounting (Figure 4a): busy and stalled cycles
+	// of the Proc executing critical sections, when meaningful.
+	ServiceBusy  uint64
+	ServiceStall uint64
+
+	// Client-side atomic statistics (§5.3: CAS per operation).
+	CASAttempts uint64
+	CASFailures uint64
+	AtomicOps   uint64
+
+	// Combining statistics (Figure 4b), zero for server approaches.
+	Rounds   uint64
+	Combined uint64
+
+	// Raw Procs for figure drivers needing per-proc counters, and the
+	// engine for post-run object inspection (Peek). The run has finished;
+	// only counters and memory may be read.
+	Clients []*tilesim.Proc
+	Service []*tilesim.Proc
+	Engine  *tilesim.Engine
+}
+
+// Mops returns throughput in million operations per second, using the
+// profile's clock frequency to convert cycles to wall time (the paper's
+// y-axis in Figures 3a, 5a, 5b).
+func (r Result) Mops() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Ops) * r.FreqGHz * 1e3 / float64(r.Cycles)
+}
+
+// AvgLatency returns the mean per-operation latency in cycles (Figure 3b).
+func (r Result) AvgLatency() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.LatencySum) / float64(r.Ops)
+}
+
+// Fairness returns the ratio between the highest and lowest per-thread
+// op counts (1.0 = ideal, §5.3).
+func (r Result) Fairness() float64 {
+	lo, hi := ^uint64(0), uint64(0)
+	for _, n := range r.PerThreadOps {
+		if n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return float64(hi) / float64(lo)
+}
+
+// LatencyPercentile returns the q-th percentile (0..1) of recorded
+// per-op latencies; RecordLatencies must have been set.
+func (r Result) LatencyPercentile(q float64) uint64 {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	s := make([]uint64, len(r.Latencies))
+	copy(s, r.Latencies)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+// CombiningRate returns the average number of requests a combiner served
+// per round, including its own op (Figure 4b's y-axis).
+func (r Result) CombiningRate() float64 {
+	if r.Rounds == 0 {
+		return 0
+	}
+	return float64(r.Combined+r.Rounds) / float64(r.Rounds)
+}
+
+// ExecutorFactory builds an executor over an engine and reports the
+// servicing Procs to exclude from client accounting. firstAppCore is
+// where the first application thread will be pinned.
+type ExecutorFactory func(e *tilesim.Engine, threads int) (exec Executor, service []*tilesim.Proc, firstAppCore int)
+
+// StatsFunc extracts combining statistics after a run (nil for servers).
+type StatsFunc func() (rounds, combined uint64)
+
+// Builder couples a named algorithm with its factory for the sweep
+// drivers.
+type Builder struct {
+	Name  string
+	Make  ExecutorFactory
+	Stats StatsFunc // set by Make; read after the run
+}
+
+// RunWorkload executes cfg against the executor built by b over a fresh
+// engine with the given profile and opcode stream. opFor returns the
+// (op, arg) pair for a thread's i-th operation, letting queue/stack
+// workloads alternate enqueue/dequeue.
+func RunWorkload(prof tilesim.Profile, b *Builder, cfg WorkloadCfg, opFor func(thread int, i uint64) (uint64, uint64)) Result {
+	e := tilesim.NewEngine(prof)
+	e.SetSeed(cfg.Seed)
+	exec, service, firstCore := b.Make(e, cfg.Threads)
+	if cfg.FirstCore != 0 {
+		firstCore = cfg.FirstCore
+	}
+
+	res := Result{FreqGHz: prof.FreqGHz}
+	res.PerThreadOps = make([]uint64, cfg.Threads)
+	clients := make([]*tilesim.Proc, 0, cfg.Threads)
+
+	perCore := cfg.ProcsPerCore
+	if perCore <= 0 {
+		perCore = 1
+	}
+	if perCore > prof.QueuesPer {
+		panic(fmt.Sprintf("simalgo: %d procs per core exceeds the %d multiplexed hardware queues",
+			perCore, prof.QueuesPer))
+	}
+	for t := 0; t < cfg.Threads; t++ {
+		t := t
+		core := firstCore + t/perCore
+		if core >= prof.NumCores() {
+			panic(fmt.Sprintf("simalgo: thread %d does not fit on the mesh", t))
+		}
+		clients = append(clients, e.Spawn(fmt.Sprintf("app-%d", t), core, func(p *tilesim.Proc) {
+			h := exec.Handle(p)
+			var i uint64
+			for p.Now() < cfg.Horizon {
+				op, arg := opFor(t, i)
+				t0 := p.Now()
+				h.Apply(op, arg)
+				lat := p.Now() - t0
+				res.LatencySum += lat
+				if cfg.RecordLatencies {
+					res.Latencies = append(res.Latencies, lat)
+				}
+				res.PerThreadOps[t]++
+				i++
+				p.AddOps(1)
+				if cfg.MaxLocalWork > 0 {
+					p.Work(p.Rand() % (cfg.MaxLocalWork + 1))
+				}
+			}
+		}))
+	}
+
+	e.Run(0)
+	defer e.Shutdown()
+
+	res.Cycles = cfg.Horizon
+	for _, p := range clients {
+		res.Ops += p.Ops
+		res.CASAttempts += p.CASAttempts
+		res.CASFailures += p.CASFailures
+		res.AtomicOps += p.AtomicOps
+	}
+	for _, p := range service {
+		res.ServiceBusy += p.BusyCycles()
+		res.ServiceStall += p.StallCycles
+	}
+	if b.Stats != nil {
+		res.Rounds, res.Combined = b.Stats()
+	}
+	res.Clients = clients
+	res.Service = service
+	res.Engine = e
+	return res
+}
+
+// CounterOps is the opFor stream for the counter microbenchmark.
+func CounterOps(int, uint64) (uint64, uint64) { return OpInc, 0 }
+
+// ArrayOps returns an opFor stream for the Figure 4c long-CS experiment
+// with the given loop length.
+func ArrayOps(iters uint64) func(int, uint64) (uint64, uint64) {
+	return func(int, uint64) (uint64, uint64) { return OpIncN, iters }
+}
+
+// QueueOps alternates enqueue and dequeue per thread (balanced load,
+// §5.4). Enqueued values encode (thread, sequence) in 32 bits — 6 bits
+// of thread, 26 of sequence — because the LCRQ port stores 32-bit values
+// (paper footnote 5); the encoding feeds the linearizability checks.
+func QueueOps(thread int, i uint64) (uint64, uint64) {
+	if i%2 == 0 {
+		return OpEnq, EncodeVal(thread, i/2)
+	}
+	return OpDeq, 0
+}
+
+// StackOps alternates push and pop per thread (balanced load).
+func StackOps(thread int, i uint64) (uint64, uint64) {
+	if i%2 == 0 {
+		return OpPush, EncodeVal(thread, i/2)
+	}
+	return OpPop, 0
+}
+
+// EncodeVal packs a thread id and a per-thread sequence number into a
+// 32-bit value; DecodeVal inverts it.
+func EncodeVal(thread int, seq uint64) uint64 {
+	return uint64(thread)<<26 | (seq & ((1 << 26) - 1))
+}
+
+// DecodeVal unpacks an EncodeVal value.
+func DecodeVal(v uint64) (thread int, seq uint64) {
+	return int(v >> 26 & 0x3F), v & ((1 << 26) - 1)
+}

@@ -1,0 +1,230 @@
+// Package spin provides classic spin-lock algorithms — test-and-set,
+// test-and-test-and-set, ticket, MCS and CLH queue locks — plus an
+// adapter that turns any of them into a core.Executor. They are the
+// classic-lock baselines of the paper's Section 3: queue locks achieve
+// O(1) RMRs per acquisition through local spinning, but unlike the
+// server/combiner approaches they still move the protected data to the
+// acquiring core on every critical section.
+package spin
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"hybsync/internal/core"
+)
+
+// Lock is a mutual-exclusion lock. Locks in this package are not
+// reentrant.
+type Lock interface {
+	Lock()
+	Unlock()
+}
+
+// yield backs off while spinning.
+func yield(spins *int) {
+	*spins++
+	if *spins%32 == 0 {
+		runtime.Gosched()
+	}
+}
+
+// TASLock is a plain test-and-set lock: every acquisition attempt is a
+// remote atomic, so contention floods the interconnect.
+type TASLock struct {
+	v atomic.Bool
+	_ [63]byte
+}
+
+// Lock implements Lock.
+func (l *TASLock) Lock() {
+	spins := 0
+	for l.v.Swap(true) {
+		yield(&spins)
+	}
+}
+
+// Unlock implements Lock.
+func (l *TASLock) Unlock() { l.v.Store(false) }
+
+// TTASLock spins on a local read and only attempts the swap when the
+// lock looks free, eliminating most remote atomics.
+type TTASLock struct {
+	v atomic.Bool
+	_ [63]byte
+}
+
+// Lock implements Lock.
+func (l *TTASLock) Lock() {
+	spins := 0
+	for {
+		for l.v.Load() {
+			yield(&spins)
+		}
+		if !l.v.Swap(true) {
+			return
+		}
+	}
+}
+
+// Unlock implements Lock.
+func (l *TTASLock) Unlock() { l.v.Store(false) }
+
+// TicketLock grants the lock in FIFO order with a fetch-and-add ticket
+// dispenser (Mellor-Crummey & Scott 1991, §2).
+type TicketLock struct {
+	next  atomic.Uint64
+	_     [56]byte
+	owner atomic.Uint64
+	_     [56]byte
+}
+
+// Lock implements Lock.
+func (l *TicketLock) Lock() {
+	t := l.next.Add(1) - 1
+	spins := 0
+	for l.owner.Load() != t {
+		yield(&spins)
+	}
+}
+
+// Unlock implements Lock.
+func (l *TicketLock) Unlock() { l.owner.Add(1) }
+
+// MCSLock is the Mellor-Crummey & Scott queue lock: each waiter spins on
+// a flag in its own queue node, so a lock handover costs O(1) RMRs.
+// Nodes are per-handle; use NewMCSHandle per goroutine.
+type MCSLock struct {
+	tail atomic.Pointer[mcsNode]
+}
+
+type mcsNode struct {
+	locked atomic.Bool
+	next   atomic.Pointer[mcsNode]
+	_      [48]byte
+}
+
+// MCSHandle is one goroutine's capability to take an MCSLock.
+type MCSHandle struct {
+	l    *MCSLock
+	node *mcsNode
+}
+
+// NewMCSHandle creates the per-goroutine handle.
+func (l *MCSLock) NewMCSHandle() *MCSHandle {
+	return &MCSHandle{l: l, node: &mcsNode{}}
+}
+
+// Lock acquires the lock, spinning locally on this handle's node.
+func (h *MCSHandle) Lock() {
+	n := h.node
+	n.next.Store(nil)
+	n.locked.Store(true)
+	pred := h.l.tail.Swap(n)
+	if pred == nil {
+		return
+	}
+	pred.next.Store(n)
+	spins := 0
+	for n.locked.Load() {
+		yield(&spins)
+	}
+}
+
+// Unlock releases the lock, handing it to the queue successor if any.
+func (h *MCSHandle) Unlock() {
+	n := h.node
+	next := n.next.Load()
+	if next == nil {
+		if h.l.tail.CompareAndSwap(n, nil) {
+			return
+		}
+		spins := 0
+		for next = n.next.Load(); next == nil; next = n.next.Load() {
+			yield(&spins) // successor is between SWAP and next.Store
+		}
+	}
+	next.locked.Store(false)
+}
+
+// CLHLock is the Craig / Landin-Hagersten queue lock: waiters spin on
+// their predecessor's node.
+type CLHLock struct {
+	tail atomic.Pointer[clhNode]
+}
+
+type clhNode struct {
+	locked atomic.Bool
+	_      [63]byte
+}
+
+// CLHHandle is one goroutine's capability to take a CLHLock.
+type CLHHandle struct {
+	l    *CLHLock
+	node *clhNode
+	pred *clhNode
+}
+
+// NewCLHLock creates a CLH lock (it needs an initial dummy node, so the
+// zero value is not usable).
+func NewCLHLock() *CLHLock {
+	l := &CLHLock{}
+	l.tail.Store(&clhNode{}) // initial unlocked dummy
+	return l
+}
+
+// NewCLHHandle creates the per-goroutine handle.
+func (l *CLHLock) NewCLHHandle() *CLHHandle {
+	return &CLHHandle{l: l, node: &clhNode{}}
+}
+
+// Lock acquires the lock, spinning on the predecessor's node.
+func (h *CLHHandle) Lock() {
+	h.node.locked.Store(true)
+	h.pred = h.l.tail.Swap(h.node)
+	spins := 0
+	for h.pred.locked.Load() {
+		yield(&spins)
+	}
+}
+
+// Unlock releases the lock; the predecessor's node is recycled as this
+// handle's next node (the classic CLH node exchange).
+func (h *CLHHandle) Unlock() {
+	n := h.node
+	h.node = h.pred
+	n.locked.Store(false)
+}
+
+// LockExecutor adapts a Lock (or per-handle lock factory) into a
+// core.Executor, so the repository's concurrent objects can run over
+// classic locks as an extra baseline.
+type LockExecutor struct {
+	dispatch core.Dispatch
+	factory  func() Lock
+}
+
+// NewLockExecutor builds an executor over locks produced by factory (one
+// per handle for handle-based locks; return the same Lock for global
+// ones).
+func NewLockExecutor(dispatch core.Dispatch, factory func() Lock) *LockExecutor {
+	return &LockExecutor{dispatch: dispatch, factory: factory}
+}
+
+// Handle implements core.Executor.
+func (e *LockExecutor) Handle() core.Handle {
+	return &lockHandle{dispatch: e.dispatch, lock: e.factory()}
+}
+
+type lockHandle struct {
+	dispatch core.Dispatch
+	lock     Lock
+}
+
+// Apply implements core.Handle.
+func (h *lockHandle) Apply(op, arg uint64) uint64 {
+	h.lock.Lock()
+	ret := h.dispatch(op, arg)
+	h.lock.Unlock()
+	return ret
+}

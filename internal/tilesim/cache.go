@@ -1,0 +1,363 @@
+package tilesim
+
+import "fmt"
+
+// Addr is a 64-bit-word address in simulated shared memory.
+type Addr uint64
+
+// wordsPerLine is the cache-line size in 64-bit words (64-byte lines).
+const wordsPerLine = 8
+
+// lineID identifies a cache line.
+type lineID uint64
+
+func lineOf(a Addr) lineID { return lineID(a / wordsPerLine) }
+
+// lineState is a private-cache MSI state. The directory maintains the
+// single-writer-multiple-reader invariant from the paper's system model:
+// at any time either one core holds a line Modified or any number of
+// cores hold it Shared.
+type lineState uint8
+
+const (
+	invalid lineState = iota
+	shared
+	modified
+)
+
+// dirEntry is the home-directory state for one line.
+type dirEntry struct {
+	owner   int    // core holding the line Modified, or -1
+	sharers uint64 // bitmask of cores holding the line Shared
+}
+
+// watchToken represents a Proc blocked in SpinWhile/WaitAnyWrite,
+// waiting for a write to one of a set of lines. One token may be
+// registered on several lines; the fired flag guarantees a single
+// wake-up even if several watched lines are written.
+type watchToken struct {
+	p           *Proc
+	blockedFrom uint64
+	fired       bool
+}
+
+// memory is the authoritative value store plus the coherence directory.
+// Because the engine runs one Proc at a time, reads and writes applied
+// here are sequentially consistent; the cache/directory state exists for
+// timing (RMR and stall accounting), mirroring the paper's model where
+// the protocol affects performance, not visible semantics.
+type memory struct {
+	eng      *Engine
+	data     map[Addr]uint64
+	dir      map[lineID]*dirEntry
+	caches   []map[lineID]lineState // per core
+	watchers map[lineID][]*watchToken
+}
+
+func newMemory(e *Engine) *memory {
+	m := &memory{
+		eng:      e,
+		data:     make(map[Addr]uint64),
+		dir:      make(map[lineID]*dirEntry),
+		watchers: make(map[lineID][]*watchToken),
+	}
+	m.caches = make([]map[lineID]lineState, e.prof.NumCores())
+	for i := range m.caches {
+		m.caches[i] = make(map[lineID]lineState)
+	}
+	return m
+}
+
+func (m *memory) entry(l lineID) *dirEntry {
+	d, ok := m.dir[l]
+	if !ok {
+		d = &dirEntry{owner: -1}
+		m.dir[l] = d
+	}
+	return d
+}
+
+// readCost computes the latency of a load by core c from line l and
+// applies the protocol state transition. Returns (cost, stall).
+func (m *memory) readCost(c int, l lineID) (uint64, uint64) {
+	pr := m.eng.prof
+	if m.caches[c][l] != invalid {
+		return pr.L1Hit, 0
+	}
+	// Remote memory reference: request to the home tile's directory.
+	home := pr.homeTile(l)
+	cost := pr.L1Hit + 2*pr.dist(c, home)*pr.HopLat + pr.DirLat
+	d := m.entry(l)
+	if d.owner >= 0 && d.owner != c {
+		// Dirty elsewhere: forward through the owner, downgrade to Shared.
+		cost += 2*pr.dist(home, d.owner)*pr.HopLat + pr.FwdLat
+		m.caches[d.owner][l] = shared
+		d.sharers |= 1 << uint(d.owner)
+		d.owner = -1
+	}
+	d.sharers |= 1 << uint(c)
+	m.caches[c][l] = shared
+	return cost, cost - pr.L1Hit
+}
+
+// writeCost computes the latency of a store by core c to line l and
+// applies the protocol transition (invalidating other copies).
+func (m *memory) writeCost(c int, l lineID) (uint64, uint64) {
+	pr := m.eng.prof
+	if m.caches[c][l] == modified {
+		return pr.L1Hit, 0
+	}
+	home := pr.homeTile(l)
+	cost := pr.L1Hit + 2*pr.dist(c, home)*pr.HopLat + pr.DirLat
+	d := m.entry(l)
+	if d.owner >= 0 && d.owner != c {
+		cost += 2*pr.dist(home, d.owner)*pr.HopLat + pr.FwdLat
+		m.caches[d.owner][l] = invalid
+		d.owner = -1
+	}
+	// Invalidations to sharers proceed in parallel; the requester waits
+	// for the farthest acknowledgement.
+	var maxD uint64
+	inval := false
+	for s := d.sharers; s != 0; s &= s - 1 {
+		core := trailingZeros(s)
+		if core == c {
+			continue
+		}
+		inval = true
+		if dd := pr.dist(home, core); dd > maxD {
+			maxD = dd
+		}
+		m.caches[core][l] = invalid
+	}
+	if inval {
+		cost += pr.InvalLat + 2*maxD*pr.HopLat
+	}
+	d.sharers = 0
+	d.owner = c
+	m.caches[c][l] = modified
+	return cost, cost - pr.L1Hit
+}
+
+// invalidateAll evicts every cached copy of l (used by controller-side
+// atomics: on TILE-Gx atomic data is not cached by the cores).
+func (m *memory) invalidateAll(l lineID) (hadCopies bool) {
+	d := m.entry(l)
+	if d.owner >= 0 {
+		m.caches[d.owner][l] = invalid
+		d.owner = -1
+		hadCopies = true
+	}
+	for s := d.sharers; s != 0; s &= s - 1 {
+		m.caches[trailingZeros(s)][l] = invalid
+		hadCopies = true
+	}
+	d.sharers = 0
+	return hadCopies
+}
+
+// notifyWatchers wakes every Proc spinning on line l so it re-checks its
+// predicate at time at (when the invalidation reaches it).
+func (m *memory) notifyWatchers(l lineID, at uint64) {
+	ws := m.watchers[l]
+	if len(ws) == 0 {
+		return
+	}
+	delete(m.watchers, l)
+	for _, w := range ws {
+		if !w.fired {
+			w.fired = true
+			w.p.unblockAt(at, w.blockedFrom)
+		}
+	}
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// checkInvariant verifies the single-writer-multiple-reader invariant
+// for every line the directory knows about. Tests call this through the
+// exported hook below.
+func (m *memory) checkInvariant() error {
+	for l, d := range m.dir {
+		if d.owner >= 0 && d.sharers != 0 {
+			return fmt.Errorf("line %d: owner %d coexists with sharers %b", l, d.owner, d.sharers)
+		}
+		if d.owner >= 0 && m.caches[d.owner][l] != modified {
+			return fmt.Errorf("line %d: directory owner %d but cache state %d", l, d.owner, m.caches[d.owner][l])
+		}
+		for s := d.sharers; s != 0; s &= s - 1 {
+			c := trailingZeros(s)
+			if m.caches[c][l] != shared {
+				return fmt.Errorf("line %d: sharer %d has cache state %d", l, c, m.caches[c][l])
+			}
+		}
+		for c, cache := range m.caches {
+			st := cache[l]
+			if st == modified && d.owner != c {
+				return fmt.Errorf("line %d: core %d Modified but directory owner %d", l, c, d.owner)
+			}
+			if st == shared && d.sharers&(1<<uint(c)) == 0 {
+				return fmt.Errorf("line %d: core %d Shared but not in sharer set", l, c)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckCoherence verifies the directory invariants; it is exported for
+// tests and costs no simulated time.
+func (e *Engine) CheckCoherence() error { return e.mem.checkInvariant() }
+
+// --- Proc-facing memory operations -------------------------------------
+
+// Read performs a sequentially consistent load. If the line was
+// prefetched and is still in flight, the load stalls only for the
+// remaining fill time — the overlap of coherence misses with useful work
+// that the paper observes on long critical sections (§5.3, Figure 4c).
+func (p *Proc) Read(a Addr) uint64 {
+	m := p.eng.mem
+	l := lineOf(a)
+	if readyAt, ok := p.prefetch[l]; ok {
+		delete(p.prefetch, l)
+		if m.caches[p.core][l] != invalid {
+			v := m.data[a]
+			cost, stall := p.eng.prof.L1Hit, uint64(0)
+			if readyAt > p.eng.now {
+				stall = readyAt - p.eng.now
+				cost += stall
+			}
+			p.trace(p.eng.now, TraceRead, a, v, cost)
+			p.advance(cost, stall)
+			return v
+		}
+		// The prefetched copy was invalidated before use: fall through
+		// to a normal miss.
+	}
+	cost, stall := m.readCost(p.core, l)
+	if stall > 0 {
+		p.RMRs++
+	}
+	v := m.data[a]
+	p.trace(p.eng.now, TraceRead, a, v, cost)
+	p.advance(cost, stall)
+	return v
+}
+
+// Prefetch starts filling the line containing a into the local cache
+// without blocking (one issue cycle). A later Read overlaps the fill
+// with whatever the Proc does in between. Prefetching a line that is
+// already cached is free apart from the issue cycle.
+func (p *Proc) Prefetch(a Addr) {
+	m := p.eng.mem
+	l := lineOf(a)
+	if m.caches[p.core][l] == invalid {
+		cost, _ := m.readCost(p.core, l)
+		p.RMRs++
+		p.prefetch[l] = p.eng.now + cost
+	}
+	p.advance(1, 0)
+}
+
+// Write performs a sequentially consistent store.
+func (p *Proc) Write(a Addr, v uint64) {
+	m := p.eng.mem
+	cost, stall := m.writeCost(p.core, lineOf(a))
+	if stall > 0 {
+		p.RMRs++
+	}
+	m.data[a] = v
+	m.notifyWatchers(lineOf(a), p.eng.now+cost)
+	p.trace(p.eng.now, TraceWrite, a, v, cost)
+	p.advance(cost, stall)
+}
+
+// SpinWhile blocks the Proc while pred(value at a) is true, modeling
+// local spinning: after the first read the line sits Shared in the local
+// cache, so re-checks cost nothing on the interconnect; the Proc sleeps
+// and is woken by the invalidation when another core writes the line.
+// Each wake-up pays one read (usually an RMR). Returns the value that
+// falsified the predicate.
+func (p *Proc) SpinWhile(a Addr, pred func(uint64) bool) uint64 {
+	for {
+		v := p.Read(a)
+		if !pred(v) {
+			return v
+		}
+		p.WaitAnyWrite(a)
+	}
+}
+
+// WaitAnyWrite blocks the Proc until any of the lines containing the
+// given addresses is written (including by an atomic). It models a core
+// polling a set of lines held in its local cache: polling costs nothing
+// on the interconnect and the first invalidation ends the wait. If any
+// watched line is already absent from the local cache — i.e., it was
+// written (invalidated) since the caller last read it — WaitAnyWrite
+// returns immediately, so there is no lost-wakeup window between a scan
+// and the block. Callers must re-check their condition after waking
+// (spurious wake-ups occur when an unrelated word on a watched line is
+// written).
+func (p *Proc) WaitAnyWrite(addrs ...Addr) {
+	m := p.eng.mem
+	for _, a := range addrs {
+		if m.caches[p.core][lineOf(a)] == invalid {
+			return
+		}
+	}
+	tok := &watchToken{p: p, blockedFrom: p.eng.now}
+	seen := make(map[lineID]bool, len(addrs))
+	for _, a := range addrs {
+		l := lineOf(a)
+		if !seen[l] {
+			seen[l] = true
+			m.watchers[l] = append(m.watchers[l], tok)
+		}
+	}
+	p.block()
+}
+
+// WordWrite is one word of a WriteBurst.
+type WordWrite struct {
+	A Addr
+	V uint64
+}
+
+// WriteBurst performs several stores as one coherence transaction per
+// distinct cache line: the line is acquired Modified once and all its
+// words are updated together, and watchers observe a single
+// invalidation. This models a store buffer draining back-to-back writes
+// to one line (e.g., a server writing response value, sequence number
+// and request-clear flag), which on real hardware complete before a
+// remote reader's next miss can intervene.
+func (p *Proc) WriteBurst(writes ...WordWrite) {
+	m := p.eng.mem
+	var cost, stall uint64
+	seen := make(map[lineID]bool, 1)
+	for _, w := range writes {
+		l := lineOf(w.A)
+		if !seen[l] {
+			seen[l] = true
+			c, s := m.writeCost(p.core, l)
+			cost += c
+			stall += s
+			if s > 0 {
+				p.RMRs++
+			}
+		}
+		m.data[w.A] = w.V
+	}
+	for l := range seen {
+		m.notifyWatchers(l, p.eng.now+cost)
+	}
+	if len(writes) > 0 {
+		p.trace(p.eng.now, TraceWrite, writes[0].A, writes[0].V, cost)
+	}
+	p.advance(cost, stall)
+}

@@ -1,0 +1,284 @@
+package tilesim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// runOne runs a single proc body to completion and returns it.
+func runOne(t *testing.T, body func(p *Proc)) *Proc {
+	t.Helper()
+	e := NewEngine(ProfileTileGx())
+	p := e.Spawn("t", 0, body)
+	e.Run(0)
+	if len(e.Deadlocked()) > 0 {
+		t.Fatalf("deadlock: %v", e.Deadlocked())
+	}
+	return p
+}
+
+func TestReadAfterWriteHitsCache(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	a := e.Alloc(1)
+	var missCost, hitCost uint64
+	e.Spawn("t", 5, func(p *Proc) {
+		t0 := p.Now()
+		p.Write(a, 42)
+		missCost = p.Now() - t0
+		t0 = p.Now()
+		if v := p.Read(a); v != 42 {
+			t.Errorf("read %d, want 42", v)
+		}
+		hitCost = p.Now() - t0
+	})
+	e.Run(0)
+	if hitCost != e.prof.L1Hit {
+		t.Fatalf("cached read cost %d, want L1 hit %d", hitCost, e.prof.L1Hit)
+	}
+	if missCost <= e.prof.L1Hit {
+		t.Fatalf("first write cost %d should exceed L1 hit", missCost)
+	}
+}
+
+func TestRemoteWriteInvalidatesReader(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	a := e.Alloc(1)
+	var costs []uint64
+	e.Spawn("reader", 0, func(p *Proc) {
+		p.Read(a) // warm: Shared
+		t0 := p.Now()
+		p.Read(a)
+		costs = append(costs, p.Now()-t0) // hit
+		p.Work(200)                       // let the writer invalidate
+		t0 = p.Now()
+		p.Read(a)
+		costs = append(costs, p.Now()-t0) // must be an RMR again
+	})
+	e.Spawn("writer", 35, func(p *Proc) {
+		p.Work(50)
+		p.Write(a, 7)
+	})
+	e.Run(0)
+	if costs[0] != e.prof.L1Hit {
+		t.Fatalf("warm read cost %d, want %d", costs[0], e.prof.L1Hit)
+	}
+	if costs[1] <= e.prof.L1Hit {
+		t.Fatalf("post-invalidate read cost %d, want an RMR", costs[1])
+	}
+	if err := e.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirtyReadForwardsFromOwner(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	a := e.Alloc(1)
+	done := e.Alloc(8) * wordsPerLine // distinct line
+	_ = done
+	var val uint64
+	e.Spawn("writer", 3, func(p *Proc) { p.Write(a, 99) })
+	e.Spawn("reader", 30, func(p *Proc) {
+		p.Work(100)
+		val = p.Read(a)
+	})
+	e.Run(0)
+	if val != 99 {
+		t.Fatalf("dirty read got %d, want 99", val)
+	}
+	if err := e.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoherenceInvariantRandomOps(t *testing.T) {
+	// Property: after any interleaving of reads/writes/atomics from many
+	// cores over a small address pool, the single-writer-multiple-reader
+	// invariant holds and final values match a sequential oracle replay.
+	f := func(seed uint64) bool {
+		e := NewEngine(ProfileTileGx())
+		base := e.Alloc(16)
+		for i := 0; i < 10; i++ {
+			e.Spawn("p", i*3, func(p *Proc) {
+				for j := 0; j < 40; j++ {
+					r := p.Rand() + seed
+					a := base + Addr(r%16)
+					switch r % 4 {
+					case 0:
+						p.Read(a)
+					case 1:
+						p.Write(a, r)
+					case 2:
+						p.FAA(a, 1)
+					case 3:
+						p.CAS(a, 0, r)
+					}
+				}
+			})
+		}
+		e.Run(0)
+		return e.CheckCoherence() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFAASemantics(t *testing.T) {
+	runOne(t, func(p *Proc) {
+		a := p.eng.Alloc(1)
+		if old := p.FAA(a, 5); old != 0 {
+			t.Errorf("FAA old = %d, want 0", old)
+		}
+		if old := p.FAA(a, 3); old != 5 {
+			t.Errorf("FAA old = %d, want 5", old)
+		}
+		if v := p.Read(a); v != 8 {
+			t.Errorf("final = %d, want 8", v)
+		}
+	})
+}
+
+func TestCASAndSwapSemantics(t *testing.T) {
+	p := runOne(t, func(p *Proc) {
+		a := p.eng.Alloc(1)
+		if !p.CAS(a, 0, 10) {
+			t.Error("CAS(0,10) on zero failed")
+		}
+		if p.CAS(a, 0, 20) {
+			t.Error("CAS(0,20) on 10 succeeded")
+		}
+		if old := p.Swap(a, 30); old != 10 {
+			t.Errorf("Swap old = %d, want 10", old)
+		}
+	})
+	if p.CASAttempts != 2 || p.CASFailures != 1 {
+		t.Fatalf("CAS counters = %d/%d, want 2/1", p.CASAttempts, p.CASFailures)
+	}
+}
+
+func TestAtomicSerializationAtController(t *testing.T) {
+	// Two atomics to lines on the same controller must serialize: the
+	// combined makespan exceeds a single atomic's latency even though the
+	// issuing cores differ and the data is independent.
+	e := NewEngine(ProfileTileGx())
+	a := e.AllocLine(1)
+	b := a + 2*wordsPerLine*Addr(e.prof.NumCtrls) // same ctrl, different line
+	if e.prof.ctrlFor(lineOf(a)) != e.prof.ctrlFor(lineOf(b)) {
+		t.Fatal("test setup: lines on different controllers")
+	}
+	var lat [2]uint64
+	e.Spawn("p0", 0, func(p *Proc) {
+		t0 := p.Now()
+		p.FAA(a, 1)
+		lat[0] = p.Now() - t0
+	})
+	e.Spawn("p1", 1, func(p *Proc) {
+		t0 := p.Now()
+		p.FAA(b, 1)
+		lat[1] = p.Now() - t0
+	})
+	e.Run(0)
+	single := lat[0]
+	if lat[1] < single {
+		single = lat[1]
+	}
+	if lat[0]+lat[1] <= 2*single {
+		t.Fatalf("no serialization visible: latencies %v", lat)
+	}
+}
+
+func TestX86AtomicsNotSerialized(t *testing.T) {
+	// On the x86-like profile, an atomic on an independent line is not
+	// slowed down by a concurrent atomic elsewhere (no controller
+	// serialization): p1's latency is identical with and without p0.
+	measure := func(withP0 bool) uint64 {
+		e := NewEngine(ProfileX86Like())
+		a := e.AllocLine(1)
+		b := e.AllocLine(1)
+		if withP0 {
+			e.Spawn("p0", 0, func(p *Proc) { p.FAA(a, 1) })
+		}
+		var lat uint64
+		e.Spawn("p1", 1, func(p *Proc) {
+			t0 := p.Now()
+			p.FAA(b, 1)
+			lat = p.Now() - t0
+		})
+		e.Run(0)
+		return lat
+	}
+	if alone, both := measure(false), measure(true); alone != both {
+		t.Fatalf("x86 atomic slowed by independent atomic: alone=%d both=%d", alone, both)
+	}
+}
+
+func TestSpinWhileWakesOnWrite(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	a := e.Alloc(1)
+	var got, when uint64
+	e.Spawn("spinner", 0, func(p *Proc) {
+		got = p.SpinWhile(a, func(v uint64) bool { return v == 0 })
+		when = p.Now()
+	})
+	e.Spawn("setter", 10, func(p *Proc) {
+		p.Work(500)
+		p.Write(a, 77)
+	})
+	e.Run(0)
+	if got != 77 {
+		t.Fatalf("spinner saw %d, want 77", got)
+	}
+	if when < 500 {
+		t.Fatalf("spinner woke at %d, before the write", when)
+	}
+	if len(e.Deadlocked()) != 0 {
+		t.Fatal("deadlocked procs remain")
+	}
+}
+
+func TestSpinWhileSatisfiedImmediately(t *testing.T) {
+	runOne(t, func(p *Proc) {
+		a := p.eng.Alloc(1)
+		p.Write(a, 5)
+		if v := p.SpinWhile(a, func(v uint64) bool { return v == 0 }); v != 5 {
+			t.Errorf("got %d, want 5", v)
+		}
+	})
+}
+
+func TestMeshDistanceProperties(t *testing.T) {
+	pr := ProfileTileGx()
+	n := pr.NumCores()
+	f := func(a, b uint16) bool {
+		x, y := int(a)%n, int(b)%n
+		d1, d2 := pr.dist(x, y), pr.dist(y, x)
+		if d1 != d2 {
+			return false // symmetry
+		}
+		if (d1 == 0) != (x == y) {
+			return false // identity
+		}
+		z := int(a+b) % n
+		return pr.dist(x, z)+pr.dist(z, y) >= d1 // triangle inequality
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStallAccounting(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	a := e.Alloc(1)
+	p := e.Spawn("t", 7, func(p *Proc) {
+		p.Read(a) // miss: stall
+		p.Read(a) // hit: no stall
+		p.Write(a, 1)
+	})
+	e.Run(0)
+	if p.StallCycles == 0 {
+		t.Fatal("no stalls recorded for cold miss")
+	}
+	if p.RMRs < 1 {
+		t.Fatal("no RMRs recorded")
+	}
+}

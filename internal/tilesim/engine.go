@@ -1,0 +1,194 @@
+// Package tilesim implements a deterministic, cycle-level discrete-event
+// simulator of a hybrid manycore processor modeled after Tilera's
+// TILE-Gx8036: a mesh of single-threaded cores with private write-back
+// caches kept coherent by a directory protocol, memory controllers that
+// execute atomic read-modify-write operations, and a User Dynamic Network
+// (UDN) that delivers application-level messages between cores into
+// bounded per-core hardware FIFO queues.
+//
+// The simulator is process-oriented: each simulated hardware thread is a
+// goroutine (a Proc) that issues blocking operations (Read, Write, FAA,
+// CAS, Swap, Send, Recv, Work). The engine runs exactly one Proc at a
+// time (run-to-block) and orders all events by (time, sequence), so a
+// simulation is fully deterministic: the same program and seed always
+// produce the same cycle counts.
+package tilesim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events fire in (at, seq) order; seq
+// breaks ties deterministically in schedule order.
+type event struct {
+	at  uint64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is one simulated chip: clock, event queue, memory system, NoC,
+// UDN and the set of Procs running on it.
+type Engine struct {
+	prof Profile
+
+	now uint64
+	seq uint64
+	pq  eventHeap
+
+	procs    []*Proc
+	mem      *memory
+	udn      *udn
+	ctrls    []*memCtrl
+	coreFree []uint64 // per-core time-sharing: core busy until this time
+
+	heapNext Addr // bump allocator for simulated shared memory
+	seed     uint64
+	tracer   Tracer
+
+	running bool
+	stopped bool
+}
+
+// NewEngine creates a chip with the given cost profile.
+func NewEngine(prof Profile) *Engine {
+	e := &Engine{prof: prof, heapNext: heapBase}
+	e.coreFree = make([]uint64, prof.NumCores())
+	e.mem = newMemory(e)
+	e.udn = newUDN(e)
+	e.ctrls = make([]*memCtrl, prof.NumCtrls)
+	for i := range e.ctrls {
+		e.ctrls[i] = &memCtrl{tile: prof.CtrlTiles[i]}
+	}
+	return e
+}
+
+// Now returns the current simulated time in cycles.
+func (e *Engine) Now() uint64 { return e.now }
+
+// SetSeed perturbs the per-Proc random streams (local-work lengths).
+// Call before spawning Procs. Different seeds model the paper's
+// averaging over ten independent runs.
+func (e *Engine) SetSeed(s uint64) { e.seed = s }
+
+// Profile returns the cost profile the engine was built with.
+func (e *Engine) Profile() Profile { return e.prof }
+
+func (e *Engine) schedule(at uint64, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// heapBase is the first address handed out by Alloc. Addresses are
+// 64-bit word indexes; wordsPerLine consecutive words share a cache line.
+const heapBase Addr = 1 << 20
+
+// Alloc reserves n consecutive 64-bit words of simulated shared memory
+// and returns the address of the first. Allocation itself costs no
+// simulated time (the paper's algorithms preallocate their shared state).
+func (e *Engine) Alloc(n int) Addr {
+	a := e.heapNext
+	e.heapNext += Addr(n)
+	return a
+}
+
+// AllocLine reserves n words starting on a fresh cache-line boundary so
+// that the allocation does not false-share with previous allocations.
+func (e *Engine) AllocLine(n int) Addr {
+	if r := e.heapNext % wordsPerLine; r != 0 {
+		e.heapNext += wordsPerLine - r
+	}
+	return e.Alloc(n)
+}
+
+// Run executes scheduled events until the event queue is empty or the
+// simulated clock passes limit (limit 0 means no limit). It returns the
+// final simulated time. Procs that are still blocked when Run returns
+// stay parked; use Shutdown to abort them.
+func (e *Engine) Run(limit uint64) uint64 {
+	if e.running {
+		panic("tilesim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*event)
+		if limit != 0 && ev.at > limit {
+			// Push back so a later Run with a larger limit continues.
+			heap.Push(&e.pq, ev)
+			e.now = limit
+			return e.now
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// Shutdown aborts every Proc that has not finished. Blocked Procs are
+// resumed with an abort flag; their top-level function unwinds via an
+// internal panic that the Proc runner recovers. After Shutdown the
+// engine must not be used further.
+func (e *Engine) Shutdown() {
+	e.stopped = true
+	for _, p := range e.procs {
+		if !p.done {
+			p.aborted = true
+			p.resume <- struct{}{}
+			<-p.parked
+		}
+	}
+}
+
+// Deadlocked reports the names of Procs that are neither done nor have a
+// pending event that could wake them. It is meaningful after Run returned
+// with an empty event queue.
+func (e *Engine) Deadlocked() []string {
+	var out []string
+	for _, p := range e.procs {
+		if !p.done {
+			out = append(out, p.name)
+		}
+	}
+	return out
+}
+
+// Procs returns all Procs spawned on this engine, in spawn order.
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+func (e *Engine) String() string {
+	return fmt.Sprintf("tilesim.Engine{now=%d procs=%d events=%d}", e.now, len(e.procs), len(e.pq))
+}
+
+// Peek reads simulated memory without advancing time or touching the
+// coherence state. For setup and test assertions only.
+func (e *Engine) Peek(a Addr) uint64 { return e.mem.data[a] }
+
+// Poke writes simulated memory without advancing time or touching the
+// coherence state. For setup only; using it during a run would bypass
+// the protocol.
+func (e *Engine) Poke(a Addr, v uint64) { e.mem.data[a] = v }

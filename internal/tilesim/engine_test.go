@@ -1,0 +1,138 @@
+package tilesim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	var order []int
+	e.schedule(10, func() { order = append(order, 1) })
+	e.schedule(5, func() { order = append(order, 0) })
+	e.schedule(10, func() { order = append(order, 2) }) // same time: seq order
+	e.Run(0)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("bad event order: %v", order)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %d, want 10", e.Now())
+	}
+}
+
+func TestRunLimitPausesAndResumes(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	fired := 0
+	e.schedule(100, func() { fired++ })
+	e.Run(50)
+	if fired != 0 {
+		t.Fatal("event fired before limit")
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock = %d, want 50", e.Now())
+	}
+	e.Run(0)
+	if fired != 1 {
+		t.Fatal("event did not fire on resumed run")
+	}
+}
+
+func TestProcWorkAdvancesClock(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	var at uint64
+	e.Spawn("w", 0, func(p *Proc) {
+		p.Work(25)
+		p.Work(5)
+		at = p.Now()
+	})
+	e.Run(0)
+	if at != 30 {
+		t.Fatalf("proc saw time %d, want 30", at)
+	}
+}
+
+func TestSingleProcRunsAtATime(t *testing.T) {
+	// Two procs interleave only at blocking points; each observes the
+	// other's writes in a sequentially consistent order.
+	e := NewEngine(ProfileTileGx())
+	a := e.Alloc(1)
+	var seen []uint64
+	e.Spawn("p0", 0, func(p *Proc) {
+		p.Write(a, 1)
+		p.Work(100)
+		p.Write(a, 2)
+	})
+	e.Spawn("p1", 1, func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			seen = append(seen, p.Read(a))
+			p.Work(60)
+		}
+	})
+	e.Run(0)
+	// Values must be non-decreasing (sequential consistency).
+	for i := 1; i < len(seen); i++ {
+		if seen[i] < seen[i-1] {
+			t.Fatalf("non-monotonic reads: %v", seen)
+		}
+	}
+	if err := e.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, uint64, uint64) {
+		e := NewEngine(ProfileTileGx())
+		a := e.AllocLine(4)
+		var sum uint64
+		for i := 0; i < 8; i++ {
+			e.Spawn("p", i, func(p *Proc) {
+				for j := 0; j < 50; j++ {
+					p.FAA(a, 1)
+					p.Work(p.Rand() % 20)
+					p.Write(a+1+Addr(p.ID()%3), p.Rand())
+					sum += p.Read(a + 1)
+				}
+			})
+		}
+		end := e.Run(0)
+		var stalls uint64
+		for _, p := range e.Procs() {
+			stalls += p.StallCycles
+		}
+		return end, stalls, sum
+	}
+	e1, s1, v1 := run()
+	e2, s2, v2 := run()
+	if e1 != e2 || s1 != s2 || v1 != v2 {
+		t.Fatalf("nondeterministic simulation: (%d,%d,%d) vs (%d,%d,%d)", e1, s1, v1, e2, s2, v2)
+	}
+}
+
+func TestShutdownAbortsBlockedProcs(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	p := e.Spawn("blocked", 0, func(p *Proc) {
+		p.Recv(1) // nobody ever sends
+		t.Error("blocked proc resumed without sender")
+	})
+	e.Run(0)
+	if len(e.Deadlocked()) != 1 {
+		t.Fatalf("expected 1 deadlocked proc, got %v", e.Deadlocked())
+	}
+	e.Shutdown()
+	if !p.done {
+		t.Fatal("proc not marked done after shutdown")
+	}
+}
+
+func TestAllocLineAlignment(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	e.Alloc(3)
+	a := e.AllocLine(2)
+	if a%wordsPerLine != 0 {
+		t.Fatalf("AllocLine returned unaligned address %d", a)
+	}
+	b := e.AllocLine(1)
+	if lineOf(a) == lineOf(b) {
+		t.Fatal("AllocLine allocations share a line")
+	}
+}

@@ -1,0 +1,330 @@
+package tilesim
+
+import "testing"
+
+func TestPrefetchHidesLatency(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	a := e.Alloc(1)
+	// Warm the line at a remote core so the local read is a full miss.
+	e.Spawn("warm", 20, func(p *Proc) { p.Write(a, 9) })
+	var coldCost, hiddenCost uint64
+	e.Spawn("t", 0, func(p *Proc) {
+		p.Work(100)
+		// Cold read for reference.
+		t0 := p.Now()
+		p.Read(a)
+		coldCost = p.Now() - t0
+	})
+	e.Run(0)
+
+	e2 := NewEngine(ProfileTileGx())
+	b := e2.Alloc(1)
+	e2.Spawn("warm", 20, func(p *Proc) { p.Write(b, 9) })
+	e2.Spawn("t", 0, func(p *Proc) {
+		p.Work(100)
+		p.Prefetch(b)
+		p.Work(200) // plenty of independent work: fill completes under it
+		t0 := p.Now()
+		if v := p.Read(b); v != 9 {
+			t.Errorf("prefetched read = %d, want 9", v)
+		}
+		hiddenCost = p.Now() - t0
+	})
+	e2.Run(0)
+
+	if coldCost <= e.prof.L1Hit {
+		t.Fatalf("cold read cost %d not a miss", coldCost)
+	}
+	if hiddenCost != e2.prof.L1Hit {
+		t.Fatalf("fully-hidden prefetch read cost %d, want L1 hit %d", hiddenCost, e2.prof.L1Hit)
+	}
+}
+
+func TestPrefetchPartialOverlap(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	a := e.Alloc(1)
+	e.Spawn("warm", 35, func(p *Proc) { p.Write(a, 1) })
+	var cost, stall uint64
+	e.Spawn("t", 0, func(p *Proc) {
+		p.Work(100)
+		p.Prefetch(a)
+		p.Work(2) // not enough to hide the fill
+		t0 := p.Now()
+		s0 := p.StallCycles
+		p.Read(a)
+		cost = p.Now() - t0
+		stall = p.StallCycles - s0
+	})
+	e.Run(0)
+	if cost <= e.prof.L1Hit {
+		t.Fatalf("partially-hidden read cost %d, expected residual wait", cost)
+	}
+	if stall == 0 {
+		t.Fatal("residual fill time not accounted as stall")
+	}
+}
+
+func TestPrefetchInvalidatedBeforeUse(t *testing.T) {
+	// A write by another core between prefetch and read invalidates the
+	// prefetched copy; the read must re-miss and return the new value.
+	e := NewEngine(ProfileTileGx())
+	a := e.Alloc(1)
+	var got uint64
+	e.Spawn("t", 0, func(p *Proc) {
+		p.Prefetch(a)
+		p.Work(500)
+		got = p.Read(a)
+	})
+	e.Spawn("w", 35, func(p *Proc) {
+		p.Work(100)
+		p.Write(a, 42)
+	})
+	e.Run(0)
+	if got != 42 {
+		t.Fatalf("read %d after invalidating write, want 42", got)
+	}
+	if err := e.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteBurstSingleTransaction(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	base := e.AllocLine(4)
+	var burstCost, singleCost uint64
+	e.Spawn("reader", 30, func(p *Proc) { p.Read(base) }) // make line shared
+	e.Spawn("t", 0, func(p *Proc) {
+		p.Work(100)
+		t0 := p.Now()
+		p.WriteBurst(
+			WordWrite{A: base, V: 1},
+			WordWrite{A: base + 1, V: 2},
+			WordWrite{A: base + 2, V: 3},
+		)
+		burstCost = p.Now() - t0
+		// Now Modified: a second burst is a pure L1 transaction.
+		t0 = p.Now()
+		p.WriteBurst(WordWrite{A: base, V: 4})
+		singleCost = p.Now() - t0
+	})
+	e.Run(0)
+	if singleCost != e.prof.L1Hit {
+		t.Fatalf("owned-line burst cost %d, want %d", singleCost, e.prof.L1Hit)
+	}
+	if burstCost <= e.prof.L1Hit {
+		t.Fatalf("shared-line burst cost %d should pay one upgrade", burstCost)
+	}
+	if e.Peek(base) != 4 || e.Peek(base+1) != 2 || e.Peek(base+2) != 3 {
+		t.Fatal("burst values not applied")
+	}
+}
+
+func TestWriteBurstWakesSpinners(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	a := e.AllocLine(2)
+	var got uint64
+	e.Spawn("spinner", 5, func(p *Proc) {
+		p.SpinWhile(a, func(v uint64) bool { return v == 0 })
+		got = p.Read(a + 1)
+	})
+	e.Spawn("writer", 30, func(p *Proc) {
+		p.Work(300)
+		p.WriteBurst(WordWrite{A: a + 1, V: 77}, WordWrite{A: a, V: 1})
+	})
+	e.Run(0)
+	if got != 77 {
+		t.Fatalf("spinner read %d, want 77 (burst must publish atomically)", got)
+	}
+}
+
+func TestFenceCostAndX86(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	var cost uint64
+	e.Spawn("t", 0, func(p *Proc) {
+		t0 := p.Now()
+		p.Fence()
+		cost = p.Now() - t0
+	})
+	e.Run(0)
+	if cost != e.prof.FenceLat {
+		t.Fatalf("fence cost %d, want %d", cost, e.prof.FenceLat)
+	}
+
+	e2 := NewEngine(ProfileX86Like())
+	var cost2 uint64
+	e2.Spawn("t", 0, func(p *Proc) {
+		t0 := p.Now()
+		p.Fence()
+		cost2 = p.Now() - t0
+	})
+	e2.Run(0)
+	if cost2 != e2.prof.FenceLat {
+		t.Fatalf("x86 fence cost %d, want %d", cost2, e2.prof.FenceLat)
+	}
+}
+
+func TestAtomicLinearizesAtServiceInstant(t *testing.T) {
+	// A plain reader polling during another core's long-latency atomic
+	// must observe the new value as soon as the controller services it,
+	// not only when the issuer resumes.
+	e := NewEngine(ProfileTileGx())
+	a := e.Alloc(1)
+	var sawAt, issuerDone uint64
+	e.Spawn("atomic", 0, func(p *Proc) {
+		p.FAA(a, 5)
+		issuerDone = p.Now()
+	})
+	e.Spawn("poller", 35, func(p *Proc) {
+		p.SpinWhile(a, func(v uint64) bool { return v == 0 })
+		sawAt = p.Now()
+	})
+	e.Run(0)
+	if sawAt == 0 {
+		t.Fatal("poller never saw the FAA")
+	}
+	if sawAt > issuerDone+uint64(e.prof.HopLat)*20 {
+		t.Fatalf("value visible at %d, long after issuer resumed at %d", sawAt, issuerDone)
+	}
+}
+
+func TestControllerLineSwitchPenalty(t *testing.T) {
+	// Back-to-back atomics on the same line pipeline at AtomicSvc; a
+	// stream alternating between two lines on the same controller incurs
+	// the switch occupancy and finishes much later.
+	prof := ProfileTileGx()
+	run := func(alternate bool) uint64 {
+		e := NewEngine(prof)
+		a := e.AllocLine(1)
+		b := a + 2*wordsPerLine*Addr(prof.NumCtrls) // same controller
+		if prof.ctrlFor(lineOf(a)) != prof.ctrlFor(lineOf(b)) {
+			t.Fatal("setup: different controllers")
+		}
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Spawn("p", i, func(p *Proc) {
+				for j := 0; j < 20; j++ {
+					target := a
+					if alternate && (i+j)%2 == 0 {
+						target = b
+					}
+					p.FAA(target, 1)
+				}
+			})
+		}
+		return e.Run(0)
+	}
+	same, alt := run(false), run(true)
+	if alt <= same {
+		t.Fatalf("alternating-line atomics (%d cycles) not slower than same-line (%d)", alt, same)
+	}
+}
+
+func TestDeterminismWithUDNAndAtomics(t *testing.T) {
+	run := func() uint64 {
+		e := NewEngine(ProfileTileGx())
+		e.SetSeed(7)
+		a := e.AllocLine(1)
+		var srv *Proc
+		srv = e.Spawn("srv", 0, func(p *Proc) {
+			for i := 0; i < 60; i++ {
+				m := p.Recv(2)
+				p.FAA(a, m[1])
+				p.Send(int(m[0]), 1)
+			}
+		})
+		for c := 1; c <= 3; c++ {
+			e.Spawn("c", c, func(p *Proc) {
+				for i := 0; i < 20; i++ {
+					p.Send(srv.ID(), uint64(p.ID()), p.Rand()%10)
+					p.Recv(1)
+					p.Work(p.Rand() % 30)
+				}
+			})
+		}
+		e.Run(0)
+		return e.Now()*1e6 + e.Peek(a)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	run := func(seed uint64) uint64 {
+		e := NewEngine(ProfileTileGx())
+		e.SetSeed(seed)
+		total := uint64(0)
+		for c := 0; c < 3; c++ {
+			e.Spawn("c", c, func(p *Proc) {
+				for i := 0; i < 20; i++ {
+					p.Work(p.Rand() % 100)
+				}
+				total += p.Now()
+			})
+		}
+		e.Run(0)
+		return total
+	}
+	if run(1) == run(2) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestCoreTimeSharing(t *testing.T) {
+	// Two compute-bound procs on one core take ~2x as long as on two
+	// cores; their idle (descheduled) time accounts for the difference.
+	run := func(sameCore bool) (makespan, idle uint64) {
+		e := NewEngine(ProfileTileGx())
+		core2 := 1
+		if sameCore {
+			core2 = 0
+		}
+		var ps []*Proc
+		for _, c := range []int{0, core2} {
+			ps = append(ps, e.Spawn("w", c, func(p *Proc) {
+				for i := 0; i < 100; i++ {
+					p.Work(10)
+				}
+			}))
+		}
+		end := e.Run(0)
+		for _, p := range ps {
+			idle += p.IdleCycles
+		}
+		return end, idle
+	}
+	apart, idleApart := run(false)
+	shared, idleShared := run(true)
+	if shared < 2*apart-apart/10 {
+		t.Fatalf("co-scheduled makespan %d, want ~2x of %d", shared, apart)
+	}
+	if idleApart != 0 {
+		t.Fatalf("separate cores recorded idle %d", idleApart)
+	}
+	if idleShared == 0 {
+		t.Fatal("shared core recorded no descheduled time")
+	}
+}
+
+func TestOversubscribedProcsStayCorrect(t *testing.T) {
+	// Four procs share one core and all FAA a counter; no increments may
+	// be lost (the §6 oversubscription scenario: each proc keeps its own
+	// multiplexed message queue and identity).
+	e := NewEngine(ProfileTileGx())
+	a := e.Alloc(1)
+	for i := 0; i < 4; i++ {
+		e.Spawn("w", 3, func(p *Proc) {
+			for j := 0; j < 50; j++ {
+				p.FAA(a, 1)
+				p.Work(p.Rand() % 10)
+			}
+		})
+	}
+	e.Run(0)
+	if got := e.Peek(a); got != 200 {
+		t.Fatalf("counter = %d, want 200", got)
+	}
+	if err := e.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}

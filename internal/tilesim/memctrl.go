@@ -1,0 +1,144 @@
+package tilesim
+
+// memCtrl models one memory controller. On the TILE-Gx, atomic
+// read-modify-write instructions are not executed in the local cache but
+// shipped to the memory controller owning the line. Requests serialize
+// there, so two atomics can collide on a controller even when they touch
+// independent data (the paper's explanation of LCRQ's "false
+// serialization" in §5.4, and of HYBCOMB's higher single-thread latency
+// in §5.3: three atomics per operation instead of CC-SYNCH's one).
+type memCtrl struct {
+	tile     tileCoord
+	freeAt   uint64 // controller accepts the next atomic at this time
+	lastLine lineID // line touched by the previous atomic (bank reuse)
+	touched  bool
+}
+
+// atomicKind selects the read-modify-write applied at the controller.
+type atomicKind uint8
+
+const (
+	opFAA atomicKind = iota
+	opSwap
+	opCAS
+)
+
+// atomicRMW executes an atomic on address a for proc p.
+//
+// Linearization point: with controller-side atomics the value change is
+// applied at the instant the controller services the request — not when
+// the issuing core starts the instruction. This matters for Algorithm 1
+// of the paper: the race window between a combiner's CAS registration
+// and its n_ops reset is a few cycles of controller pipeline, not the
+// whole client-observed atomic latency, which is why chained combiner
+// registrations are rare in practice (§5.3).
+func (p *Proc) atomicRMW(kind atomicKind, a Addr, v1, v2 uint64) (uint64, bool) {
+	e := p.eng
+	pr := e.prof
+	m := e.mem
+	l := lineOf(a)
+	p.AtomicOps++
+	p.RMRs++
+
+	if !pr.AtomicsAtCtrl {
+		// x86-like: acquire the line exclusively and execute locally;
+		// the operation applies now (the engine runs one proc at a time).
+		old := m.data[a]
+		ok := applyRMW(m, kind, a, old, v1, v2)
+		wcost, _ := m.writeCost(p.core, l)
+		cost := wcost + pr.AtomicALU
+		m.notifyWatchers(l, e.now+cost)
+		p.trace(e.now, traceKindFor(kind), a, v1, cost)
+		p.advance(cost, cost-pr.L1Hit)
+		return old, ok
+	}
+
+	ctrl := e.ctrls[pr.ctrlFor(l)]
+	travel := pr.distToTile(p.core, ctrl.tile) * pr.HopLat
+	arrive := e.now + pr.L1Hit + travel
+	start := arrive
+	if ctrl.freeAt > start {
+		start = ctrl.freeAt // serialized behind earlier atomics
+	}
+	// The controller pipelines back-to-back atomics on the same line
+	// (hot ticket words sustain one atomic per AtomicSvc cycles), but an
+	// address switch costs AtomicSvcSwitch of occupancy — the bank-level
+	// serialization behind the paper's §5.4 observation that independent
+	// atomics collide at the controller.
+	occ := pr.AtomicSvc
+	if ctrl.touched && ctrl.lastLine != l {
+		occ = pr.AtomicSvcSwitch
+	}
+	ctrl.lastLine, ctrl.touched = l, true
+	ctrl.freeAt = start + occ
+	done := start + pr.AtomicLat
+
+	var old uint64
+	var ok bool
+	e.schedule(start, func() {
+		// Service instant: read-modify-write applies, every cached copy
+		// is invalidated (atomic data is not cached by cores) and local
+		// spinners observe the change.
+		old = m.data[a]
+		ok = applyRMW(m, kind, a, old, v1, v2)
+		m.invalidateAll(l)
+		m.notifyWatchers(l, start)
+	})
+	cost := done + travel - e.now
+	p.trace(e.now, traceKindFor(kind), a, v1, cost)
+	p.advance(cost, cost-pr.L1Hit)
+	return old, ok
+}
+
+// traceKindFor maps an atomic kind to its trace kind.
+func traceKindFor(kind atomicKind) TraceKind {
+	switch kind {
+	case opFAA:
+		return TraceFAA
+	case opSwap:
+		return TraceSwap
+	default:
+		return TraceCAS
+	}
+}
+
+// applyRMW mutates memory according to the atomic kind and reports CAS
+// success (true for FAA/SWAP).
+func applyRMW(m *memory, kind atomicKind, a Addr, old, v1, v2 uint64) bool {
+	switch kind {
+	case opFAA:
+		m.data[a] = old + v1
+	case opSwap:
+		m.data[a] = v1
+	case opCAS:
+		if old != v1 {
+			return false
+		}
+		m.data[a] = v2
+	}
+	return true
+}
+
+// FAA atomically adds v to *a and returns the previous value
+// (fetch-and-add).
+func (p *Proc) FAA(a Addr, v uint64) uint64 {
+	old, _ := p.atomicRMW(opFAA, a, v, 0)
+	return old
+}
+
+// Swap atomically stores v into *a and returns the previous value.
+func (p *Proc) Swap(a Addr, v uint64) uint64 {
+	old, _ := p.atomicRMW(opSwap, a, v, 0)
+	return old
+}
+
+// CAS atomically installs vnew into *a if *a == vold, returning whether
+// it succeeded (compare-and-set, the boolean variant the paper uses).
+func (p *Proc) CAS(a Addr, vold, vnew uint64) bool {
+	p.CASAttempts++
+	_, ok := p.atomicRMW(opCAS, a, vold, vnew)
+	if !ok {
+		p.CASFailures++
+	}
+	return ok
+}

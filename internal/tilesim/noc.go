@@ -1,0 +1,53 @@
+package tilesim
+
+// The network-on-chip model: cores sit on a MeshW x MeshH grid and
+// packets route XY, so latency is proportional to Manhattan distance.
+// Home tiles for cache lines and the controller owning a line are both
+// derived by hashing the line id, like the TILE-Gx's hashed home-tile
+// distribution.
+
+// tileCoord is a position on the mesh; memory controllers sit on edge
+// positions that are not core tiles.
+type tileCoord struct{ x, y int }
+
+// NumCores returns the number of core tiles on the mesh.
+func (pr Profile) NumCores() int { return pr.MeshW * pr.MeshH }
+
+// coord maps a core index (row-major) to mesh coordinates.
+func (pr Profile) coord(core int) tileCoord {
+	return tileCoord{x: core % pr.MeshW, y: core / pr.MeshW}
+}
+
+// dist is the Manhattan distance between two core tiles (XY routing).
+func (pr Profile) dist(a, b int) uint64 {
+	ca, cb := pr.coord(a), pr.coord(b)
+	return uint64(abs(ca.x-cb.x) + abs(ca.y-cb.y))
+}
+
+// distToTile is the Manhattan distance from a core to an arbitrary tile
+// coordinate (used for memory controllers).
+func (pr Profile) distToTile(core int, t tileCoord) uint64 {
+	c := pr.coord(core)
+	return uint64(abs(c.x-t.x) + abs(c.y-t.y))
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// homeTile returns the core whose L2 slice is home for the line
+// (TILE-Gx hashes home tiles across the mesh).
+func (pr Profile) homeTile(l lineID) int {
+	h := uint64(l) * 0x9E3779B97F4A7C15
+	return int(h % uint64(pr.NumCores()))
+}
+
+// ctrlFor returns the memory-controller index owning the line. TILE-Gx
+// has two controllers; lines hash across them, so two atomics can collide
+// on a controller even with independent data sets (§5.4).
+func (pr Profile) ctrlFor(l lineID) int {
+	return int(uint64(l) % uint64(pr.NumCtrls))
+}

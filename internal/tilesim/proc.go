@@ -1,0 +1,218 @@
+package tilesim
+
+import "fmt"
+
+// errAborted unwinds a Proc goroutine when the engine shuts down. It is
+// recovered by the Proc runner and never escapes the package.
+var errAborted = fmt.Errorf("tilesim: proc aborted")
+
+// Proc is a simulated hardware thread pinned to a core. All of its
+// methods must be called only from within the Proc's own body function.
+//
+// Cost accounting: every operation advances the simulated clock by the
+// operation's latency. Cycles spent waiting for the memory system beyond
+// a local cache hit are counted as stall cycles (what the paper's Figure
+// 4a measures with hardware event counters); cycles spent blocked on an
+// empty message queue or a full destination queue are counted as idle
+// cycles, matching the paper's distinction between a stalled load-store
+// unit and a server with no pending work.
+type Proc struct {
+	eng  *Engine
+	name string
+	id   int // dense proc index, used as the message-queue address
+	core int // tile the proc is pinned to
+
+	resume  chan struct{}
+	parked  chan struct{}
+	done    bool
+	aborted bool
+
+	// Stats visible to the harness after (or during) a run.
+	Ops         uint64 // incremented by the program via AddOps
+	StallCycles uint64
+	IdleCycles  uint64
+	BusyStart   uint64 // time the proc first ran
+	EndTime     uint64 // time the proc finished
+	CASAttempts uint64
+	CASFailures uint64
+	AtomicOps   uint64
+	MsgsSent    uint64
+	MsgsRecvd   uint64
+	RMRs        uint64
+
+	rngState uint64
+
+	// prefetch tracks lines whose fill was issued by Prefetch and the
+	// time the data arrives; a Read before arrival stalls only for the
+	// remainder.
+	prefetch map[lineID]uint64
+}
+
+// Spawn creates a Proc named name pinned to the given core and schedules
+// its body to start at the current simulated time. Core numbering is
+// row-major over the mesh.
+func (e *Engine) Spawn(name string, core int, body func(p *Proc)) *Proc {
+	if core < 0 || core >= e.prof.NumCores() {
+		panic(fmt.Sprintf("tilesim: core %d out of range [0,%d)", core, e.prof.NumCores()))
+	}
+	p := &Proc{
+		eng:      e,
+		name:     name,
+		id:       len(e.procs),
+		core:     core,
+		resume:   make(chan struct{}),
+		parked:   make(chan struct{}),
+		rngState: (uint64(len(e.procs))+1)*0x9E3779B97F4A7C15 ^ (e.seed * 0x2545F4914F6CDD1D) ^ 0x9E3779B97F4A7C15,
+		prefetch: make(map[lineID]uint64),
+	}
+	e.procs = append(e.procs, p)
+	e.udn.addQueue(p.id, core)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil && r != errAborted {
+				panic(r)
+			}
+			p.done = true
+			p.EndTime = p.eng.now
+			p.parked <- struct{}{}
+		}()
+		p.BusyStart = p.eng.now
+		body(p)
+	}()
+	e.schedule(e.now, func() { e.runProc(p) })
+	return p
+}
+
+// runProc hands the CPU to p until it parks again. Exactly one Proc runs
+// at any instant, which keeps the simulation sequentially consistent and
+// deterministic.
+func (e *Engine) runProc(p *Proc) {
+	if p.done || p.aborted {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// park suspends the Proc until the engine resumes it.
+func (p *Proc) park() {
+	p.parked <- struct{}{}
+	<-p.resume
+	if p.aborted {
+		panic(errAborted)
+	}
+}
+
+// advance moves simulated time forward by cost cycles for this Proc,
+// attributing stall of those cycles to memory stalls. Cores are
+// time-shared: when several Procs share a core (the TILE-Gx multiplexes
+// up to four hardware message queues per core, §6 of the paper), an
+// operation waits until the co-resident Proc's current operation retires;
+// that wait is accounted as idle (descheduled) time. Procs blocked on
+// message queues or spinning do not occupy the core.
+func (p *Proc) advance(cost, stall uint64) {
+	start := p.eng.now
+	if cf := p.eng.coreFree[p.core]; cf > start {
+		p.IdleCycles += cf - start
+		start = cf
+	}
+	p.eng.coreFree[p.core] = start + cost
+	p.StallCycles += stall
+	p.eng.schedule(start+cost, func() { p.eng.runProc(p) })
+	p.park()
+}
+
+// block parks the Proc with no scheduled wake-up; some other event (a
+// message delivery, a freed queue slot, a watched write) must call
+// unblockAt. Blocked time is accounted as idle.
+func (p *Proc) block() {
+	p.park()
+}
+
+// unblockAt schedules p to resume at time at, accounting the elapsed
+// blocked interval since blockedFrom as idle cycles.
+func (p *Proc) unblockAt(at, blockedFrom uint64) {
+	if at > blockedFrom {
+		p.IdleCycles += at - blockedFrom
+	}
+	p.eng.schedule(at, func() { p.eng.runProc(p) })
+}
+
+// Name returns the Proc's spawn name.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the dense Proc index; it doubles as the destination address
+// for Send.
+func (p *Proc) ID() int { return p.id }
+
+// Core returns the tile this Proc is pinned to.
+func (p *Proc) Core() int { return p.core }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() uint64 { return p.eng.now }
+
+// AddOps adds n to the Proc's completed-operation counter.
+func (p *Proc) AddOps(n uint64) { p.Ops += n }
+
+// Work consumes cycles of purely local computation (ALU work, empty loop
+// iterations). It models the paper's "random number of empty loop
+// iterations" between operations.
+func (p *Proc) Work(cycles uint64) {
+	if cycles == 0 {
+		return
+	}
+	p.trace(p.eng.now, TraceWork, 0, 0, cycles)
+	p.advance(cycles, 0)
+}
+
+// Fence executes a full memory fence: the pipeline stalls while the
+// store buffer drains. On the TILE-Gx's relaxed memory model fences are
+// required wherever two critical sections may run in parallel on shared
+// data (the cost that sinks the two-lock MS-Queue in §5.4); on
+// TSO-like profiles FenceLat is near zero.
+func (p *Proc) Fence() {
+	lat := p.eng.prof.FenceLat
+	if lat == 0 {
+		return
+	}
+	p.trace(p.eng.now, TraceFence, 0, 0, lat)
+	p.advance(lat, lat)
+}
+
+// Rand returns a deterministic pseudo-random uint64 from the Proc's
+// private xorshift state (no simulated cost).
+func (p *Proc) Rand() uint64 {
+	x := p.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	p.rngState = x
+	return x
+}
+
+// busyCycles returns total non-idle cycles the proc has spent so far.
+func (p *Proc) busyCycles() uint64 {
+	end := p.EndTime
+	if !p.done {
+		end = p.eng.now
+	}
+	if end < p.BusyStart {
+		return 0
+	}
+	total := end - p.BusyStart
+	if total < p.IdleCycles {
+		return 0
+	}
+	return total - p.IdleCycles
+}
+
+// BusyCycles returns the cycles the proc spent running or stalled (i.e.,
+// excluding idle time blocked on message queues). Per-op totals in the
+// paper's Figure 4a are BusyCycles/Ops at the servicing thread.
+func (p *Proc) BusyCycles() uint64 { return p.busyCycles() }
+
+// Alloc reserves n words of simulated shared memory on a fresh cache
+// line (dynamic node allocation by programs; allocation itself is free,
+// as the paper's implementations preallocate or pool their nodes).
+func (p *Proc) Alloc(n int) Addr { return p.eng.AllocLine(n) }

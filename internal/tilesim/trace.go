@@ -1,0 +1,91 @@
+package tilesim
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one simulated operation, emitted to the engine's tracer
+// as the operation is issued. Because the engine is deterministic, a
+// trace is a reproducible record of a run — diffing two traces pinpoints
+// the first divergence after a model change.
+type TraceEvent struct {
+	Time uint64
+	Proc string
+	Core int
+	Kind TraceKind
+	Addr Addr   // memory operations
+	Arg  uint64 // value written / added / message word 0 / cost for work
+	Cost uint64 // cycles the operation took (including stall/queueing)
+}
+
+// TraceKind classifies trace events.
+type TraceKind uint8
+
+// Trace event kinds.
+const (
+	TraceRead TraceKind = iota
+	TraceWrite
+	TraceFAA
+	TraceSwap
+	TraceCAS
+	TraceSend
+	TraceRecv
+	TraceWork
+	TraceFence
+)
+
+var traceKindNames = [...]string{
+	"read", "write", "faa", "swap", "cas", "send", "recv", "work", "fence",
+}
+
+// String returns the kind's mnemonic.
+func (k TraceKind) String() string {
+	if int(k) < len(traceKindNames) {
+		return traceKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// String formats an event as one trace line.
+func (ev TraceEvent) String() string {
+	switch ev.Kind {
+	case TraceWork, TraceFence:
+		return fmt.Sprintf("%8d %-12s c%02d %-5s cost=%d", ev.Time, ev.Proc, ev.Core, ev.Kind, ev.Cost)
+	case TraceSend, TraceRecv:
+		return fmt.Sprintf("%8d %-12s c%02d %-5s peer=%d w0=%d cost=%d", ev.Time, ev.Proc, ev.Core, ev.Kind, ev.Addr, ev.Arg, ev.Cost)
+	default:
+		return fmt.Sprintf("%8d %-12s c%02d %-5s a=%d v=%d cost=%d", ev.Time, ev.Proc, ev.Core, ev.Kind, ev.Addr, ev.Arg, ev.Cost)
+	}
+}
+
+// Tracer receives every traced operation. Implementations must not call
+// back into the engine.
+type Tracer interface {
+	Trace(ev TraceEvent)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(ev TraceEvent)
+
+// Trace implements Tracer.
+func (f TracerFunc) Trace(ev TraceEvent) { f(ev) }
+
+// SetTracer installs (or, with nil, removes) a tracer. Tracing is off by
+// default and costs nothing when off.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+// WriteTracer returns a Tracer printing one line per event to w.
+func WriteTracer(w io.Writer) Tracer {
+	return TracerFunc(func(ev TraceEvent) { fmt.Fprintln(w, ev.String()) })
+}
+
+// trace emits an event if tracing is enabled; issuedAt is the operation
+// issue time (the engine clock may already have advanced).
+func (p *Proc) trace(issuedAt uint64, kind TraceKind, addr Addr, arg, cost uint64) {
+	tr := p.eng.tracer
+	if tr == nil {
+		return
+	}
+	tr.Trace(TraceEvent{Time: issuedAt, Proc: p.name, Core: p.core, Kind: kind, Addr: addr, Arg: arg, Cost: cost})
+}

@@ -1,0 +1,118 @@
+package tilesim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// collectTrace runs a small two-proc program with a recording tracer.
+func collectTrace(t *testing.T) []TraceEvent {
+	t.Helper()
+	e := NewEngine(ProfileTileGx())
+	var evs []TraceEvent
+	e.SetTracer(TracerFunc(func(ev TraceEvent) { evs = append(evs, ev) }))
+	a := e.Alloc(1)
+	rx := e.Spawn("rx", 0, func(p *Proc) {
+		m := p.Recv(1)
+		p.FAA(a, m[0])
+		p.Work(5)
+		p.Fence()
+	})
+	e.Spawn("tx", 35, func(p *Proc) {
+		p.Write(a, 1)
+		p.Send(rx.ID(), 7)
+		p.Read(a)
+	})
+	e.Run(0)
+	if dl := e.Deadlocked(); len(dl) != 0 {
+		t.Fatalf("deadlock: %v", dl)
+	}
+	return evs
+}
+
+func TestTraceCoversAllKinds(t *testing.T) {
+	evs := collectTrace(t)
+	seen := map[TraceKind]bool{}
+	for _, ev := range evs {
+		seen[ev.Kind] = true
+	}
+	for _, k := range []TraceKind{TraceRead, TraceWrite, TraceFAA, TraceSend, TraceRecv, TraceWork, TraceFence} {
+		if !seen[k] {
+			t.Errorf("no %s event in trace %v", k, evs)
+		}
+	}
+}
+
+func TestTraceTimesMonotonePerProc(t *testing.T) {
+	evs := collectTrace(t)
+	last := map[string]uint64{}
+	for _, ev := range evs {
+		if ev.Time < last[ev.Proc] {
+			t.Fatalf("trace time went backwards for %s: %v", ev.Proc, evs)
+		}
+		last[ev.Proc] = ev.Time
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	render := func() string {
+		var sb strings.Builder
+		for _, ev := range collectTrace(t) {
+			sb.WriteString(ev.String())
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("traces differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestWriteTracer(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	var buf bytes.Buffer
+	e.SetTracer(WriteTracer(&buf))
+	a := e.Alloc(1)
+	e.Spawn("p", 3, func(p *Proc) {
+		p.Write(a, 42)
+		p.Work(10)
+	})
+	e.Run(0)
+	out := buf.String()
+	for _, want := range []string{"write", "work", "c03", "v=42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracingOffByDefaultIsFree(t *testing.T) {
+	// Same run with and without a no-op tracer must give identical
+	// simulated time (tracing must not perturb the model).
+	run := func(trace bool) uint64 {
+		e := NewEngine(ProfileTileGx())
+		if trace {
+			e.SetTracer(TracerFunc(func(TraceEvent) {}))
+		}
+		a := e.Alloc(1)
+		for i := 0; i < 4; i++ {
+			e.Spawn("p", i, func(p *Proc) {
+				for j := 0; j < 30; j++ {
+					p.FAA(a, 1)
+					p.Work(p.Rand() % 10)
+				}
+			})
+		}
+		return e.Run(0)
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("tracing perturbed the simulation: %d vs %d", a, b)
+	}
+}
+
+func TestTraceKindString(t *testing.T) {
+	if TraceCAS.String() != "cas" || TraceKind(99).String() == "" {
+		t.Fatal("TraceKind.String misbehaves")
+	}
+}

@@ -1,0 +1,161 @@
+package tilesim
+
+// udn models the User Dynamic Network: each Proc owns one hardware FIFO
+// queue of 64-bit words (one of the four queues multiplexed on its core's
+// message buffer). Sends are asynchronous — the sender pays only the
+// issue cost and continues while the message traverses the mesh — unless
+// the destination queue is full, in which case messages back up into the
+// network and the sender blocks until space frees up (§5.1, §6 of the
+// paper). Receives read from the local buffer; a receiver asking for k
+// words blocks until k words are present. Words of one send are placed
+// contiguously in the destination queue.
+type udn struct {
+	eng    *Engine
+	queues []*msgQueue
+}
+
+type msgQueue struct {
+	core     int
+	words    []uint64
+	inFlight int // words sent but not yet arrived (reserve space)
+
+	// recvWait: the owning Proc blocked until `need` words are present.
+	recvWaiter *Proc
+	recvNeed   int
+	recvFrom   uint64
+
+	// sendWaiters: Procs blocked because the queue was full, FIFO order.
+	sendWaiters []sendWaiter
+}
+
+type sendWaiter struct {
+	p           *Proc
+	words       []uint64
+	blockedFrom uint64
+}
+
+func newUDN(e *Engine) *udn { return &udn{eng: e} }
+
+func (u *udn) addQueue(procID, core int) {
+	if procID != len(u.queues) {
+		panic("tilesim: queue/proc id mismatch")
+	}
+	u.queues = append(u.queues, &msgQueue{core: core})
+}
+
+// space returns free capacity counting in-flight words as reserved.
+func (q *msgQueue) space(cap int) int {
+	return cap - len(q.words) - q.inFlight
+}
+
+// Send transmits words to the message queue of Proc dst. It is
+// asynchronous: the sender is charged only SendLat and continues, while
+// delivery completes after the mesh traversal. If the destination queue
+// cannot hold the message, the sender blocks until space is available
+// (back-pressure), then transmits.
+func (p *Proc) Send(dst int, words ...uint64) {
+	if len(words) == 0 {
+		panic("tilesim: empty message")
+	}
+	u := p.eng.udn
+	q := u.queues[dst]
+	pr := p.eng.prof
+	if len(words) > pr.QueueCap {
+		panic("tilesim: message larger than hardware queue")
+	}
+	p.MsgsSent++
+	if q.space(pr.QueueCap) < len(words) {
+		// Back-pressure: the message backs up into the network and the
+		// sender stalls until the receiver drains the queue.
+		from := p.eng.now
+		q.sendWaiters = append(q.sendWaiters, sendWaiter{p: p, words: words, blockedFrom: from})
+		p.block()
+		// When unblocked, space has been reserved and the message
+		// enqueued for delivery by drainSenders; only the issue cost
+		// remains to be paid.
+		p.advance(pr.SendLat, 0)
+		return
+	}
+	u.transmit(p, q, dst, words)
+	p.trace(p.eng.now, TraceSend, Addr(dst), words[0], pr.SendLat)
+	p.advance(pr.SendLat, 0)
+}
+
+// transmit reserves space and schedules the delivery event.
+func (u *udn) transmit(p *Proc, q *msgQueue, dst int, words []uint64) {
+	pr := u.eng.prof
+	q.inFlight += len(words)
+	hops := pr.dist(p.core, q.core)
+	arrive := u.eng.now + pr.SendLat + pr.MsgLat + hops*pr.HopLat + uint64(len(words))
+	u.eng.schedule(arrive, func() { u.deliver(q, words) })
+}
+
+// deliver lands a message in the destination queue and wakes a blocked
+// receiver if its demand is now satisfied.
+func (u *udn) deliver(q *msgQueue, words []uint64) {
+	q.inFlight -= len(words)
+	q.words = append(q.words, words...)
+	if q.recvWaiter != nil && len(q.words) >= q.recvNeed {
+		p := q.recvWaiter
+		q.recvWaiter = nil
+		p.unblockAt(u.eng.now, q.recvFrom)
+	}
+}
+
+// drainSenders admits blocked senders whose messages now fit.
+func (u *udn) drainSenders(q *msgQueue, dst int) {
+	pr := u.eng.prof
+	for len(q.sendWaiters) > 0 {
+		w := q.sendWaiters[0]
+		if q.space(pr.QueueCap) < len(w.words) {
+			return
+		}
+		q.sendWaiters = q.sendWaiters[1:]
+		u.transmit(w.p, q, dst, w.words)
+		w.p.unblockAt(u.eng.now, w.blockedFrom)
+	}
+}
+
+// Recv returns k words from the head of the Proc's own message queue,
+// blocking until k words are available.
+func (p *Proc) Recv(k int) []uint64 {
+	u := p.eng.udn
+	q := u.queues[p.id]
+	pr := p.eng.prof
+	if k <= 0 || k > pr.QueueCap {
+		panic("tilesim: bad receive size")
+	}
+	if len(q.words) < k {
+		if q.recvWaiter != nil {
+			panic("tilesim: concurrent receives on one queue")
+		}
+		q.recvWaiter = p
+		q.recvNeed = k
+		q.recvFrom = p.eng.now
+		p.block()
+	}
+	out := make([]uint64, k)
+	copy(out, q.words[:k])
+	q.words = q.words[k:]
+	p.MsgsRecvd++
+	u.drainSenders(q, p.id)
+	// Reading k words from the local hardware buffer costs RecvLat for
+	// the first word and one cycle per additional word.
+	p.trace(p.eng.now, TraceRecv, Addr(p.id), out[0], pr.RecvLat+uint64(k-1))
+	p.advance(pr.RecvLat+uint64(k-1), 0)
+	return out
+}
+
+// QueueEmpty reports whether the Proc's message queue is currently empty
+// (the paper's is_queue_empty). Checking the local buffer costs one
+// cycle.
+func (p *Proc) QueueEmpty() bool {
+	q := p.eng.udn.queues[p.id]
+	empty := len(q.words) == 0
+	p.advance(1, 0)
+	return empty
+}
+
+// QueueLen returns the number of words waiting in the Proc's queue
+// without advancing time (a zero-cost introspection hook for tests).
+func (p *Proc) QueueLen() int { return len(p.eng.udn.queues[p.id].words) }

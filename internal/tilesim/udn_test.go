@@ -1,0 +1,181 @@
+package tilesim
+
+import "testing"
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	var got []uint64
+	rx := e.Spawn("rx", 0, func(p *Proc) {
+		got = p.Recv(3)
+	})
+	e.Spawn("tx", 35, func(p *Proc) {
+		p.Work(10)
+		p.Send(rx.ID(), 1, 2, 3)
+	})
+	e.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v, want [1 2 3]", got)
+	}
+	if rx.MsgsRecvd != 1 || rx.IdleCycles == 0 {
+		t.Fatalf("receiver stats: recvd=%d idle=%d", rx.MsgsRecvd, rx.IdleCycles)
+	}
+}
+
+func TestSendIsAsynchronous(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	pr := e.prof
+	rx := e.Spawn("rx", 0, func(p *Proc) { p.Recv(1) })
+	var sendCost uint64
+	e.Spawn("tx", 35, func(p *Proc) {
+		t0 := p.Now()
+		p.Send(rx.ID(), 9)
+		sendCost = p.Now() - t0
+	})
+	e.Run(0)
+	if sendCost != pr.SendLat {
+		t.Fatalf("send cost %d, want asynchronous issue cost %d", sendCost, pr.SendLat)
+	}
+}
+
+func TestFIFOOrderSingleSender(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	var got []uint64
+	rx := e.Spawn("rx", 0, func(p *Proc) {
+		for i := 0; i < 6; i++ {
+			got = append(got, p.Recv(1)[0])
+		}
+	})
+	e.Spawn("tx", 20, func(p *Proc) {
+		for i := uint64(0); i < 6; i++ {
+			p.Send(rx.ID(), i)
+		}
+	})
+	e.Run(0)
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestMultiWordMessageContiguous(t *testing.T) {
+	// Two senders interleave sends; each 3-word message must arrive
+	// contiguously (words of one send are never interleaved).
+	e := NewEngine(ProfileTileGx())
+	var msgs [][]uint64
+	rx := e.Spawn("rx", 0, func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			msgs = append(msgs, p.Recv(3))
+		}
+	})
+	for s := 0; s < 2; s++ {
+		tag := uint64(s+1) * 100
+		e.Spawn("tx", 10+s*20, func(p *Proc) {
+			for i := uint64(0); i < 5; i++ {
+				p.Send(rx.ID(), tag, tag+i, tag+i*2)
+				p.Work(p.Rand() % 7)
+			}
+		})
+	}
+	e.Run(0)
+	for _, m := range msgs {
+		if m[0] != 100 && m[0] != 200 {
+			t.Fatalf("corrupt message %v", m)
+		}
+		base := m[0]
+		if m[2] != base+(m[1]-base)*2 {
+			t.Fatalf("interleaved message %v", m)
+		}
+	}
+}
+
+func TestBackPressureBlocksSender(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	cap := e.prof.QueueCap
+	rx := e.Spawn("rx", 0, func(p *Proc) {
+		p.Work(5000) // let the queue fill
+		for i := 0; i < cap+10; i++ {
+			p.Recv(1)
+		}
+	})
+	var blockedTime uint64
+	tx := e.Spawn("tx", 35, func(p *Proc) {
+		for i := 0; i < cap+10; i++ {
+			p.Send(rx.ID(), uint64(i))
+		}
+		blockedTime = p.IdleCycles
+	})
+	e.Run(0)
+	if dl := e.Deadlocked(); len(dl) != 0 {
+		t.Fatalf("deadlock: %v", dl)
+	}
+	if blockedTime == 0 {
+		t.Fatal("sender never experienced back-pressure")
+	}
+	if tx.MsgsSent != uint64(cap+10) || rx.MsgsRecvd != uint64(cap+10) {
+		t.Fatalf("message counts tx=%d rx=%d", tx.MsgsSent, rx.MsgsRecvd)
+	}
+}
+
+func TestQueueEmpty(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	var before, after bool
+	rx := e.Spawn("rx", 0, func(p *Proc) {
+		before = p.QueueEmpty()
+		p.Work(300)
+		after = p.QueueEmpty()
+		p.Recv(1)
+	})
+	e.Spawn("tx", 1, func(p *Proc) {
+		p.Work(50)
+		p.Send(rx.ID(), 1)
+	})
+	e.Run(0)
+	if !before {
+		t.Fatal("queue should start empty")
+	}
+	if after {
+		t.Fatal("queue should be non-empty after delivery")
+	}
+}
+
+func TestRecvPartialThenComplete(t *testing.T) {
+	// Receiver asks for 3 words; sender delivers 1 word first, then 2.
+	// The receiver must stay blocked until all 3 are present.
+	e := NewEngine(ProfileTileGx())
+	var got []uint64
+	var when uint64
+	rx := e.Spawn("rx", 0, func(p *Proc) {
+		got = p.Recv(3)
+		when = p.Now()
+	})
+	e.Spawn("tx", 5, func(p *Proc) {
+		p.Send(rx.ID(), 1)
+		p.Work(400)
+		p.Send(rx.ID(), 2, 3)
+	})
+	e.Run(0)
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if when < 400 {
+		t.Fatalf("receiver resumed at %d before full message", when)
+	}
+}
+
+func TestOversizeMessagePanics(t *testing.T) {
+	e := NewEngine(ProfileTileGx())
+	defer e.Shutdown()
+	rx := e.Spawn("rx", 0, func(p *Proc) { p.Recv(1) })
+	e.Spawn("tx", 1, func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversize send did not panic")
+			}
+			p.Send(rx.ID(), 1) // unblock receiver
+		}()
+		huge := make([]uint64, e.prof.QueueCap+1)
+		p.Send(rx.ID(), huge...)
+	})
+	e.Run(0)
+}
