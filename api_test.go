@@ -1,0 +1,144 @@
+// Tests for the public hybsync surface: the algorithm registry, the
+// functional options, and the uniform Executor lifecycle (error-based
+// NewHandle, idempotent Close, NewHandle-after-Close) that every
+// registered construction must satisfy.
+package hybsync_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"hybsync"
+)
+
+// requiredAlgos are the constructions the registry must always expose:
+// the paper's four plus the spin-lock baselines.
+var requiredAlgos = []string{
+	"mpserver", "hybcomb", "ccsynch", "shmserver",
+	"tas-lock", "ttas-lock", "ticket-lock", "mcs-lock", "clh-lock",
+}
+
+func TestAlgorithmsComplete(t *testing.T) {
+	have := make(map[string]bool)
+	for _, name := range hybsync.Algorithms() {
+		have[name] = true
+	}
+	for _, name := range requiredAlgos {
+		if !have[name] {
+			t.Errorf("registry is missing %q (have %v)", name, hybsync.Algorithms())
+		}
+	}
+}
+
+// TestRegistryRoundTrip builds every registered algorithm, applies 1k
+// increments from several goroutines (the race detector guards the
+// mutual-exclusion claim), then checks Close idempotency and
+// NewHandle-after-Close.
+func TestRegistryRoundTrip(t *testing.T) {
+	const goroutines, per = 4, 250
+	for _, name := range hybsync.Algorithms() {
+		t.Run(name, func(t *testing.T) {
+			var state uint64
+			ex, err := hybsync.New(name, func(op, arg uint64) uint64 {
+				v := state
+				state = v + 1
+				return v
+			}, hybsync.WithMaxThreads(goroutines))
+			if err != nil {
+				t.Fatalf("New(%q): %v", name, err)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				h, err := ex.NewHandle()
+				if err != nil {
+					t.Fatalf("NewHandle %d: %v", g, err)
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						h.Apply(0, 0)
+					}
+				}()
+			}
+			wg.Wait()
+			if state != goroutines*per {
+				t.Fatalf("state = %d, want %d", state, goroutines*per)
+			}
+			if err := ex.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if err := ex.Close(); err != nil {
+				t.Fatalf("second Close: %v", err)
+			}
+			if _, err := ex.NewHandle(); !errors.Is(err, hybsync.ErrClosed) {
+				t.Fatalf("NewHandle after Close = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+func TestTooManyHandles(t *testing.T) {
+	// The bounded constructions must refuse the MaxThreads+1'th handle
+	// with ErrTooManyHandles (the unbounded ones hand out handles until
+	// Close).
+	for _, name := range []string{"mpserver", "hybcomb", "shmserver"} {
+		t.Run(name, func(t *testing.T) {
+			ex, err := hybsync.New(name, func(op, arg uint64) uint64 { return 0 },
+				hybsync.WithMaxThreads(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ex.Close()
+			for i := 0; i < 2; i++ {
+				if _, err := ex.NewHandle(); err != nil {
+					t.Fatalf("NewHandle %d: %v", i, err)
+				}
+			}
+			if _, err := ex.NewHandle(); !errors.Is(err, hybsync.ErrTooManyHandles) {
+				t.Fatalf("NewHandle beyond MaxThreads = %v, want ErrTooManyHandles", err)
+			}
+		})
+	}
+}
+
+func TestMustHandlePanicsOnExhaustion(t *testing.T) {
+	ex := hybsync.MustNew("hybcomb", func(op, arg uint64) uint64 { return 0 },
+		hybsync.WithMaxThreads(1))
+	defer ex.Close()
+	hybsync.MustHandle(ex)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustHandle beyond MaxThreads did not panic")
+		}
+	}()
+	hybsync.MustHandle(ex)
+}
+
+func TestRegisterDuplicateRejected(t *testing.T) {
+	factory := func(d hybsync.Dispatch, o hybsync.Options) (hybsync.Executor, error) {
+		return hybsync.New("hybcomb", d, hybsync.WithMaxThreads(o.MaxThreads))
+	}
+	if err := hybsync.Register("api-test-custom", factory); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := hybsync.Register("api-test-custom", factory); !errors.Is(err, hybsync.ErrDuplicateAlgorithm) {
+		t.Fatalf("duplicate Register = %v, want ErrDuplicateAlgorithm", err)
+	}
+	// The custom registration is reachable through New like any built-in.
+	ex, err := hybsync.New("api-test-custom", func(op, arg uint64) uint64 { return arg })
+	if err != nil {
+		t.Fatalf("New(custom): %v", err)
+	}
+	defer ex.Close()
+	if got := hybsync.MustHandle(ex).Apply(0, 7); got != 7 {
+		t.Fatalf("Apply through custom algorithm = %d, want 7", got)
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	if _, err := hybsync.New("no-such-algo", func(op, arg uint64) uint64 { return 0 }); !errors.Is(err, hybsync.ErrUnknownAlgorithm) {
+		t.Fatalf("New(unknown) = %v, want ErrUnknownAlgorithm", err)
+	}
+}

@@ -3,7 +3,7 @@
 // The BenchmarkSimFig* benchmarks run the tilesim reproduction and
 // report the figure's metric (Mops/s, cycles/op, stall cycles/op,
 // combining rate) via b.ReportMetric — these are the numbers compared
-// against the paper in EXPERIMENTS.md. The BenchmarkNative* benchmarks
+// against the paper in DESIGN.md. The BenchmarkNative* benchmarks
 // exercise the native Go layer on real goroutines (ns/op there is the
 // per-operation latency on the host).
 //
@@ -16,21 +16,18 @@ import (
 	"sync"
 	"testing"
 
-	"hybsync/internal/conc"
-	"hybsync/internal/core"
-	"hybsync/internal/shmsync"
-	"hybsync/internal/simalgo"
-	"hybsync/internal/spin"
-	"hybsync/internal/tilesim"
+	"hybsync"
+	"hybsync/object"
+	"hybsync/sim"
 )
 
 // simHorizon is the simulated-cycle budget per benchmark iteration.
 const simHorizon = 60_000
 
 // runSim executes one simulated workload and returns the result.
-func runSim(b *simalgo.Builder, threads int, seed uint64,
-	opFor func(int, uint64) (uint64, uint64), prof tilesim.Profile) simalgo.Result {
-	return simalgo.RunWorkload(prof, b, simalgo.WorkloadCfg{
+func runSim(b *sim.Builder, threads int, seed uint64,
+	opFor func(int, uint64) (uint64, uint64), prof sim.Profile) sim.Result {
+	return sim.RunWorkload(prof, b, sim.WorkloadCfg{
 		Threads:      threads,
 		Horizon:      simHorizon,
 		MaxLocalWork: 50,
@@ -39,12 +36,12 @@ func runSim(b *simalgo.Builder, threads int, seed uint64,
 }
 
 // counterSimBuilders returns fresh builders for the four approaches.
-func counterSimBuilders(maxOps int) map[string]func() *simalgo.Builder {
-	return map[string]func() *simalgo.Builder{
-		"mp-server":  func() *simalgo.Builder { return simalgo.NewMPServerBuilder(simalgo.CounterFactory) },
-		"HybComb":    func() *simalgo.Builder { return simalgo.NewHybCombBuilder(simalgo.CounterFactory, maxOps) },
-		"shm-server": func() *simalgo.Builder { return simalgo.NewSHMServerBuilder(simalgo.CounterFactory) },
-		"CC-Synch":   func() *simalgo.Builder { return simalgo.NewCCSynchBuilder(simalgo.CounterFactory, maxOps) },
+func counterSimBuilders(maxOps int) map[string]func() *sim.Builder {
+	return map[string]func() *sim.Builder{
+		"mp-server":  func() *sim.Builder { return sim.NewMPServerBuilder(sim.CounterFactory) },
+		"HybComb":    func() *sim.Builder { return sim.NewHybCombBuilder(sim.CounterFactory, maxOps) },
+		"shm-server": func() *sim.Builder { return sim.NewSHMServerBuilder(sim.CounterFactory) },
+		"CC-Synch":   func() *sim.Builder { return sim.NewCCSynchBuilder(sim.CounterFactory, maxOps) },
 	}
 }
 
@@ -58,7 +55,7 @@ func BenchmarkSimFig3aCounterThroughput(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var mops float64
 			for i := 0; i < b.N; i++ {
-				res := runSim(mk(), 35, uint64(i+1), simalgo.CounterOps, tilesim.ProfileTileGx())
+				res := runSim(mk(), 35, uint64(i+1), sim.CounterOps, sim.ProfileTileGx())
 				mops = res.Mops()
 			}
 			b.ReportMetric(mops, "Mops/s")
@@ -73,7 +70,7 @@ func BenchmarkSimFig3bCounterLatency(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var lat float64
 			for i := 0; i < b.N; i++ {
-				res := runSim(mk(), 35, uint64(i+1), simalgo.CounterOps, tilesim.ProfileTileGx())
+				res := runSim(mk(), 35, uint64(i+1), sim.CounterOps, sim.ProfileTileGx())
 				lat = res.AvgLatency()
 			}
 			b.ReportMetric(lat, "cycles/op")
@@ -88,8 +85,8 @@ func BenchmarkSimFig3cMaxOps(b *testing.B) {
 		b.Run(fmt.Sprintf("HybComb/maxops=%d", maxOps), func(b *testing.B) {
 			var mops float64
 			for i := 0; i < b.N; i++ {
-				mk := simalgo.NewHybCombBuilder(simalgo.CounterFactory, maxOps)
-				res := runSim(mk, 35, uint64(i+1), simalgo.CounterOps, tilesim.ProfileTileGx())
+				mk := sim.NewHybCombBuilder(sim.CounterFactory, maxOps)
+				res := runSim(mk, 35, uint64(i+1), sim.CounterOps, sim.ProfileTileGx())
 				mops = res.Mops()
 			}
 			b.ReportMetric(mops, "Mops/s")
@@ -101,7 +98,7 @@ func BenchmarkSimFig3cMaxOps(b *testing.B) {
 // cycles per operation at the servicing thread (fixed combiner).
 func BenchmarkSimFig4aServiceStalls(b *testing.B) {
 	const inf = 1 << 40
-	mks := map[string]func() *simalgo.Builder{
+	mks := map[string]func() *sim.Builder{
 		"mp-server":  counterSimBuilders(200)["mp-server"],
 		"HybComb":    counterSimBuilders(inf)["HybComb"],
 		"shm-server": counterSimBuilders(200)["shm-server"],
@@ -111,9 +108,9 @@ func BenchmarkSimFig4aServiceStalls(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var stall, total float64
 			for i := 0; i < b.N; i++ {
-				res := runSim(mks[name](), 35, uint64(i+1), simalgo.CounterOps, tilesim.ProfileTileGx())
+				res := runSim(mks[name](), 35, uint64(i+1), sim.CounterOps, sim.ProfileTileGx())
 				svc := res.Service
-				var busiest *tilesim.Proc
+				var busiest *sim.Proc
 				if len(svc) > 0 {
 					busiest = svc[0]
 				} else {
@@ -139,7 +136,7 @@ func BenchmarkSimFig4bCombiningRate(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var rate float64
 			for i := 0; i < b.N; i++ {
-				res := runSim(mk(), 35, uint64(i+1), simalgo.CounterOps, tilesim.ProfileTileGx())
+				res := runSim(mk(), 35, uint64(i+1), sim.CounterOps, sim.ProfileTileGx())
 				rate = res.CombiningRate()
 			}
 			b.ReportMetric(rate, "reqs/round")
@@ -155,13 +152,13 @@ func BenchmarkSimFig4cCSLength(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/iters=%d", name, iters), func(b *testing.B) {
 				var cpo float64
 				for i := 0; i < b.N; i++ {
-					var mk *simalgo.Builder
+					var mk *sim.Builder
 					if name == "mp-server" {
-						mk = simalgo.NewMPServerBuilder(simalgo.ArrayCounterFactory(16))
+						mk = sim.NewMPServerBuilder(sim.ArrayCounterFactory(16))
 					} else {
-						mk = simalgo.NewSHMServerBuilder(simalgo.ArrayCounterFactory(16))
+						mk = sim.NewSHMServerBuilder(sim.ArrayCounterFactory(16))
 					}
-					res := runSim(mk, 35, uint64(i+1), simalgo.ArrayOps(iters), tilesim.ProfileTileGx())
+					res := runSim(mk, 35, uint64(i+1), sim.ArrayOps(iters), sim.ProfileTileGx())
 					cpo = float64(res.Cycles) / float64(res.Ops)
 				}
 				b.ReportMetric(cpo, "cycles/CS")
@@ -174,14 +171,14 @@ func BenchmarkSimFig4cCSLength(b *testing.B) {
 func BenchmarkSimFig5aQueues(b *testing.B) {
 	mks := []struct {
 		name string
-		mk   func() *simalgo.Builder
+		mk   func() *sim.Builder
 	}{
-		{"mp-server-1", func() *simalgo.Builder { return simalgo.NewMPServerBuilder(simalgo.QueueFactory) }},
-		{"HybComb-1", func() *simalgo.Builder { return simalgo.NewHybCombBuilder(simalgo.QueueFactory, 200) }},
-		{"shm-server-1", func() *simalgo.Builder { return simalgo.NewSHMServerBuilder(simalgo.QueueFactory) }},
-		{"CC-Synch-1", func() *simalgo.Builder { return simalgo.NewCCSynchBuilder(simalgo.QueueFactory, 200) }},
-		{"LCRQ", func() *simalgo.Builder { return simalgo.NewLCRQBuilder(1024) }},
-		{"mp-server-2", simalgo.NewTwoLockQueueBuilder},
+		{"mp-server-1", func() *sim.Builder { return sim.NewMPServerBuilder(sim.QueueFactory) }},
+		{"HybComb-1", func() *sim.Builder { return sim.NewHybCombBuilder(sim.QueueFactory, 200) }},
+		{"shm-server-1", func() *sim.Builder { return sim.NewSHMServerBuilder(sim.QueueFactory) }},
+		{"CC-Synch-1", func() *sim.Builder { return sim.NewCCSynchBuilder(sim.QueueFactory, 200) }},
+		{"LCRQ", func() *sim.Builder { return sim.NewLCRQBuilder(1024) }},
+		{"mp-server-2", sim.NewTwoLockQueueBuilder},
 	}
 	for _, e := range mks {
 		b.Run(e.name, func(b *testing.B) {
@@ -191,7 +188,7 @@ func BenchmarkSimFig5aQueues(b *testing.B) {
 			}
 			var mops float64
 			for i := 0; i < b.N; i++ {
-				res := runSim(e.mk(), threads, uint64(i+1), simalgo.QueueOps, tilesim.ProfileTileGx())
+				res := runSim(e.mk(), threads, uint64(i+1), sim.QueueOps, sim.ProfileTileGx())
 				mops = res.Mops()
 			}
 			b.ReportMetric(mops, "Mops/s")
@@ -203,19 +200,19 @@ func BenchmarkSimFig5aQueues(b *testing.B) {
 func BenchmarkSimFig5bStacks(b *testing.B) {
 	mks := []struct {
 		name string
-		mk   func() *simalgo.Builder
+		mk   func() *sim.Builder
 	}{
-		{"mp-server", func() *simalgo.Builder { return simalgo.NewMPServerBuilder(simalgo.StackFactory) }},
-		{"HybComb", func() *simalgo.Builder { return simalgo.NewHybCombBuilder(simalgo.StackFactory, 200) }},
-		{"shm-server", func() *simalgo.Builder { return simalgo.NewSHMServerBuilder(simalgo.StackFactory) }},
-		{"CC-Synch", func() *simalgo.Builder { return simalgo.NewCCSynchBuilder(simalgo.StackFactory, 200) }},
-		{"Treiber", simalgo.NewTreiberBuilder},
+		{"mp-server", func() *sim.Builder { return sim.NewMPServerBuilder(sim.StackFactory) }},
+		{"HybComb", func() *sim.Builder { return sim.NewHybCombBuilder(sim.StackFactory, 200) }},
+		{"shm-server", func() *sim.Builder { return sim.NewSHMServerBuilder(sim.StackFactory) }},
+		{"CC-Synch", func() *sim.Builder { return sim.NewCCSynchBuilder(sim.StackFactory, 200) }},
+		{"Treiber", sim.NewTreiberBuilder},
 	}
 	for _, e := range mks {
 		b.Run(e.name, func(b *testing.B) {
 			var mops float64
 			for i := 0; i < b.N; i++ {
-				res := runSim(e.mk(), 35, uint64(i+1), simalgo.StackOps, tilesim.ProfileTileGx())
+				res := runSim(e.mk(), 35, uint64(i+1), sim.StackOps, sim.ProfileTileGx())
 				mops = res.Mops()
 			}
 			b.ReportMetric(mops, "Mops/s")
@@ -226,13 +223,13 @@ func BenchmarkSimFig5bStacks(b *testing.B) {
 // BenchmarkSimX86Profile reproduces the §5.5 discussion: the
 // shared-memory approaches on the x86-like profile.
 func BenchmarkSimX86Profile(b *testing.B) {
-	prof := tilesim.ProfileX86Like()
+	prof := sim.ProfileX86Like()
 	for _, name := range []string{"shm-server", "CC-Synch"} {
 		mk := counterSimBuilders(200)[name]
 		b.Run(name, func(b *testing.B) {
 			var mops float64
 			for i := 0; i < b.N; i++ {
-				res := runSim(mk(), prof.NumCores()-1, uint64(i+1), simalgo.CounterOps, prof)
+				res := runSim(mk(), prof.NumCores()-1, uint64(i+1), sim.CounterOps, prof)
 				mops = res.Mops()
 			}
 			b.ReportMetric(mops, "Mops/s")
@@ -242,61 +239,31 @@ func BenchmarkSimX86Profile(b *testing.B) {
 
 // --- Native-layer benchmarks -------------------------------------------
 
-// nativeExecutors enumerates the native constructions for benching.
-func nativeExecutors() []struct {
-	name string
-	mk   func() (conc.ExecutorFactory, func())
-} {
-	return []struct {
-		name string
-		mk   func() (conc.ExecutorFactory, func())
-	}{
-		{"mp-server", func() (conc.ExecutorFactory, func()) {
-			var s *core.MPServer
-			return func(d core.Dispatch) core.Executor {
-				s = core.NewMPServer(d, core.Options{MaxThreads: 256})
-				return s
-			}, func() { s.Close() }
-		}},
-		{"HybComb", func() (conc.ExecutorFactory, func()) {
-			return func(d core.Dispatch) core.Executor {
-				return core.NewHybComb(d, core.Options{MaxThreads: 256})
-			}, func() {}
-		}},
-		{"shm-server", func() (conc.ExecutorFactory, func()) {
-			var s *shmsync.SHMServer
-			return func(d core.Dispatch) core.Executor {
-				s = shmsync.NewSHMServer(d, 256)
-				return s
-			}, func() { s.Close() }
-		}},
-		{"CC-Synch", func() (conc.ExecutorFactory, func()) {
-			return func(d core.Dispatch) core.Executor {
-				return shmsync.NewCCSynch(d, 200)
-			}, func() {}
-		}},
-		{"mcs-lock", func() (conc.ExecutorFactory, func()) {
-			return func(d core.Dispatch) core.Executor {
-				l := &spin.MCSLock{}
-				return spin.NewLockExecutor(d, func() spin.Lock { return l.NewMCSHandle() })
-			}, func() {}
-		}},
-	}
-}
+// nativeAlgos enumerates the native constructions for benching, by
+// their registry names.
+var nativeAlgos = []string{"mpserver", "hybcomb", "shmserver", "ccsynch", "mcs-lock"}
+
+// nativeOpts sizes every construction for RunParallel's goroutine count.
+func nativeOpts() []hybsync.Option { return []hybsync.Option{hybsync.WithMaxThreads(256)} }
 
 // BenchmarkNativeCounter is the native analogue of Figure 3a: contended
 // counter increments across goroutines (ns/op = per-op latency).
 func BenchmarkNativeCounter(b *testing.B) {
-	for _, e := range nativeExecutors() {
-		b.Run(e.name, func(b *testing.B) {
-			fac, closeAll := e.mk()
-			defer closeAll()
-			c := conc.NewCounter(fac)
-			var mu sync.Mutex // protects Handle() distribution
+	for _, algo := range nativeAlgos {
+		b.Run(algo, func(b *testing.B) {
+			c, err := object.NewCounter(algo, nativeOpts()...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			var mu sync.Mutex // protects NewHandle() distribution
 			b.RunParallel(func(pb *testing.PB) {
 				mu.Lock()
-				h := c.Handle()
+				h, err := c.NewHandle()
 				mu.Unlock()
+				if err != nil {
+					panic(err)
+				}
 				for pb.Next() {
 					h.Inc()
 				}
@@ -307,16 +274,21 @@ func BenchmarkNativeCounter(b *testing.B) {
 
 // BenchmarkNativeQueue is the native analogue of Figure 5a.
 func BenchmarkNativeQueue(b *testing.B) {
-	for _, e := range nativeExecutors() {
-		b.Run("MSQueue1/"+e.name, func(b *testing.B) {
-			fac, closeAll := e.mk()
-			defer closeAll()
-			q := conc.NewMSQueue1(fac)
+	for _, algo := range nativeAlgos {
+		b.Run("MSQueue1/"+algo, func(b *testing.B) {
+			q, err := object.NewMSQueue1(algo, nativeOpts()...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer q.Close()
 			var mu sync.Mutex
 			b.RunParallel(func(pb *testing.PB) {
 				mu.Lock()
-				h := q.Handle()
+				h, err := q.NewHandle()
 				mu.Unlock()
+				if err != nil {
+					panic(err)
+				}
 				var i uint64
 				for pb.Next() {
 					if i%2 == 0 {
@@ -330,7 +302,7 @@ func BenchmarkNativeQueue(b *testing.B) {
 		})
 	}
 	b.Run("LCRQ", func(b *testing.B) {
-		q := conc.NewLCRQueue(1024)
+		q := object.NewLCRQueue(1024)
 		b.RunParallel(func(pb *testing.PB) {
 			var i uint64
 			for pb.Next() {
@@ -347,16 +319,21 @@ func BenchmarkNativeQueue(b *testing.B) {
 
 // BenchmarkNativeStack is the native analogue of Figure 5b.
 func BenchmarkNativeStack(b *testing.B) {
-	for _, e := range nativeExecutors() {
-		b.Run(e.name, func(b *testing.B) {
-			fac, closeAll := e.mk()
-			defer closeAll()
-			s := conc.NewStack(fac)
+	for _, algo := range nativeAlgos {
+		b.Run(algo, func(b *testing.B) {
+			s, err := object.NewStack(algo, nativeOpts()...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
 			var mu sync.Mutex
 			b.RunParallel(func(pb *testing.PB) {
 				mu.Lock()
-				h := s.Handle()
+				h, err := s.NewHandle()
 				mu.Unlock()
+				if err != nil {
+					panic(err)
+				}
 				var i uint64
 				for pb.Next() {
 					if i%2 == 0 {
@@ -370,7 +347,7 @@ func BenchmarkNativeStack(b *testing.B) {
 		})
 	}
 	b.Run("Treiber", func(b *testing.B) {
-		s := conc.NewTreiberStack()
+		s := object.NewTreiberStack()
 		b.RunParallel(func(pb *testing.PB) {
 			var i uint64
 			for pb.Next() {

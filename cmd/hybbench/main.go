@@ -1,18 +1,20 @@
-// Command hybbench measures the native Go layer: the four constructions
-// (MP-SERVER, HYBCOMB, CC-SYNCH, SHM-SERVER) plus spin-lock baselines
-// over the paper's three objects (counter, queue, stack) on real
-// goroutines.
+// Command hybbench measures the native Go layer: every construction
+// registered with the hybsync algorithm registry (MP-SERVER, HYBCOMB,
+// CC-SYNCH, SHM-SERVER, spin locks) over the paper's three objects
+// (counter, queue, stack) on real goroutines.
 //
 // Unlike cmd/tilebench — which reproduces the paper's numbers on the
 // simulated TILE-Gx — hybbench answers a different question: how do the
 // same algorithms behave on a commodity host through the Go runtime,
 // where "message passing" is a lock-free queue over coherent shared
 // memory? Shapes differ from the paper (there is no hardware UDN here);
-// EXPERIMENTS.md discusses the comparison.
+// DESIGN.md discusses the comparison.
 //
 // Usage:
 //
+//	hybbench -list
 //	hybbench -bench all -dur 200ms -threads 1,2,4,8,16
+//	hybbench -bench counter -algos mpserver,hybcomb,clh-lock
 package main
 
 import (
@@ -24,18 +26,35 @@ import (
 	"strings"
 	"time"
 
-	"hybsync/internal/conc"
-	"hybsync/internal/core"
-	"hybsync/internal/harness"
-	"hybsync/internal/shmsync"
-	"hybsync/internal/spin"
+	"hybsync"
+	"hybsync/harness"
+	"hybsync/object"
 )
 
+// defaultAlgos is the paper's four constructions plus one queue-lock
+// baseline; -algos all selects everything in the registry.
+var defaultAlgos = []string{"mpserver", "hybcomb", "shmserver", "ccsynch", "mcs-lock"}
+
 func main() {
-	bench := flag.String("bench", "all", "benchmark: counter, queue, stack, fairness, mpq, all")
+	bench := flag.String("bench", "all", "benchmark: counter, queue, stack, fairness, all")
 	dur := flag.Duration("dur", 200*time.Millisecond, "measurement duration per point")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default scales to GOMAXPROCS)")
+	algosFlag := flag.String("algos", "", "comma-separated algorithm names from the registry (default a representative five; 'all' for every registered algorithm)")
+	list := flag.Bool("list", false, "print the registered algorithm names and exit")
 	flag.Parse()
+
+	if *list {
+		for _, name := range hybsync.Algorithms() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	algos, err := selectAlgos(*algosFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	threads := defaultThreads()
 	if *threadsFlag != "" {
@@ -52,22 +71,53 @@ func main() {
 
 	switch *bench {
 	case "counter":
-		benchCounter(threads, *dur)
+		benchCounter(algos, threads, *dur)
 	case "queue":
-		benchQueue(threads, *dur)
+		benchQueue(algos, threads, *dur)
 	case "stack":
-		benchStack(threads, *dur)
+		benchStack(algos, threads, *dur)
 	case "fairness":
-		benchFairness(threads, *dur)
+		benchFairness(algos, threads, *dur)
 	case "all":
-		benchCounter(threads, *dur)
-		benchQueue(threads, *dur)
-		benchStack(threads, *dur)
-		benchFairness(threads, *dur)
+		benchCounter(algos, threads, *dur)
+		benchQueue(algos, threads, *dur)
+		benchStack(algos, threads, *dur)
+		benchFairness(algos, threads, *dur)
 	default:
 		fmt.Fprintf(os.Stderr, "hybbench: unknown bench %q\n", *bench)
 		os.Exit(2)
 	}
+}
+
+// selectAlgos resolves the -algos flag against the registry.
+func selectAlgos(flagVal string) ([]string, error) {
+	registered := hybsync.Algorithms()
+	switch flagVal {
+	case "":
+		return defaultAlgos, nil
+	case "all":
+		return registered, nil
+	}
+	have := make(map[string]bool, len(registered))
+	for _, name := range registered {
+		have[name] = true
+	}
+	var algos []string
+	for _, s := range strings.Split(flagVal, ",") {
+		name := strings.TrimSpace(s)
+		if name == "" {
+			continue
+		}
+		if !have[name] {
+			return nil, fmt.Errorf("unknown algorithm %q (have: %s)",
+				name, strings.Join(registered, ", "))
+		}
+		algos = append(algos, name)
+	}
+	if len(algos) == 0 {
+		return nil, fmt.Errorf("-algos selected no algorithms")
+	}
+	return algos, nil
 }
 
 func defaultThreads() []int {
@@ -82,111 +132,60 @@ func defaultThreads() []int {
 	return out
 }
 
-// executorFactories enumerates the native constructions.
-func executorFactories() []struct {
-	Name string
-	Make func() (conc.ExecutorFactory, func())
-} {
-	return []struct {
-		Name string
-		Make func() (conc.ExecutorFactory, func())
-	}{
-		{"mp-server", func() (conc.ExecutorFactory, func()) {
-			var servers []*core.MPServer
-			return func(d core.Dispatch) core.Executor {
-					s := core.NewMPServer(d, core.Options{MaxThreads: 256})
-					servers = append(servers, s)
-					return s
-				}, func() {
-					for _, s := range servers {
-						s.Close()
-					}
-				}
-		}},
-		{"HybComb", func() (conc.ExecutorFactory, func()) {
-			return func(d core.Dispatch) core.Executor {
-				return core.NewHybComb(d, core.Options{MaxThreads: 256})
-			}, func() {}
-		}},
-		{"shm-server", func() (conc.ExecutorFactory, func()) {
-			var servers []*shmsync.SHMServer
-			return func(d core.Dispatch) core.Executor {
-					s := shmsync.NewSHMServer(d, 256)
-					servers = append(servers, s)
-					return s
-				}, func() {
-					for _, s := range servers {
-						s.Close()
-					}
-				}
-		}},
-		{"CC-Synch", func() (conc.ExecutorFactory, func()) {
-			return func(d core.Dispatch) core.Executor {
-				return shmsync.NewCCSynch(d, 200)
-			}, func() {}
-		}},
-		{"mcs-lock", func() (conc.ExecutorFactory, func()) {
-			return func(d core.Dispatch) core.Executor {
-				l := &spin.MCSLock{}
-				return spin.NewLockExecutor(d, func() spin.Lock { return l.NewMCSHandle() })
-			}, func() {}
-		}},
+// opts sizes every construction generously enough for any thread count
+// hybbench drives.
+func opts() []hybsync.Option { return []hybsync.Option{hybsync.WithMaxThreads(256)} }
+
+// runCounter measures one counter-increment point for algo; shared by
+// the throughput and fairness benches.
+func runCounter(algo string, th int, dur time.Duration) harness.NativeResult {
+	c, err := object.NewCounter(algo, opts()...)
+	if err != nil {
+		fatalf("NewCounter(%s): %v", algo, err)
 	}
+	defer c.Close()
+	return harness.RunNative(th, dur, 50, func(int) func(uint64) {
+		h, err := c.NewHandle()
+		if err != nil {
+			panic(err)
+		}
+		return func(uint64) { h.Inc() }
+	})
 }
 
-func benchCounter(threads []int, dur time.Duration) {
-	facs := executorFactories()
-	header := []string{"threads"}
-	for _, f := range facs {
-		header = append(header, f.Name)
-	}
+func benchCounter(algos []string, threads []int, dur time.Duration) {
+	header := append([]string{"threads"}, algos...)
 	t := harness.NewTable("Native counter throughput (Mops/sec)", header...)
 	t.Note = fmt.Sprintf("GOMAXPROCS=%d, local work <=50 iters, %v per point", runtime.GOMAXPROCS(0), dur)
 	for _, th := range threads {
 		row := []any{th}
-		for _, f := range facs {
-			fac, closeAll := f.Make()
-			c := conc.NewCounter(fac)
-			res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
-				h := c.Handle()
-				return func(uint64) { h.Inc() }
-			})
-			closeAll()
-			row = append(row, res.Mops())
+		for _, algo := range algos {
+			row = append(row, runCounter(algo, th, dur).Mops())
 		}
 		t.AddRow(row...)
 	}
 	t.Render(os.Stdout)
 }
 
-func benchQueue(threads []int, dur time.Duration) {
-	facs := executorFactories()
+func benchQueue(algos []string, threads []int, dur time.Duration) {
 	header := []string{"threads"}
-	for _, f := range facs {
-		header = append(header, f.Name+"-1")
+	for _, algo := range algos {
+		header = append(header, algo+"-1")
 	}
-	header = append(header, "LCRQ", "mp-server-2")
+	header = append(header, "LCRQ", "mpserver-2")
 	t := harness.NewTable("Native queue throughput under balanced load (Mops/sec)", header...)
 	for _, th := range threads {
 		row := []any{th}
-		for _, f := range facs {
-			fac, closeAll := f.Make()
-			q := conc.NewMSQueue1(fac)
-			res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
-				h := q.Handle()
-				return func(i uint64) {
-					if i%2 == 0 {
-						h.Enqueue(i)
-					} else {
-						h.Dequeue()
-					}
-				}
-			})
-			closeAll()
-			row = append(row, res.Mops())
+		for _, algo := range algos {
+			q, err := object.NewMSQueue1(algo, opts()...)
+			if err != nil {
+				fatalf("NewMSQueue1(%s): %v", algo, err)
+			}
+			row = append(row, runQueue(q.NewHandle, th, dur))
+			q.Close()
 		}
-		// LCRQ
-		lq := conc.NewLCRQueue(1024)
+		// LCRQ: nonblocking, no executor.
+		lq := object.NewLCRQueue(1024)
 		res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
 			return func(i uint64) {
 				if i%2 == 0 {
@@ -197,41 +196,53 @@ func benchQueue(threads []int, dur time.Duration) {
 			}
 		})
 		row = append(row, res.Mops())
-		// Two-lock over mp-server.
-		fac, closeAll := facs[0].Make()
-		q2 := conc.NewMSQueue2(fac)
-		res = harness.RunNative(th, dur, 50, func(int) func(uint64) {
-			h := q2.Handle()
-			return func(i uint64) {
-				if i%2 == 0 {
-					h.Enqueue(i)
-				} else {
-					h.Dequeue()
-				}
-			}
-		})
-		closeAll()
-		row = append(row, res.Mops())
+		// Two-lock MS-Queue over two dedicated mpserver goroutines.
+		q2, err := object.NewMSQueue2("mpserver", opts()...)
+		if err != nil {
+			fatalf("NewMSQueue2(mpserver): %v", err)
+		}
+		row = append(row, runQueue(q2.NewHandle, th, dur))
+		q2.Close()
 		t.AddRow(row...)
 	}
 	t.Render(os.Stdout)
 }
 
-func benchStack(threads []int, dur time.Duration) {
-	facs := executorFactories()
-	header := []string{"threads"}
-	for _, f := range facs {
-		header = append(header, f.Name)
-	}
+// runQueue drives a balanced enqueue/dequeue mix over per-goroutine
+// handles produced by newHandle.
+func runQueue(newHandle func() (*object.QueueHandle, error), th int, dur time.Duration) float64 {
+	res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
+		h, err := newHandle()
+		if err != nil {
+			panic(err)
+		}
+		return func(i uint64) {
+			if i%2 == 0 {
+				h.Enqueue(i)
+			} else {
+				h.Dequeue()
+			}
+		}
+	})
+	return res.Mops()
+}
+
+func benchStack(algos []string, threads []int, dur time.Duration) {
+	header := append([]string{"threads"}, algos...)
 	header = append(header, "Treiber")
 	t := harness.NewTable("Native stack throughput under balanced load (Mops/sec)", header...)
 	for _, th := range threads {
 		row := []any{th}
-		for _, f := range facs {
-			fac, closeAll := f.Make()
-			s := conc.NewStack(fac)
+		for _, algo := range algos {
+			s, err := object.NewStack(algo, opts()...)
+			if err != nil {
+				fatalf("NewStack(%s): %v", algo, err)
+			}
 			res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
-				h := s.Handle()
+				h, err := s.NewHandle()
+				if err != nil {
+					panic(err)
+				}
 				return func(i uint64) {
 					if i%2 == 0 {
 						h.Push(i)
@@ -240,10 +251,10 @@ func benchStack(threads []int, dur time.Duration) {
 					}
 				}
 			})
-			closeAll()
+			s.Close()
 			row = append(row, res.Mops())
 		}
-		ts := conc.NewTreiberStack()
+		ts := object.NewTreiberStack()
 		res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
 			return func(i uint64) {
 				if i%2 == 0 {
@@ -259,29 +270,23 @@ func benchStack(threads []int, dur time.Duration) {
 	t.Render(os.Stdout)
 }
 
-func benchFairness(threads []int, dur time.Duration) {
-	facs := executorFactories()
-	header := []string{"threads"}
-	for _, f := range facs {
-		header = append(header, f.Name)
-	}
+func benchFairness(algos []string, threads []int, dur time.Duration) {
+	header := append([]string{"threads"}, algos...)
 	t := harness.NewTable("Native fairness (max/min per-thread op ratio; 1.0 = ideal)", header...)
 	for _, th := range threads {
 		if th < 2 {
 			continue
 		}
 		row := []any{th}
-		for _, f := range facs {
-			fac, closeAll := f.Make()
-			c := conc.NewCounter(fac)
-			res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
-				h := c.Handle()
-				return func(uint64) { h.Inc() }
-			})
-			closeAll()
-			row = append(row, res.Fairness())
+		for _, algo := range algos {
+			row = append(row, runCounter(algo, th, dur).Fairness())
 		}
 		t.AddRow(row...)
 	}
 	t.Render(os.Stdout)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hybbench: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"os"
 
-	"hybsync/internal/harness"
-	"hybsync/internal/simalgo"
-	"hybsync/internal/tilesim"
+	"hybsync/harness"
+	"hybsync/sim"
 )
 
 // figConfig carries the sweep parameters shared by all figures.
@@ -22,20 +21,20 @@ type figConfig struct {
 var threadSweep = []int{1, 2, 3, 5, 7, 10, 14, 17, 20, 24, 28, 31, 35}
 
 // counterBuilders enumerates the four §5.3 approaches over a counter.
-func counterBuilders(maxOps int) []*simalgo.Builder {
-	return []*simalgo.Builder{
-		simalgo.NewMPServerBuilder(simalgo.CounterFactory),
-		simalgo.NewHybCombBuilder(simalgo.CounterFactory, maxOps),
-		simalgo.NewSHMServerBuilder(simalgo.CounterFactory),
-		simalgo.NewCCSynchBuilder(simalgo.CounterFactory, maxOps),
+func counterBuilders(maxOps int) []*sim.Builder {
+	return []*sim.Builder{
+		sim.NewMPServerBuilder(sim.CounterFactory),
+		sim.NewHybCombBuilder(sim.CounterFactory, maxOps),
+		sim.NewSHMServerBuilder(sim.CounterFactory),
+		sim.NewCCSynchBuilder(sim.CounterFactory, maxOps),
 	}
 }
 
 // sweep runs b for every thread count and returns one averaged Result
 // per point.
-func sweep(cfg figConfig, mk func() *simalgo.Builder, threads []int,
-	opFor func(int, uint64) (uint64, uint64), prof tilesim.Profile) []simalgo.Result {
-	out := make([]simalgo.Result, len(threads))
+func sweep(cfg figConfig, mk func() *sim.Builder, threads []int,
+	opFor func(int, uint64) (uint64, uint64), prof sim.Profile) []sim.Result {
+	out := make([]sim.Result, len(threads))
 	for i, th := range threads {
 		out[i] = average(cfg, mk, th, opFor, prof)
 	}
@@ -44,12 +43,12 @@ func sweep(cfg figConfig, mk func() *simalgo.Builder, threads []int,
 
 // average runs one data point cfg.Runs times with different seeds and
 // averages the scalar statistics.
-func average(cfg figConfig, mk func() *simalgo.Builder, threads int,
-	opFor func(int, uint64) (uint64, uint64), prof tilesim.Profile) simalgo.Result {
-	var acc simalgo.Result
+func average(cfg figConfig, mk func() *sim.Builder, threads int,
+	opFor func(int, uint64) (uint64, uint64), prof sim.Profile) sim.Result {
+	var acc sim.Result
 	for r := 0; r < cfg.Runs; r++ {
 		b := mk()
-		res := simalgo.RunWorkload(prof, b, simalgo.WorkloadCfg{
+		res := sim.RunWorkload(prof, b, sim.WorkloadCfg{
 			Threads:      threads,
 			Horizon:      cfg.Horizon,
 			MaxLocalWork: 50,
@@ -82,11 +81,11 @@ func fig3a(cfg figConfig) {
 		append([]string{"threads"}, builderNames(counterBuilders(cfg.MaxOps))...)...)
 	t.Note = fmt.Sprintf("MAX_OPS=%d, local work <=50 iters, horizon %d cycles x %d runs",
 		cfg.MaxOps, cfg.Horizon, cfg.Runs)
-	cols := make([][]simalgo.Result, 0, 4)
+	cols := make([][]sim.Result, 0, 4)
 	for i := range counterBuilders(cfg.MaxOps) {
 		i := i
-		cols = append(cols, sweep(cfg, func() *simalgo.Builder { return counterBuilders(cfg.MaxOps)[i] },
-			threadSweep, simalgo.CounterOps, tilesim.ProfileTileGx()))
+		cols = append(cols, sweep(cfg, func() *sim.Builder { return counterBuilders(cfg.MaxOps)[i] },
+			threadSweep, sim.CounterOps, sim.ProfileTileGx()))
 	}
 	for r, th := range threadSweep {
 		t.AddRow(th, cols[0][r].Mops(), cols[1][r].Mops(), cols[2][r].Mops(), cols[3][r].Mops())
@@ -98,11 +97,11 @@ func fig3a(cfg figConfig) {
 func fig3b(cfg figConfig) {
 	t := harness.NewTable("Figure 3b — concurrent counter latency (cycles)",
 		append([]string{"threads"}, builderNames(counterBuilders(cfg.MaxOps))...)...)
-	cols := make([][]simalgo.Result, 0, 4)
+	cols := make([][]sim.Result, 0, 4)
 	for i := range counterBuilders(cfg.MaxOps) {
 		i := i
-		cols = append(cols, sweep(cfg, func() *simalgo.Builder { return counterBuilders(cfg.MaxOps)[i] },
-			threadSweep, simalgo.CounterOps, tilesim.ProfileTileGx()))
+		cols = append(cols, sweep(cfg, func() *sim.Builder { return counterBuilders(cfg.MaxOps)[i] },
+			threadSweep, sim.CounterOps, sim.ProfileTileGx()))
 	}
 	for r, th := range threadSweep {
 		t.AddRow(th, cols[0][r].AvgLatency(), cols[1][r].AvgLatency(), cols[2][r].AvgLatency(), cols[3][r].AvgLatency())
@@ -116,12 +115,12 @@ func fig3c(cfg figConfig) {
 		"MAX_OPS", "HybComb", "CC-Synch")
 	for _, mo := range []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000} {
 		mo := mo
-		hy := average(cfg, func() *simalgo.Builder {
-			return simalgo.NewHybCombBuilder(simalgo.CounterFactory, mo)
-		}, 35, simalgo.CounterOps, tilesim.ProfileTileGx())
-		cc := average(cfg, func() *simalgo.Builder {
-			return simalgo.NewCCSynchBuilder(simalgo.CounterFactory, mo)
-		}, 35, simalgo.CounterOps, tilesim.ProfileTileGx())
+		hy := average(cfg, func() *sim.Builder {
+			return sim.NewHybCombBuilder(sim.CounterFactory, mo)
+		}, 35, sim.CounterOps, sim.ProfileTileGx())
+		cc := average(cfg, func() *sim.Builder {
+			return sim.NewCCSynchBuilder(sim.CounterFactory, mo)
+		}, 35, sim.CounterOps, sim.ProfileTileGx())
 		t.AddRow(mo, hy.Mops(), cc.Mops())
 	}
 	t.Render(os.Stdout)
@@ -139,21 +138,21 @@ func fig4a(cfg figConfig) {
 
 	type entry struct {
 		name string
-		mk   func() *simalgo.Builder
+		mk   func() *sim.Builder
 	}
 	entries := []entry{
-		{"mp-server", func() *simalgo.Builder { return simalgo.NewMPServerBuilder(simalgo.CounterFactory) }},
-		{"HybComb", func() *simalgo.Builder { return simalgo.NewHybCombBuilder(simalgo.CounterFactory, inf) }},
-		{"shm-server", func() *simalgo.Builder { return simalgo.NewSHMServerBuilder(simalgo.CounterFactory) }},
-		{"CC-Synch", func() *simalgo.Builder { return simalgo.NewCCSynchBuilder(simalgo.CounterFactory, inf) }},
+		{"mp-server", func() *sim.Builder { return sim.NewMPServerBuilder(sim.CounterFactory) }},
+		{"HybComb", func() *sim.Builder { return sim.NewHybCombBuilder(sim.CounterFactory, inf) }},
+		{"shm-server", func() *sim.Builder { return sim.NewSHMServerBuilder(sim.CounterFactory) }},
+		{"CC-Synch", func() *sim.Builder { return sim.NewCCSynchBuilder(sim.CounterFactory, inf) }},
 	}
 	for _, en := range entries {
 		var stall, busy, ops float64
 		for r := 0; r < cfg.Runs; r++ {
 			b := en.mk()
-			res := simalgo.RunWorkload(tilesim.ProfileTileGx(), b, simalgo.WorkloadCfg{
+			res := sim.RunWorkload(sim.ProfileTileGx(), b, sim.WorkloadCfg{
 				Threads: 35, Horizon: cfg.Horizon, MaxLocalWork: 50, Seed: uint64(r + 1),
-			}, simalgo.CounterOps)
+			}, sim.CounterOps)
 			svc := servicingProc(res)
 			stall += float64(svc.StallCycles)
 			busy += float64(svc.BusyCycles())
@@ -167,11 +166,11 @@ func fig4a(cfg figConfig) {
 // servicingProc returns the Proc that executed the critical sections: a
 // dedicated server when there is one, otherwise the (fixed) combiner —
 // identified as the busiest client.
-func servicingProc(res simalgo.Result) *tilesim.Proc {
+func servicingProc(res sim.Result) *sim.Proc {
 	if len(res.Service) > 0 {
 		return res.Service[0]
 	}
-	var busiest *tilesim.Proc
+	var busiest *sim.Proc
 	for _, p := range res.Clients {
 		if busiest == nil || p.BusyCycles() > busiest.BusyCycles() {
 			busiest = p
@@ -185,10 +184,10 @@ func fig4b(cfg figConfig) {
 	t := harness.NewTable("Figure 4b — actual combining rate (requests per combiner round)",
 		"threads", "HybComb", "CC-Synch")
 	t.Note = fmt.Sprintf("MAX_OPS=%d", cfg.MaxOps)
-	hy := sweep(cfg, func() *simalgo.Builder { return simalgo.NewHybCombBuilder(simalgo.CounterFactory, cfg.MaxOps) },
-		threadSweep, simalgo.CounterOps, tilesim.ProfileTileGx())
-	cc := sweep(cfg, func() *simalgo.Builder { return simalgo.NewCCSynchBuilder(simalgo.CounterFactory, cfg.MaxOps) },
-		threadSweep, simalgo.CounterOps, tilesim.ProfileTileGx())
+	hy := sweep(cfg, func() *sim.Builder { return sim.NewHybCombBuilder(sim.CounterFactory, cfg.MaxOps) },
+		threadSweep, sim.CounterOps, sim.ProfileTileGx())
+	cc := sweep(cfg, func() *sim.Builder { return sim.NewCCSynchBuilder(sim.CounterFactory, cfg.MaxOps) },
+		threadSweep, sim.CounterOps, sim.ProfileTileGx())
 	for r, th := range threadSweep {
 		t.AddRow(th, hy[r].CombiningRate(), cc[r].CombiningRate())
 	}
@@ -200,17 +199,17 @@ func fig4b(cfg figConfig) {
 func fig4c(cfg figConfig) {
 	t := harness.NewTable("Figure 4c — cycles per CS execution vs CS length (35 threads)",
 		"iters", "mp-server", "HybComb", "shm-server", "CC-Synch", "ideal")
-	prof := tilesim.ProfileTileGx()
+	prof := sim.ProfileTileGx()
 	for _, iters := range []uint64{0, 1, 2, 4, 6, 8, 10, 12, 15, 20, 30, 50} {
 		row := []any{iters}
-		mks := []func() *simalgo.Builder{
-			func() *simalgo.Builder { return simalgo.NewMPServerBuilder(simalgo.ArrayCounterFactory(64)) },
-			func() *simalgo.Builder { return simalgo.NewHybCombBuilder(simalgo.ArrayCounterFactory(64), cfg.MaxOps) },
-			func() *simalgo.Builder { return simalgo.NewSHMServerBuilder(simalgo.ArrayCounterFactory(64)) },
-			func() *simalgo.Builder { return simalgo.NewCCSynchBuilder(simalgo.ArrayCounterFactory(64), cfg.MaxOps) },
+		mks := []func() *sim.Builder{
+			func() *sim.Builder { return sim.NewMPServerBuilder(sim.ArrayCounterFactory(64)) },
+			func() *sim.Builder { return sim.NewHybCombBuilder(sim.ArrayCounterFactory(64), cfg.MaxOps) },
+			func() *sim.Builder { return sim.NewSHMServerBuilder(sim.ArrayCounterFactory(64)) },
+			func() *sim.Builder { return sim.NewCCSynchBuilder(sim.ArrayCounterFactory(64), cfg.MaxOps) },
 		}
 		for _, mk := range mks {
-			res := average(cfg, mk, 35, simalgo.ArrayOps(iters), prof)
+			res := average(cfg, mk, 35, sim.ArrayOps(iters), prof)
 			// Cycles per CS at saturation = inverse throughput.
 			row = append(row, float64(res.Cycles)/float64(res.Ops))
 		}
@@ -223,33 +222,33 @@ func fig4c(cfg figConfig) {
 
 // fig5a: queue throughput under balanced load, six variants.
 func fig5a(cfg figConfig) {
-	mks := []func() *simalgo.Builder{
-		func() *simalgo.Builder {
-			b := simalgo.NewMPServerBuilder(simalgo.QueueFactory)
+	mks := []func() *sim.Builder{
+		func() *sim.Builder {
+			b := sim.NewMPServerBuilder(sim.QueueFactory)
 			b.Name = "mp-server-1"
 			return b
 		},
-		func() *simalgo.Builder {
-			b := simalgo.NewHybCombBuilder(simalgo.QueueFactory, cfg.MaxOps)
+		func() *sim.Builder {
+			b := sim.NewHybCombBuilder(sim.QueueFactory, cfg.MaxOps)
 			b.Name = "HybComb-1"
 			return b
 		},
-		func() *simalgo.Builder {
-			b := simalgo.NewSHMServerBuilder(simalgo.QueueFactory)
+		func() *sim.Builder {
+			b := sim.NewSHMServerBuilder(sim.QueueFactory)
 			b.Name = "shm-server-1"
 			return b
 		},
-		func() *simalgo.Builder {
-			b := simalgo.NewCCSynchBuilder(simalgo.QueueFactory, cfg.MaxOps)
+		func() *sim.Builder {
+			b := sim.NewCCSynchBuilder(sim.QueueFactory, cfg.MaxOps)
 			b.Name = "CC-Synch-1"
 			return b
 		},
-		func() *simalgo.Builder { return simalgo.NewLCRQBuilder(1024) },
-		simalgo.NewTwoLockQueueBuilder,
+		func() *sim.Builder { return sim.NewLCRQBuilder(1024) },
+		sim.NewTwoLockQueueBuilder,
 	}
 	t := harness.NewTable("Figure 5a — queue throughput under balanced load (Mops/sec)",
 		"clients", "mp-server-1", "HybComb-1", "shm-server-1", "CC-Synch-1", "LCRQ", "mp-server-2")
-	cols := make([][]simalgo.Result, len(mks))
+	cols := make([][]sim.Result, len(mks))
 	// mp-server-2 uses two server cores, so at most 34 clients fit.
 	sweep2 := make([]int, len(threadSweep))
 	copy(sweep2, threadSweep)
@@ -259,7 +258,7 @@ func fig5a(cfg figConfig) {
 		if i == len(mks)-1 {
 			ts = sweep2
 		}
-		cols[i] = sweep(cfg, mk, ts, simalgo.QueueOps, tilesim.ProfileTileGx())
+		cols[i] = sweep(cfg, mk, ts, sim.QueueOps, sim.ProfileTileGx())
 	}
 	for r, th := range threadSweep {
 		t.AddRow(th, cols[0][r].Mops(), cols[1][r].Mops(), cols[2][r].Mops(),
@@ -270,18 +269,18 @@ func fig5a(cfg figConfig) {
 
 // fig5b: stack throughput under balanced load, five variants.
 func fig5b(cfg figConfig) {
-	mks := []func() *simalgo.Builder{
-		func() *simalgo.Builder { return simalgo.NewMPServerBuilder(simalgo.StackFactory) },
-		func() *simalgo.Builder { return simalgo.NewHybCombBuilder(simalgo.StackFactory, cfg.MaxOps) },
-		func() *simalgo.Builder { return simalgo.NewSHMServerBuilder(simalgo.StackFactory) },
-		func() *simalgo.Builder { return simalgo.NewCCSynchBuilder(simalgo.StackFactory, cfg.MaxOps) },
-		simalgo.NewTreiberBuilder,
+	mks := []func() *sim.Builder{
+		func() *sim.Builder { return sim.NewMPServerBuilder(sim.StackFactory) },
+		func() *sim.Builder { return sim.NewHybCombBuilder(sim.StackFactory, cfg.MaxOps) },
+		func() *sim.Builder { return sim.NewSHMServerBuilder(sim.StackFactory) },
+		func() *sim.Builder { return sim.NewCCSynchBuilder(sim.StackFactory, cfg.MaxOps) },
+		sim.NewTreiberBuilder,
 	}
 	t := harness.NewTable("Figure 5b — stack throughput under balanced load (Mops/sec)",
 		"clients", "mp-server", "HybComb", "shm-server", "CC-Synch", "Treiber")
-	cols := make([][]simalgo.Result, len(mks))
+	cols := make([][]sim.Result, len(mks))
 	for i, mk := range mks {
-		cols[i] = sweep(cfg, mk, threadSweep, simalgo.StackOps, tilesim.ProfileTileGx())
+		cols[i] = sweep(cfg, mk, threadSweep, sim.StackOps, sim.ProfileTileGx())
 	}
 	for r, th := range threadSweep {
 		t.AddRow(th, cols[0][r].Mops(), cols[1][r].Mops(), cols[2][r].Mops(),
@@ -296,12 +295,12 @@ func figCAS(cfg figConfig) {
 	t := harness.NewTable("§5.3 text — HybComb CAS per op and fairness across concurrency",
 		"threads", "CAS/op", "CAS fail/op", "fairness HybComb", "fairness mp-server")
 	for _, th := range threadSweep {
-		hy := average(cfg, func() *simalgo.Builder {
-			return simalgo.NewHybCombBuilder(simalgo.CounterFactory, cfg.MaxOps)
-		}, th, simalgo.CounterOps, tilesim.ProfileTileGx())
-		mp := average(cfg, func() *simalgo.Builder {
-			return simalgo.NewMPServerBuilder(simalgo.CounterFactory)
-		}, th, simalgo.CounterOps, tilesim.ProfileTileGx())
+		hy := average(cfg, func() *sim.Builder {
+			return sim.NewHybCombBuilder(sim.CounterFactory, cfg.MaxOps)
+		}, th, sim.CounterOps, sim.ProfileTileGx())
+		mp := average(cfg, func() *sim.Builder {
+			return sim.NewMPServerBuilder(sim.CounterFactory)
+		}, th, sim.CounterOps, sim.ProfileTileGx())
 		t.AddRow(th,
 			float64(hy.CASAttempts)/float64(hy.Ops),
 			float64(hy.CASFailures)/float64(hy.Ops),
@@ -315,18 +314,18 @@ func figCAS(cfg figConfig) {
 // the TILE-Gx, supporting the paper's claim that hardware message
 // passing would help even more there.
 func figX86(cfg figConfig) {
-	prof := tilesim.ProfileX86Like()
+	prof := sim.ProfileX86Like()
 	maxTh := prof.NumCores() - 1
 	t := harness.NewTable("§5.5 — counter on x86-like profile (no hardware messaging)",
 		"threads", "shm-server Mops", "CC-Synch Mops", "shm-server stall/op")
 	for th := 1; th <= maxTh; th++ {
 		th := th
-		shm := average(cfg, func() *simalgo.Builder {
-			return simalgo.NewSHMServerBuilder(simalgo.CounterFactory)
-		}, th, simalgo.CounterOps, prof)
-		cc := average(cfg, func() *simalgo.Builder {
-			return simalgo.NewCCSynchBuilder(simalgo.CounterFactory, cfg.MaxOps)
-		}, th, simalgo.CounterOps, prof)
+		shm := average(cfg, func() *sim.Builder {
+			return sim.NewSHMServerBuilder(sim.CounterFactory)
+		}, th, sim.CounterOps, prof)
+		cc := average(cfg, func() *sim.Builder {
+			return sim.NewCCSynchBuilder(sim.CounterFactory, cfg.MaxOps)
+		}, th, sim.CounterOps, prof)
 		t.AddRow(th, shm.Mops(), cc.Mops(), float64(shm.ServiceStall)/float64(shm.Ops))
 	}
 	t.Render(os.Stdout)
@@ -338,19 +337,19 @@ func figAblateSwap(cfg figConfig) {
 	t := harness.NewTable("Ablation — combiner registration: CAS (paper) vs SWAP (§4.2 discussion)",
 		"threads", "CAS Mops", "SWAP Mops", "CAS comb.rate", "SWAP comb.rate")
 	for _, th := range []int{5, 15, 25, 35} {
-		cas := average(cfg, func() *simalgo.Builder {
-			return simalgo.NewHybCombBuilder(simalgo.CounterFactory, cfg.MaxOps)
-		}, th, simalgo.CounterOps, tilesim.ProfileTileGx())
-		swp := average(cfg, func() *simalgo.Builder {
-			b := &simalgo.Builder{Name: "HybComb-SWAP"}
-			b.Make = func(e *tilesim.Engine, threads int) (simalgo.Executor, []*tilesim.Proc, int) {
-				h := simalgo.NewHybComb(e, simalgo.NewCounter(e), cfg.MaxOps)
+		cas := average(cfg, func() *sim.Builder {
+			return sim.NewHybCombBuilder(sim.CounterFactory, cfg.MaxOps)
+		}, th, sim.CounterOps, sim.ProfileTileGx())
+		swp := average(cfg, func() *sim.Builder {
+			b := &sim.Builder{Name: "HybComb-SWAP"}
+			b.Make = func(e *sim.Engine, threads int) (sim.Executor, []*sim.Proc, int) {
+				h := sim.NewHybComb(e, sim.NewCounter(e), cfg.MaxOps)
 				h.SwapRegistration = true
 				b.Stats = func() (uint64, uint64) { return h.Rounds, h.Combined }
 				return h, nil, 0
 			}
 			return b
-		}, th, simalgo.CounterOps, tilesim.ProfileTileGx())
+		}, th, sim.CounterOps, sim.ProfileTileGx())
 		t.AddRow(th, cas.Mops(), swp.Mops(), cas.CombiningRate(), swp.CombiningRate())
 	}
 	t.Render(os.Stdout)
@@ -361,25 +360,25 @@ func figAblateDrain(cfg figConfig) {
 	t := harness.NewTable("Ablation — HybComb eager-drain loop (Algorithm 1 lines 25-28)",
 		"threads", "with drain Mops", "no drain Mops", "with comb.rate", "no comb.rate")
 	for _, th := range []int{5, 15, 25, 35} {
-		with := average(cfg, func() *simalgo.Builder {
-			return simalgo.NewHybCombBuilder(simalgo.CounterFactory, cfg.MaxOps)
-		}, th, simalgo.CounterOps, tilesim.ProfileTileGx())
-		without := average(cfg, func() *simalgo.Builder {
-			b := &simalgo.Builder{Name: "HybComb-NoDrain"}
-			b.Make = func(e *tilesim.Engine, threads int) (simalgo.Executor, []*tilesim.Proc, int) {
-				h := simalgo.NewHybComb(e, simalgo.NewCounter(e), cfg.MaxOps)
+		with := average(cfg, func() *sim.Builder {
+			return sim.NewHybCombBuilder(sim.CounterFactory, cfg.MaxOps)
+		}, th, sim.CounterOps, sim.ProfileTileGx())
+		without := average(cfg, func() *sim.Builder {
+			b := &sim.Builder{Name: "HybComb-NoDrain"}
+			b.Make = func(e *sim.Engine, threads int) (sim.Executor, []*sim.Proc, int) {
+				h := sim.NewHybComb(e, sim.NewCounter(e), cfg.MaxOps)
 				h.NoEagerDrain = true
 				b.Stats = func() (uint64, uint64) { return h.Rounds, h.Combined }
 				return h, nil, 0
 			}
 			return b
-		}, th, simalgo.CounterOps, tilesim.ProfileTileGx())
+		}, th, sim.CounterOps, sim.ProfileTileGx())
 		t.AddRow(th, with.Mops(), without.Mops(), with.CombiningRate(), without.CombiningRate())
 	}
 	t.Render(os.Stdout)
 }
 
-func builderNames(bs []*simalgo.Builder) []string {
+func builderNames(bs []*sim.Builder) []string {
 	out := make([]string, len(bs))
 	for i, b := range bs {
 		out[i] = b.Name
@@ -395,18 +394,18 @@ func figLocks(cfg figConfig) {
 	t := harness.NewTable("Supplementary — MCS queue lock vs CS-migration approaches (counter, Mops/sec)",
 		"threads", "mcs-lock", "CC-Synch", "mp-server", "HybComb")
 	for _, th := range []int{1, 3, 7, 14, 24, 35} {
-		mcs := average(cfg, func() *simalgo.Builder {
-			return simalgo.NewMCSLockBuilder(simalgo.CounterFactory)
-		}, th, simalgo.CounterOps, tilesim.ProfileTileGx())
-		cc := average(cfg, func() *simalgo.Builder {
-			return simalgo.NewCCSynchBuilder(simalgo.CounterFactory, cfg.MaxOps)
-		}, th, simalgo.CounterOps, tilesim.ProfileTileGx())
-		mp := average(cfg, func() *simalgo.Builder {
-			return simalgo.NewMPServerBuilder(simalgo.CounterFactory)
-		}, th, simalgo.CounterOps, tilesim.ProfileTileGx())
-		hy := average(cfg, func() *simalgo.Builder {
-			return simalgo.NewHybCombBuilder(simalgo.CounterFactory, cfg.MaxOps)
-		}, th, simalgo.CounterOps, tilesim.ProfileTileGx())
+		mcs := average(cfg, func() *sim.Builder {
+			return sim.NewMCSLockBuilder(sim.CounterFactory)
+		}, th, sim.CounterOps, sim.ProfileTileGx())
+		cc := average(cfg, func() *sim.Builder {
+			return sim.NewCCSynchBuilder(sim.CounterFactory, cfg.MaxOps)
+		}, th, sim.CounterOps, sim.ProfileTileGx())
+		mp := average(cfg, func() *sim.Builder {
+			return sim.NewMPServerBuilder(sim.CounterFactory)
+		}, th, sim.CounterOps, sim.ProfileTileGx())
+		hy := average(cfg, func() *sim.Builder {
+			return sim.NewHybCombBuilder(sim.CounterFactory, cfg.MaxOps)
+		}, th, sim.CounterOps, sim.ProfileTileGx())
 		t.AddRow(th, mcs.Mops(), cc.Mops(), mp.Mops(), hy.Mops())
 	}
 	t.Render(os.Stdout)
@@ -420,18 +419,18 @@ func figTail(cfg figConfig) {
 		"approach", "p50", "p99", "max", "Mops")
 	entries := []struct {
 		name string
-		mk   func() *simalgo.Builder
+		mk   func() *sim.Builder
 	}{
-		{"mp-server", func() *simalgo.Builder { return simalgo.NewMPServerBuilder(simalgo.CounterFactory) }},
-		{"HybComb/200", func() *simalgo.Builder { return simalgo.NewHybCombBuilder(simalgo.CounterFactory, 200) }},
-		{"HybComb/5000", func() *simalgo.Builder { return simalgo.NewHybCombBuilder(simalgo.CounterFactory, 5000) }},
-		{"CC-Synch/200", func() *simalgo.Builder { return simalgo.NewCCSynchBuilder(simalgo.CounterFactory, 200) }},
+		{"mp-server", func() *sim.Builder { return sim.NewMPServerBuilder(sim.CounterFactory) }},
+		{"HybComb/200", func() *sim.Builder { return sim.NewHybCombBuilder(sim.CounterFactory, 200) }},
+		{"HybComb/5000", func() *sim.Builder { return sim.NewHybCombBuilder(sim.CounterFactory, 5000) }},
+		{"CC-Synch/200", func() *sim.Builder { return sim.NewCCSynchBuilder(sim.CounterFactory, 200) }},
 	}
 	for _, en := range entries {
-		res := simalgo.RunWorkload(tilesim.ProfileTileGx(), en.mk(), simalgo.WorkloadCfg{
+		res := sim.RunWorkload(sim.ProfileTileGx(), en.mk(), sim.WorkloadCfg{
 			Threads: 35, Horizon: cfg.Horizon, MaxLocalWork: 50, Seed: 1,
 			RecordLatencies: true,
-		}, simalgo.CounterOps)
+		}, sim.CounterOps)
 		t.AddRow(en.name, res.LatencyPercentile(0.50), res.LatencyPercentile(0.99),
 			res.LatencyPercentile(1.0), res.Mops())
 	}

@@ -1,6 +1,6 @@
 // Command tilebench regenerates every table and figure of the paper's
 // evaluation (§5) on the tilesim simulated TILE-Gx chip. Each -fig value
-// prints the same series the paper plots; EXPERIMENTS.md records
+// prints the same series the paper plots; DESIGN.md indexes
 // paper-vs-measured values.
 //
 // Usage:

@@ -1,23 +1,30 @@
 // Package hybsync reproduces "Leveraging Hardware Message Passing for
 // Efficient Thread Synchronization" (Petrović, Ropars, Schiper —
-// PPoPP 2014).
+// PPoPP 2014) and is the public API of the repository: the
+// Dispatch/Executor/Handle contract, the string-keyed algorithm
+// registry (New, Register, Algorithms), functional options
+// (WithMaxThreads, WithMaxOps, WithQueueCap, WithChanQueues) and the
+// uniform lifecycle — error-returning NewHandle and idempotent Close —
+// that every construction satisfies.
 //
-// The repository has two layers:
+// The repository has two layers beneath this package:
 //
-//   - internal/tilesim + internal/simalgo: a deterministic cycle-level
-//     simulator of a TILE-Gx-like hybrid manycore (mesh NoC, directory
-//     coherence, memory-controller atomics, UDN message network) running
-//     the paper's four constructions and evaluation objects. The
+//   - internal/tilesim + internal/simalgo (public face:
+//     hybsync/sim): a deterministic cycle-level simulator of a
+//     TILE-Gx-like hybrid manycore (mesh NoC, directory coherence,
+//     memory-controller atomics, UDN message network) running the
+//     paper's four constructions and evaluation objects. The
 //     cmd/tilebench driver regenerates every figure of the paper's §5.
 //
 //   - internal/core, internal/shmsync, internal/spin, internal/conc,
-//     internal/mpq: the same algorithms as a native Go library on real
-//     goroutines — MP-SERVER and HYBCOMB over lock-free bounded message
-//     queues, CC-SYNCH and SHM-SERVER over shared memory, classic spin
-//     locks, and the evaluation's concurrent objects (counter, MS-Queues,
+//     internal/mpq (public faces: this package and hybsync/object):
+//     the same algorithms as a native Go library on real goroutines —
+//     MP-SERVER and HYBCOMB over lock-free bounded message queues,
+//     CC-SYNCH and SHM-SERVER over shared memory, classic spin locks,
+//     and the evaluation's concurrent objects (counter, MS-Queues,
 //     LCRQ, Treiber stack, coarse-lock stack). cmd/hybbench measures
-//     them.
+//     them through the registry.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// See README.md for a tour and DESIGN.md for the system inventory,
+// the registry and lifecycle contract, and the per-experiment index.
 package hybsync

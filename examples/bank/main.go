@@ -10,9 +10,10 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"sync"
 
-	"hybsync/internal/core"
+	"hybsync"
 )
 
 // Opcodes of the bank object. Transfers pack (from, to, amount) into the
@@ -28,7 +29,7 @@ func main() {
 	const accounts = 64
 	balance := make([]uint64, accounts)
 
-	bank := core.NewHybComb(func(op, arg uint64) uint64 {
+	bank, err := hybsync.New("hybcomb", func(op, arg uint64) uint64 {
 		switch op {
 		case opDeposit:
 			balance[arg>>32] += arg & 0xFFFFFFFF
@@ -51,10 +52,14 @@ func main() {
 			return sum
 		}
 		panic("bad opcode")
-	}, core.Options{MaxThreads: 32})
+	}, hybsync.WithMaxThreads(32))
+	if err != nil {
+		log.Fatalf("hybsync.New: %v", err)
+	}
+	defer bank.Close()
 
 	// Seed every account with 1000.
-	h0 := bank.Handle()
+	h0 := hybsync.MustHandle(bank)
 	for a := uint64(0); a < accounts; a++ {
 		h0.Apply(opDeposit, a<<32|1000)
 	}
@@ -66,7 +71,7 @@ func main() {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			h := bank.Handle()
+			h := hybsync.MustHandle(bank)
 			rng := uint64(g + 1)
 			for i := 0; i < 20_000; i++ {
 				rng ^= rng << 13
@@ -89,6 +94,8 @@ func main() {
 	} else {
 		fmt.Println("conserved: every transfer was atomic")
 	}
-	rounds, combined := bank.Stats()
-	fmt.Printf("combining: %d rounds, %d requests combined for others\n", rounds, combined)
+	if sr, ok := bank.(hybsync.StatsSource); ok {
+		rounds, combined := sr.Stats()
+		fmt.Printf("combining: %d rounds, %d requests combined for others\n", rounds, combined)
+	}
 }

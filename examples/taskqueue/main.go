@@ -10,11 +10,12 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 
-	"hybsync/internal/conc"
-	"hybsync/internal/core"
+	"hybsync"
+	"hybsync/object"
 )
 
 func main() {
@@ -24,12 +25,12 @@ func main() {
 		tasks     = 50_000
 	)
 
-	var server *core.MPServer
-	queue := conc.NewMSQueue1(func(d core.Dispatch) core.Executor {
-		server = core.NewMPServer(d, core.Options{MaxThreads: producers + workers + 1})
-		return server
-	})
-	defer server.Close()
+	queue, err := object.NewMSQueue1("mpserver",
+		hybsync.WithMaxThreads(producers+workers+1))
+	if err != nil {
+		log.Fatalf("NewMSQueue1: %v", err)
+	}
+	defer queue.Close()
 
 	var produced, done atomic.Uint64
 	var sum atomic.Uint64
@@ -40,7 +41,10 @@ func main() {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			h := queue.Handle()
+			h, err := queue.NewHandle()
+			if err != nil {
+				panic(err)
+			}
 			for i := p; i < tasks; i += producers {
 				h.Enqueue(uint64(i))
 				produced.Add(1)
@@ -53,10 +57,13 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			h := queue.Handle()
+			h, err := queue.NewHandle()
+			if err != nil {
+				panic(err)
+			}
 			for done.Load() < tasks {
 				v := h.Dequeue()
-				if v == conc.EmptyVal {
+				if v == object.EmptyVal {
 					continue // queue momentarily empty; retry
 				}
 				// "Execute" the task: fold its id into a checksum.

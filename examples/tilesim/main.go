@@ -8,27 +8,26 @@ package main
 import (
 	"fmt"
 
-	"hybsync/internal/simalgo"
-	"hybsync/internal/tilesim"
+	"hybsync/sim"
 )
 
 func main() {
 	const threads = 20
 	const horizon = 100_000 // simulated cycles (~83 µs at 1.2 GHz)
 
-	fmt.Printf("simulated chip: %s\n\n", tilesim.ProfileTileGx().Name)
+	fmt.Printf("simulated chip: %s\n\n", sim.ProfileTileGx().Name)
 
-	for _, b := range []*simalgo.Builder{
-		simalgo.NewMPServerBuilder(simalgo.CounterFactory),
-		simalgo.NewHybCombBuilder(simalgo.CounterFactory, 200),
-		simalgo.NewSHMServerBuilder(simalgo.CounterFactory),
-		simalgo.NewCCSynchBuilder(simalgo.CounterFactory, 200),
+	for _, b := range []*sim.Builder{
+		sim.NewMPServerBuilder(sim.CounterFactory),
+		sim.NewHybCombBuilder(sim.CounterFactory, 200),
+		sim.NewSHMServerBuilder(sim.CounterFactory),
+		sim.NewCCSynchBuilder(sim.CounterFactory, 200),
 	} {
-		res := simalgo.RunWorkload(tilesim.ProfileTileGx(), b, simalgo.WorkloadCfg{
+		res := sim.RunWorkload(sim.ProfileTileGx(), b, sim.WorkloadCfg{
 			Threads:      threads,
 			Horizon:      horizon,
 			MaxLocalWork: 50,
-		}, simalgo.CounterOps)
+		}, sim.CounterOps)
 
 		fmt.Printf("%-11s %7.1f Mops/s   latency %5.0f cycles   fairness %.2f\n",
 			b.Name, res.Mops(), res.AvgLatency(), res.Fairness())
@@ -47,15 +46,15 @@ func main() {
 
 	// The same chip can also be programmed directly. A two-core
 	// ping-pong over the UDN:
-	e := tilesim.NewEngine(tilesim.ProfileTileGx())
+	e := sim.NewEngine(sim.ProfileTileGx())
 	var rtt uint64
-	pong := e.Spawn("pong", 35, func(p *tilesim.Proc) {
+	pong := e.Spawn("pong", 35, func(p *sim.Proc) {
 		for i := 0; i < 3; i++ {
 			m := p.Recv(1)
 			p.Send(int(m[0]), uint64(p.ID()))
 		}
 	})
-	e.Spawn("ping", 0, func(p *tilesim.Proc) {
+	e.Spawn("ping", 0, func(p *sim.Proc) {
 		for i := 0; i < 3; i++ {
 			t0 := p.Now()
 			p.Send(pong.ID(), uint64(p.ID()))

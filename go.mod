@@ -1,0 +1,3 @@
+module hybsync
+
+go 1.24

@@ -1,0 +1,96 @@
+package hybsync
+
+import (
+	"hybsync/internal/core"
+
+	// The construction packages self-register with the algorithm
+	// registry from their init functions; linking them here makes every
+	// built-in algorithm available to New through the bare hybsync
+	// import.
+	_ "hybsync/internal/shmsync"
+	_ "hybsync/internal/spin"
+)
+
+// Dispatch executes opcode op with argument arg against the protected
+// object and returns the result. It is always invoked in mutual
+// exclusion, so it may touch shared state without further
+// synchronization.
+type Dispatch = core.Dispatch
+
+// Executor is the uniform contract of every critical-section
+// construction: NewHandle hands out per-goroutine capabilities and
+// Close (idempotent) releases background resources and seals the
+// executor.
+type Executor = core.Executor
+
+// Handle submits operations on behalf of one goroutine; obtain one per
+// goroutine from Executor.NewHandle.
+type Handle = core.Handle
+
+// StatsSource is implemented by the combining constructions ("hybcomb",
+// "ccsynch"); type-assert an Executor to read combining statistics
+// after quiescence.
+type StatsSource = core.StatsSource
+
+// Option configures a construction; see WithMaxThreads and friends.
+type Option = core.Option
+
+// Options is the resolved configuration a Factory receives; build it
+// from Option values via New rather than positionally.
+type Options = core.Options
+
+// Factory builds one executor instance for a registered algorithm from
+// a Dispatch and the already-defaulted Options.
+type Factory = core.Factory
+
+// Sentinel errors returned (wrapped) by the lifecycle and registry
+// APIs; test with errors.Is.
+var (
+	ErrTooManyHandles     = core.ErrTooManyHandles
+	ErrClosed             = core.ErrClosed
+	ErrUnknownAlgorithm   = core.ErrUnknownAlgorithm
+	ErrDuplicateAlgorithm = core.ErrDuplicateAlgorithm
+)
+
+// WithMaxThreads bounds how many handles an executor hands out
+// (default 128).
+func WithMaxThreads(n int) Option { return core.WithMaxThreads(n) }
+
+// WithMaxOps sets the combining bound MAX_OPS of "hybcomb" and
+// "ccsynch" (default 200, the paper's evaluation setting).
+func WithMaxOps(n int) Option { return core.WithMaxOps(n) }
+
+// WithQueueCap sets the per-thread message-queue capacity in messages
+// (default 39 ≈ the TILE-Gx's 118-word UDN buffer / 3-word requests).
+func WithQueueCap(n int) Option { return core.WithQueueCap(n) }
+
+// WithChanQueues selects the Go-channel queue backend of "mpserver" and
+// "hybcomb" instead of the default lock-free ring (ablation).
+func WithChanQueues(on bool) Option { return core.WithChanQueues(on) }
+
+// New constructs the named algorithm around dispatch. Built-in names
+// are "mpserver", "hybcomb", "ccsynch", "shmserver" and the spin-lock
+// executors "tas-lock", "ttas-lock", "ticket-lock", "mcs-lock",
+// "clh-lock"; Algorithms lists everything registered. Unknown names
+// fail with ErrUnknownAlgorithm.
+func New(name string, dispatch Dispatch, opts ...Option) (Executor, error) {
+	return core.New(name, dispatch, opts...)
+}
+
+// MustNew is New, panicking on failure.
+func MustNew(name string, dispatch Dispatch, opts ...Option) Executor {
+	return core.MustNew(name, dispatch, opts...)
+}
+
+// MustHandle returns a new handle from e, panicking on failure — the
+// thin escape hatch for benchmarks and examples where handle exhaustion
+// is a programming error.
+func MustHandle(e Executor) Handle { return core.MustHandle(e) }
+
+// Register adds an algorithm under name so New (and the object
+// constructors) can build it; it fails with ErrDuplicateAlgorithm if
+// the name is taken.
+func Register(name string, f Factory) error { return core.Register(name, f) }
+
+// Algorithms returns the sorted names of all registered algorithms.
+func Algorithms() []string { return core.Algorithms() }

@@ -21,9 +21,9 @@ const (
 const EmptyVal = ^uint64(0)
 
 // ExecutorFactory builds an executor around the object's sequential
-// dispatch function — e.g. func(d core.Dispatch) core.Executor {
-// return core.NewHybComb(d, core.Options{}) }.
-type ExecutorFactory func(core.Dispatch) core.Executor
+// dispatch function — e.g. func(d core.Dispatch) (core.Executor, error)
+// { return core.New("hybcomb", d) }.
+type ExecutorFactory func(core.Dispatch) (core.Executor, error)
 
 // Counter is the §5.3 microbenchmark object: a linearizable
 // fetch-and-increment counter whose increment runs as a critical
@@ -34,20 +34,31 @@ type Counter struct {
 }
 
 // NewCounter builds the counter over the given construction.
-func NewCounter(f ExecutorFactory) *Counter {
+func NewCounter(f ExecutorFactory) (*Counter, error) {
 	c := &Counter{}
-	c.exec = f(func(op, arg uint64) uint64 {
+	exec, err := f(func(op, arg uint64) uint64 {
 		v := c.value
 		c.value++
 		return v
 	})
-	return c
+	if err != nil {
+		return nil, err
+	}
+	c.exec = exec
+	return c, nil
 }
 
-// Handle returns a per-goroutine handle.
-func (c *Counter) Handle() *CounterHandle {
-	return &CounterHandle{h: c.exec.Handle()}
+// NewHandle returns a per-goroutine handle.
+func (c *Counter) NewHandle() (*CounterHandle, error) {
+	h, err := c.exec.NewHandle()
+	if err != nil {
+		return nil, err
+	}
+	return &CounterHandle{h: h}, nil
 }
+
+// Close shuts down the underlying executor; idempotent.
+func (c *Counter) Close() error { return c.exec.Close() }
 
 // Value reads the counter; call only while no increments are in flight.
 func (c *Counter) Value() uint64 { return c.value }

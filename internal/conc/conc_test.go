@@ -6,75 +6,31 @@ import (
 	"testing"
 
 	"hybsync/internal/core"
-	"hybsync/internal/shmsync"
-	"hybsync/internal/spin"
+
+	// Register the shared-memory and spin-lock algorithms so the
+	// registry-driven factories below can build them.
+	_ "hybsync/internal/shmsync"
+	_ "hybsync/internal/spin"
 )
 
-// factories enumerates every construction as an ExecutorFactory, with a
-// close function to stop server goroutines.
-func factories() map[string]func() (ExecutorFactory, func()) {
-	return map[string]func() (ExecutorFactory, func()){
-		"mp-server": func() (ExecutorFactory, func()) {
-			var servers []*core.MPServer
-			return func(d core.Dispatch) core.Executor {
-					s := core.NewMPServer(d, core.Options{MaxThreads: 64})
-					servers = append(servers, s)
-					return s
-				}, func() {
-					for _, s := range servers {
-						s.Close()
-					}
-				}
-		},
-		"HybComb": func() (ExecutorFactory, func()) {
-			return func(d core.Dispatch) core.Executor {
-				return core.NewHybComb(d, core.Options{MaxThreads: 64})
-			}, func() {}
-		},
-		"HybComb-chan": func() (ExecutorFactory, func()) {
-			return func(d core.Dispatch) core.Executor {
-				return core.NewHybComb(d, core.Options{MaxThreads: 64, UseChanQueues: true})
-			}, func() {}
-		},
-		"HybComb-maxops1": func() (ExecutorFactory, func()) {
-			return func(d core.Dispatch) core.Executor {
-				return core.NewHybComb(d, core.Options{MaxThreads: 64, MaxOps: 1})
-			}, func() {}
-		},
-		"CC-Synch": func() (ExecutorFactory, func()) {
-			return func(d core.Dispatch) core.Executor {
-				return shmsync.NewCCSynch(d, 200)
-			}, func() {}
-		},
-		"CC-Synch-maxops1": func() (ExecutorFactory, func()) {
-			return func(d core.Dispatch) core.Executor {
-				return shmsync.NewCCSynch(d, 1)
-			}, func() {}
-		},
-		"shm-server": func() (ExecutorFactory, func()) {
-			var servers []*shmsync.SHMServer
-			return func(d core.Dispatch) core.Executor {
-					s := shmsync.NewSHMServer(d, 64)
-					servers = append(servers, s)
-					return s
-				}, func() {
-					for _, s := range servers {
-						s.Close()
-					}
-				}
-		},
-		"ttas-lock": func() (ExecutorFactory, func()) {
-			return func(d core.Dispatch) core.Executor {
-				l := &spin.TTASLock{}
-				return spin.NewLockExecutor(d, func() spin.Lock { return l })
-			}, func() {}
-		},
-		"mcs-lock": func() (ExecutorFactory, func()) {
-			return func(d core.Dispatch) core.Executor {
-				l := &spin.MCSLock{}
-				return spin.NewLockExecutor(d, func() spin.Lock { return l.NewMCSHandle() })
-			}, func() {}
-		},
+// factories enumerates every construction as an ExecutorFactory through
+// the algorithm registry; the objects' own Close shuts servers down.
+func factories() map[string]ExecutorFactory {
+	mk := func(name string, opts ...core.Option) ExecutorFactory {
+		return func(d core.Dispatch) (core.Executor, error) {
+			return core.New(name, d, opts...)
+		}
+	}
+	return map[string]ExecutorFactory{
+		"mpserver":        mk("mpserver", core.WithMaxThreads(64)),
+		"hybcomb":         mk("hybcomb", core.WithMaxThreads(64)),
+		"hybcomb-chan":    mk("hybcomb", core.WithMaxThreads(64), core.WithChanQueues(true)),
+		"hybcomb-maxops1": mk("hybcomb", core.WithMaxThreads(64), core.WithMaxOps(1)),
+		"ccsynch":         mk("ccsynch"),
+		"ccsynch-maxops1": mk("ccsynch", core.WithMaxOps(1)),
+		"shmserver":       mk("shmserver", core.WithMaxThreads(64)),
+		"ttas-lock":       mk("ttas-lock"),
+		"mcs-lock":        mk("mcs-lock"),
 	}
 }
 
@@ -83,18 +39,23 @@ func factories() map[string]func() (ExecutorFactory, func()) {
 // returned previous-values must all be distinct.
 func TestCounterAllExecutors(t *testing.T) {
 	const goroutines, per = 16, 2000
-	for name, mk := range factories() {
+	for name, f := range factories() {
 		t.Run(name, func(t *testing.T) {
-			f, closeAll := mk()
-			defer closeAll()
-			c := NewCounter(f)
+			c, err := NewCounter(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
 			seen := make([][]uint64, goroutines)
 			var wg sync.WaitGroup
 			for g := 0; g < goroutines; g++ {
 				wg.Add(1)
 				go func(g int) {
 					defer wg.Done()
-					h := c.Handle()
+					h, err := c.NewHandle()
+					if err != nil {
+						panic(err)
+					}
 					for i := 0; i < per; i++ {
 						seen[g] = append(seen[g], h.Inc())
 					}
@@ -170,18 +131,23 @@ func prodConsCheck(t *testing.T, name string, enq func(uint64), deq func() uint6
 
 func TestQueuesAllExecutors(t *testing.T) {
 	const producers, per = 12, 1500
-	for name, mk := range factories() {
+	for name, f := range factories() {
 		t.Run("MSQueue1/"+name, func(t *testing.T) {
-			f, closeAll := mk()
-			defer closeAll()
-			q := NewMSQueue1(f)
+			q, err := NewMSQueue1(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer q.Close()
 			var wg sync.WaitGroup
 			consumed := make([][]uint64, producers)
 			for g := 0; g < producers; g++ {
 				wg.Add(1)
 				go func(g int) {
 					defer wg.Done()
-					h := q.Handle()
+					h, err := q.NewHandle()
+					if err != nil {
+						panic(err)
+					}
 					for i := 0; i < per; i++ {
 						h.Enqueue(uint64(g)<<20 | uint64(i))
 						if v := h.Dequeue(); v != EmptyVal {
@@ -191,7 +157,10 @@ func TestQueuesAllExecutors(t *testing.T) {
 				}(g)
 			}
 			wg.Wait()
-			h := q.Handle()
+			h, err := q.NewHandle()
+			if err != nil {
+				t.Fatal(err)
+			}
 			for {
 				v := h.Dequeue()
 				if v == EmptyVal {
@@ -226,11 +195,13 @@ func TestQueuesAllExecutors(t *testing.T) {
 
 // TestQueueHandlesPerGoroutine is the plain per-goroutine-handle usage.
 func TestQueueHandlesPerGoroutine(t *testing.T) {
-	for _, name := range []string{"HybComb", "mp-server", "CC-Synch", "shm-server"} {
+	for _, name := range []string{"hybcomb", "mpserver", "ccsynch", "shmserver"} {
 		t.Run(name, func(t *testing.T) {
-			f, closeAll := factories()[name]()
-			defer closeAll()
-			q := NewMSQueue1(f)
+			q, err := NewMSQueue1(factories()[name])
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer q.Close()
 			var wg sync.WaitGroup
 			const producers, per = 8, 1000
 			total := make([]uint64, producers)
@@ -238,7 +209,10 @@ func TestQueueHandlesPerGoroutine(t *testing.T) {
 				wg.Add(1)
 				go func(g int) {
 					defer wg.Done()
-					h := q.Handle()
+					h, err := q.NewHandle()
+					if err != nil {
+						panic(err)
+					}
 					for i := 0; i < per; i++ {
 						h.Enqueue(uint64(g)<<20 | uint64(i))
 						if h.Dequeue() != EmptyVal {
@@ -248,7 +222,10 @@ func TestQueueHandlesPerGoroutine(t *testing.T) {
 				}(g)
 			}
 			wg.Wait()
-			h := q.Handle()
+			h, err := q.NewHandle()
+			if err != nil {
+				t.Fatal(err)
+			}
 			var drained uint64
 			for h.Dequeue() != EmptyVal {
 				drained++
@@ -266,17 +243,24 @@ func TestQueueHandlesPerGoroutine(t *testing.T) {
 }
 
 func TestMSQueue2TwoSides(t *testing.T) {
-	f, closeAll := factories()["mp-server"]()
-	defer closeAll()
-	q := NewMSQueue2(f)
-	h := q.Handle()
-	prodConsCheck(t, "MSQueue2/mp-server",
+	q, err := NewMSQueue2(factories()["mpserver"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	h, err := q.NewHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prodConsCheck(t, "MSQueue2/mpserver",
 		h.Enqueue, h.Dequeue, true, 1, 5000)
 
 	// Concurrent: many producers/consumers on separate handles.
-	f2, closeAll2 := factories()["mp-server"]()
-	defer closeAll2()
-	q2 := NewMSQueue2(f2)
+	q2, err := NewMSQueue2(factories()["mpserver"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
 	var wg sync.WaitGroup
 	const producers, per = 8, 1000
 	var consumedTotal [producers]uint64
@@ -284,7 +268,10 @@ func TestMSQueue2TwoSides(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			h := q2.Handle()
+			h, err := q2.NewHandle()
+			if err != nil {
+				panic(err)
+			}
 			for i := 0; i < per; i++ {
 				h.Enqueue(uint64(g)<<20 | uint64(i))
 				if h.Dequeue() != EmptyVal {
@@ -294,7 +281,10 @@ func TestMSQueue2TwoSides(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	h2 := q2.Handle()
+	h2, err := q2.NewHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var drained, consumed uint64
 	for h2.Dequeue() != EmptyVal {
 		drained++
@@ -327,12 +317,17 @@ func TestLCRQueue(t *testing.T) {
 }
 
 func TestStacksAllExecutors(t *testing.T) {
-	for name, mk := range factories() {
+	for name, f := range factories() {
 		t.Run(name, func(t *testing.T) {
-			f, closeAll := mk()
-			defer closeAll()
-			s := NewStack(f)
-			h := s.Handle()
+			s, err := NewStack(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			h, err := s.NewHandle()
+			if err != nil {
+				t.Fatal(err)
+			}
 			// Sequential LIFO.
 			for v := uint64(1); v <= 50; v++ {
 				h.Push(v)
@@ -353,7 +348,10 @@ func TestStacksAllExecutors(t *testing.T) {
 				wg.Add(1)
 				go func(g int) {
 					defer wg.Done()
-					h := s.Handle()
+					h, err := s.NewHandle()
+					if err != nil {
+						panic(err)
+					}
 					for i := 0; i < per; i++ {
 						h.Push(uint64(g)<<20 | uint64(i))
 						if h.Pop() != EmptyVal {
@@ -397,7 +395,7 @@ func TestHybCombStats(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			h := hc.Handle()
+			h := core.MustHandle(hc)
 			for i := uint64(0); i < 1000; i++ {
 				if got := h.Apply(0, i); got != i {
 					t.Errorf("Apply returned %d, want %d", got, i)
@@ -414,10 +412,16 @@ func TestHybCombStats(t *testing.T) {
 }
 
 func ExampleCounter() {
-	ctr := NewCounter(func(d core.Dispatch) core.Executor {
-		return core.NewHybComb(d, core.Options{})
+	ctr, err := NewCounter(func(d core.Dispatch) (core.Executor, error) {
+		return core.New("hybcomb", d)
 	})
-	h := ctr.Handle()
+	if err != nil {
+		panic(err)
+	}
+	h, err := ctr.NewHandle()
+	if err != nil {
+		panic(err)
+	}
 	h.Inc()
 	h.Inc()
 	fmt.Println(ctr.Value())

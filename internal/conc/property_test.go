@@ -53,29 +53,27 @@ func TestExecutorSequentialEquivalence(t *testing.T) {
 
 	for _, exec := range []struct {
 		name string
-		mk   func(core.Dispatch) (core.Executor, func())
+		mk   func(core.Dispatch) core.Executor
 	}{
-		{"HybComb", func(d core.Dispatch) (core.Executor, func()) {
-			return core.NewHybComb(d, core.Options{MaxThreads: 4}), func() {}
+		{"hybcomb", func(d core.Dispatch) core.Executor {
+			return core.NewHybComb(d, core.Options{MaxThreads: 4})
 		}},
-		{"mp-server", func(d core.Dispatch) (core.Executor, func()) {
-			s := core.NewMPServer(d, core.Options{MaxThreads: 4})
-			return s, s.Close
+		{"mpserver", func(d core.Dispatch) core.Executor {
+			return core.NewMPServer(d, core.Options{MaxThreads: 4})
 		}},
-		{"CC-Synch", func(d core.Dispatch) (core.Executor, func()) {
-			return shmsync.NewCCSynch(d, 200), func() {}
+		{"ccsynch", func(d core.Dispatch) core.Executor {
+			return shmsync.NewCCSynch(d, 200)
 		}},
-		{"shm-server", func(d core.Dispatch) (core.Executor, func()) {
-			s := shmsync.NewSHMServer(d, 4)
-			return s, s.Close
+		{"shmserver", func(d core.Dispatch) core.Executor {
+			return shmsync.NewSHMServer(d, 4)
 		}},
 	} {
 		exec := exec
 		t.Run(exec.name, func(t *testing.T) {
 			f := func(ops []opcode) bool {
-				ex, closeFn := exec.mk(mkDispatch())
-				defer closeFn()
-				h := ex.Handle()
+				ex := exec.mk(mkDispatch())
+				defer ex.Close()
+				h := core.MustHandle(ex)
 				want := model(ops)
 				for i, o := range ops {
 					if h.Apply(uint64(o.Op), uint64(o.Arg)) != want[i] {
@@ -172,7 +170,7 @@ func TestMPServerTinyQueuesNoDeadlock(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			h := s.Handle()
+			h := core.MustHandle(s)
 			for i := 0; i < per; i++ {
 				h.Apply(0, 0)
 			}
@@ -188,10 +186,16 @@ func TestMPServerTinyQueuesNoDeadlock(t *testing.T) {
 // operating in strict alternation on a stack via one handle, LIFO
 // reduces to echo.
 func TestStackConcurrentLIFOWindow(t *testing.T) {
-	s := NewStack(func(d core.Dispatch) core.Executor {
-		return core.NewHybComb(d, core.Options{MaxThreads: 4})
+	s, err := NewStack(func(d core.Dispatch) (core.Executor, error) {
+		return core.NewHybComb(d, core.Options{MaxThreads: 4}), nil
 	})
-	h := s.Handle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.NewHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := uint64(1); i < 2000; i++ {
 		h.Push(i)
 		if got := h.Pop(); got != i {

@@ -24,11 +24,11 @@ type MSQueue1 struct {
 }
 
 // NewMSQueue1 builds the queue over the given construction.
-func NewMSQueue1(f ExecutorFactory) *MSQueue1 {
+func NewMSQueue1(f ExecutorFactory) (*MSQueue1, error) {
 	q := &MSQueue1{}
 	dummy := &qnode{}
 	q.head, q.tail = dummy, dummy
-	q.exec = f(func(op, arg uint64) uint64 {
+	exec, err := f(func(op, arg uint64) uint64 {
 		switch op {
 		case OpEnq:
 			n := &qnode{value: arg}
@@ -46,14 +46,24 @@ func NewMSQueue1(f ExecutorFactory) *MSQueue1 {
 			panic("conc: bad queue opcode")
 		}
 	})
-	return q
+	if err != nil {
+		return nil, err
+	}
+	q.exec = exec
+	return q, nil
 }
 
-// Handle returns a per-goroutine handle.
-func (q *MSQueue1) Handle() *QueueHandle {
-	h := q.exec.Handle()
-	return &QueueHandle{enq: h, deq: h}
+// NewHandle returns a per-goroutine handle.
+func (q *MSQueue1) NewHandle() (*QueueHandle, error) {
+	h, err := q.exec.NewHandle()
+	if err != nil {
+		return nil, err
+	}
+	return &QueueHandle{enq: h, deq: h}, nil
 }
+
+// Close shuts down the underlying executor; idempotent.
+func (q *MSQueue1) Close() error { return q.exec.Close() }
 
 // MSQueue2 is the two-lock Michael & Scott queue: enqueues and dequeues
 // are protected by two independent executors, so they can run in
@@ -76,17 +86,20 @@ type aqnode struct {
 
 // NewMSQueue2 builds the queue over two executors (for MP-SERVER this
 // means two dedicated server goroutines, the cost §5.4 discusses).
-func NewMSQueue2(f ExecutorFactory) *MSQueue2 {
+func NewMSQueue2(f ExecutorFactory) (*MSQueue2, error) {
 	q := &MSQueue2{}
 	dummy := &aqnode{}
 	q.head, q.tail = dummy, dummy
-	q.enqExec = f(func(op, arg uint64) uint64 {
+	enq, err := f(func(op, arg uint64) uint64 {
 		n := &aqnode{value: arg}
 		q.tail.next.Store(n)
 		q.tail = n
 		return 0
 	})
-	q.deqExec = f(func(op, arg uint64) uint64 {
+	if err != nil {
+		return nil, err
+	}
+	deq, err := f(func(op, arg uint64) uint64 {
 		next := q.head.next.Load()
 		if next == nil {
 			return EmptyVal
@@ -94,12 +107,34 @@ func NewMSQueue2(f ExecutorFactory) *MSQueue2 {
 		q.head = next
 		return next.value
 	})
-	return q
+	if err != nil {
+		enq.Close()
+		return nil, err
+	}
+	q.enqExec, q.deqExec = enq, deq
+	return q, nil
 }
 
-// Handle returns a per-goroutine handle.
-func (q *MSQueue2) Handle() *QueueHandle {
-	return &QueueHandle{enq: q.enqExec.Handle(), deq: q.deqExec.Handle()}
+// NewHandle returns a per-goroutine handle.
+func (q *MSQueue2) NewHandle() (*QueueHandle, error) {
+	enq, err := q.enqExec.NewHandle()
+	if err != nil {
+		return nil, err
+	}
+	deq, err := q.deqExec.NewHandle()
+	if err != nil {
+		return nil, err
+	}
+	return &QueueHandle{enq: enq, deq: deq}, nil
+}
+
+// Close shuts down both underlying executors; idempotent.
+func (q *MSQueue2) Close() error {
+	err := q.enqExec.Close()
+	if err2 := q.deqExec.Close(); err == nil {
+		err = err2
+	}
+	return err
 }
 
 // QueueHandle is a goroutine's capability to use a queue.

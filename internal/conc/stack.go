@@ -14,9 +14,9 @@ type Stack struct {
 }
 
 // NewStack builds the stack over the given construction.
-func NewStack(f ExecutorFactory) *Stack {
+func NewStack(f ExecutorFactory) (*Stack, error) {
 	s := &Stack{}
-	s.exec = f(func(op, arg uint64) uint64 {
+	exec, err := f(func(op, arg uint64) uint64 {
 		switch op {
 		case OpPush:
 			s.top = &qnode{value: arg, next: s.top}
@@ -32,13 +32,24 @@ func NewStack(f ExecutorFactory) *Stack {
 			panic("conc: bad stack opcode")
 		}
 	})
-	return s
+	if err != nil {
+		return nil, err
+	}
+	s.exec = exec
+	return s, nil
 }
 
-// Handle returns a per-goroutine handle.
-func (s *Stack) Handle() *StackHandle {
-	return &StackHandle{h: s.exec.Handle()}
+// NewHandle returns a per-goroutine handle.
+func (s *Stack) NewHandle() (*StackHandle, error) {
+	h, err := s.exec.NewHandle()
+	if err != nil {
+		return nil, err
+	}
+	return &StackHandle{h: h}, nil
 }
+
+// Close shuts down the underlying executor; idempotent.
+func (s *Stack) Close() error { return s.exec.Close() }
 
 // StackHandle is a goroutine's capability to use a Stack.
 type StackHandle struct {

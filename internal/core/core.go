@@ -1,6 +1,8 @@
 // Package core implements the paper's two message-passing constructions
 // for executing contended critical sections — MP-SERVER (§4.1) and
-// HYBCOMB (§4.2, Algorithm 1) — as a native Go library.
+// HYBCOMB (§4.2, Algorithm 1) — as a native Go library, and owns the
+// Executor contract plus the algorithm registry that the root hybsync
+// package re-exports.
 //
 // On the TILE-Gx the request/response traffic rides the hardware User
 // Dynamic Network; in this library it rides bounded lock-free message
@@ -15,22 +17,24 @@
 // function pointer, which lets the servicing thread's dispatch inline
 // the critical sections.
 //
-// Usage:
+// Usage (through the registry; hybsync.New re-exports core.New):
 //
 //	ctr := uint64(0)
-//	hc := core.NewHybComb(func(op, arg uint64) uint64 {
+//	hc, err := core.New("hybcomb", func(op, arg uint64) uint64 {
 //		old := ctr
 //		ctr++ // safe: Dispatch runs in mutual exclusion
 //		return old
-//	}, core.Options{MaxThreads: 64})
-//	h := hc.Handle()       // one per goroutine
-//	prev := h.Apply(0, 0)  // executes the CS
+//	}, core.WithMaxThreads(64))
+//	h, err := hc.NewHandle() // one per goroutine
+//	prev := h.Apply(0, 0)    // executes the CS
+//	_ = hc.Close()
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
-	"sync/atomic"
 
 	"hybsync/internal/mpq"
 )
@@ -43,11 +47,22 @@ type Dispatch func(op, arg uint64) uint64
 
 // Executor is the common contract of all critical-section constructions
 // in this repository (core.MPServer, core.HybComb, shmsync.CCSynch,
-// shmsync.SHMServer, spin.LockExecutor).
+// shmsync.SHMServer, spin.LockExecutor). Every construction shares one
+// lifecycle: NewHandle hands out per-goroutine capabilities until
+// MaxThreads is exhausted or the executor is closed, and Close is
+// idempotent and safe to call exactly like any other — even on
+// constructions that own no background resources.
 type Executor interface {
-	// Handle returns a per-goroutine handle. Each goroutine that submits
-	// operations must use its own Handle.
-	Handle() Handle
+	// NewHandle returns a per-goroutine handle. Each goroutine that
+	// submits operations must use its own Handle. It fails with
+	// ErrTooManyHandles once MaxThreads handles exist and with ErrClosed
+	// after Close.
+	NewHandle() (Handle, error)
+
+	// Close releases any background resources (server goroutines) and
+	// fails subsequent NewHandle calls. It is idempotent; no Apply may
+	// be in flight or issued afterwards.
+	Close() error
 }
 
 // Handle submits operations on behalf of one goroutine.
@@ -56,12 +71,44 @@ type Handle interface {
 	Apply(op, arg uint64) uint64
 }
 
-// Options configures the constructions.
+// StatsSource is implemented by the combining constructions (HybComb,
+// CCSynch); Stats must be read only while no Apply is in flight.
+type StatsSource interface {
+	Stats() (rounds, combined uint64)
+}
+
+// Lifecycle and registry errors. NewHandle and registry failures wrap
+// these sentinels, so callers test with errors.Is.
+var (
+	// ErrTooManyHandles reports NewHandle calls beyond MaxThreads.
+	ErrTooManyHandles = errors.New("too many handles")
+	// ErrClosed reports use of an executor after Close.
+	ErrClosed = errors.New("executor closed")
+	// ErrUnknownAlgorithm reports a New with an unregistered name.
+	ErrUnknownAlgorithm = errors.New("unknown algorithm")
+	// ErrDuplicateAlgorithm reports a Register with a taken name.
+	ErrDuplicateAlgorithm = errors.New("algorithm already registered")
+)
+
+// MustHandle returns a new handle from e, panicking on failure. It is
+// the thin escape hatch for benchmarks and examples where handle
+// exhaustion is a programming error rather than a runtime condition.
+func MustHandle(e Executor) Handle {
+	h, err := e.NewHandle()
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Options configures the constructions. Callers build it with the
+// functional With* options; the zero value plus fill() yields the
+// paper's evaluation defaults.
 type Options struct {
 	// MaxThreads bounds how many Handles may be created (default 128).
 	MaxThreads int
-	// MaxOps is HybComb's MAX_OPS combining bound (default 200, the
-	// paper's evaluation setting).
+	// MaxOps is the combining bound MAX_OPS of HybComb and CC-Synch
+	// (default 200, the paper's evaluation setting).
 	MaxOps int32
 	// QueueCap is the per-thread message-queue capacity in messages
 	// (default 39 ≈ the TILE-Gx's 118-word buffer divided by 3-word
@@ -70,6 +117,41 @@ type Options struct {
 	// UseChanQueues selects the channel backend instead of the lock-free
 	// ring (ablation).
 	UseChanQueues bool
+}
+
+// Option mutates Options; see WithMaxThreads and friends.
+type Option func(*Options)
+
+// WithMaxThreads bounds how many handles an executor hands out.
+func WithMaxThreads(n int) Option { return func(o *Options) { o.MaxThreads = n } }
+
+// WithMaxOps sets the combining bound MAX_OPS (HybComb, CC-Synch).
+// Values beyond the int32 range clamp to an effectively unbounded
+// math.MaxInt32 rather than wrapping.
+func WithMaxOps(n int) Option {
+	return func(o *Options) {
+		if n > math.MaxInt32 {
+			n = math.MaxInt32
+		}
+		o.MaxOps = int32(n)
+	}
+}
+
+// WithQueueCap sets the per-thread message-queue capacity in messages.
+func WithQueueCap(n int) Option { return func(o *Options) { o.QueueCap = n } }
+
+// WithChanQueues toggles the Go-channel queue backend (ablation
+// against the default lock-free ring).
+func WithChanQueues(on bool) Option { return func(o *Options) { o.UseChanQueues = on } }
+
+// BuildOptions folds opts over the zero Options and fills defaults.
+func BuildOptions(opts ...Option) Options {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	o.fill()
+	return o
 }
 
 func (o *Options) fill() {
@@ -91,9 +173,9 @@ func (o *Options) newQueue() mpq.Queue {
 	return mpq.NewRing(o.QueueCap)
 }
 
-// errTooManyHandles reports Handle() calls beyond MaxThreads.
+// errTooManyHandles reports NewHandle() calls beyond MaxThreads.
 func errTooManyHandles(max int) error {
-	return fmt.Errorf("core: more than %d handles requested (raise Options.MaxThreads)", max)
+	return fmt.Errorf("core: more than %d handles requested (raise MaxThreads): %w", max, ErrTooManyHandles)
 }
 
 // spinWait yields periodically while spinning on a condition.
@@ -102,11 +184,4 @@ func spinWait(spins *int) {
 	if *spins%32 == 0 {
 		runtime.Gosched()
 	}
-}
-
-// padBool is an atomic bool padded to its own cache line so spinning on
-// it does not false-share with neighbours.
-type padBool struct {
-	v atomic.Bool
-	_ [63]byte
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync"
 	"testing"
 )
@@ -13,7 +14,7 @@ func TestMPServerBasic(t *testing.T) {
 		return old + op
 	}, Options{MaxThreads: 8})
 	defer s.Close()
-	h := s.Handle()
+	h := MustHandle(s)
 	if got := h.Apply(5, 10); got != 5 {
 		t.Fatalf("Apply = %d, want 5", got)
 	}
@@ -42,7 +43,7 @@ func TestMPServerConcurrentMutualExclusion(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			h := s.Handle()
+			h := MustHandle(s)
 			for i := 0; i < per; i++ {
 				h.Apply(0, 0)
 			}
@@ -63,14 +64,58 @@ func TestMPServerCloseIdempotent(t *testing.T) {
 func TestMPServerTooManyHandles(t *testing.T) {
 	s := NewMPServer(func(op, arg uint64) uint64 { return 0 }, Options{MaxThreads: 2})
 	defer s.Close()
-	s.Handle()
-	s.Handle()
+	for i := 0; i < 2; i++ {
+		if _, err := s.NewHandle(); err != nil {
+			t.Fatalf("NewHandle %d: %v", i, err)
+		}
+	}
+	if _, err := s.NewHandle(); !errors.Is(err, ErrTooManyHandles) {
+		t.Fatalf("third NewHandle = %v, want ErrTooManyHandles", err)
+	}
+}
+
+func TestMustHandlePanics(t *testing.T) {
+	s := NewMPServer(func(op, arg uint64) uint64 { return 0 }, Options{MaxThreads: 1})
+	defer s.Close()
+	MustHandle(s)
 	defer func() {
 		if recover() == nil {
-			t.Fatal("third Handle did not panic")
+			t.Fatal("MustHandle beyond MaxThreads did not panic")
 		}
 	}()
-	s.Handle()
+	MustHandle(s)
+}
+
+func TestNewHandleAfterClose(t *testing.T) {
+	hc := NewHybComb(func(op, arg uint64) uint64 { return 0 }, Options{MaxThreads: 4})
+	if err := hc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := hc.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := hc.NewHandle(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("NewHandle after Close = %v, want ErrClosed", err)
+	}
+
+	s := NewMPServer(func(op, arg uint64) uint64 { return 0 }, Options{MaxThreads: 4})
+	s.Close()
+	if _, err := s.NewHandle(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("mpserver NewHandle after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestRegistryDuplicateAndUnknown(t *testing.T) {
+	f := func(d Dispatch, o Options) (Executor, error) { return NewHybComb(d, o), nil }
+	if err := Register("core-test-dup", f); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := Register("core-test-dup", f); !errors.Is(err, ErrDuplicateAlgorithm) {
+		t.Fatalf("duplicate Register = %v, want ErrDuplicateAlgorithm", err)
+	}
+	if _, err := New("core-test-missing", func(op, arg uint64) uint64 { return 0 }); !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Fatalf("New(unknown) = %v, want ErrUnknownAlgorithm", err)
+	}
 }
 
 func TestHybCombSingleThread(t *testing.T) {
@@ -80,7 +125,7 @@ func TestHybCombSingleThread(t *testing.T) {
 		state++
 		return old
 	}, Options{MaxThreads: 4})
-	h := hc.Handle()
+	h := MustHandle(hc)
 	for i := uint64(0); i < 100; i++ {
 		if got := h.Apply(0, 0); got != i {
 			t.Fatalf("Apply = %d, want %d", got, i)
@@ -116,7 +161,7 @@ func TestHybCombManyThreads(t *testing.T) {
 			wg.Add(1)
 			go func(g int) {
 				defer wg.Done()
-				h := hc.Handle()
+				h := MustHandle(hc)
 				results[g] = make(map[uint64]bool, per)
 				for i := 0; i < per; i++ {
 					results[g][h.Apply(0, 0)] = true
@@ -147,7 +192,7 @@ func TestHybCombCombiningHappens(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			h := hc.Handle()
+			h := MustHandle(hc)
 			for i := 0; i < per; i++ {
 				h.Apply(0, 0)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"hybsync/internal/mpq"
@@ -23,6 +24,7 @@ type HybComb struct {
 
 	inbox  []mpq.Queue
 	nextID atomic.Int32
+	closed atomic.Bool
 
 	// Stats counts combining activity (read with Stats after quiescence).
 	rounds   atomic.Uint64
@@ -41,8 +43,9 @@ type hcNode struct {
 }
 
 // NewHybComb creates the structure. Unlike MPServer there is no
-// background goroutine and nothing to Close: threads combine for each
-// other on demand, and an idle HybComb consumes no resources.
+// background goroutine: threads combine for each other on demand, an
+// idle HybComb consumes no resources, and Close only seals the
+// executor against new handles.
 func NewHybComb(dispatch Dispatch, opts Options) *HybComb {
 	opts.fill()
 	h := &HybComb{opts: opts, dispatch: dispatch}
@@ -62,16 +65,26 @@ func NewHybComb(dispatch Dispatch, opts Options) *HybComb {
 	return h
 }
 
-// Handle implements Executor.
-func (h *HybComb) Handle() Handle {
+// NewHandle implements Executor.
+func (h *HybComb) NewHandle() (Handle, error) {
+	if h.closed.Load() {
+		return nil, fmt.Errorf("core: hybcomb: %w", ErrClosed)
+	}
 	id := h.nextID.Add(1) - 1
 	if int(id) >= h.opts.MaxThreads {
-		panic(errTooManyHandles(h.opts.MaxThreads))
+		return nil, errTooManyHandles(h.opts.MaxThreads)
 	}
 	n := &hcNode{}
 	n.threadID.Store(id)
 	n.nOps.Store(h.opts.MaxOps) // parked: nobody can register with it
-	return &hcHandle{h: h, id: id, myNode: n}
+	return &hcHandle{h: h, id: id, myNode: n}, nil
+}
+
+// Close implements Executor. HybComb owns no background goroutine, so
+// closing only fails future NewHandle calls; it is idempotent.
+func (h *HybComb) Close() error {
+	h.closed.Store(true)
+	return nil
 }
 
 // Stats returns the number of completed combining rounds and the total

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"hybsync/internal/mpq"
@@ -61,22 +62,26 @@ func (s *MPServer) serve() {
 	}
 }
 
-// Handle implements Executor.
-func (s *MPServer) Handle() Handle {
+// NewHandle implements Executor.
+func (s *MPServer) NewHandle() (Handle, error) {
+	if s.stopped.Load() {
+		return nil, fmt.Errorf("core: mpserver: %w", ErrClosed)
+	}
 	id := s.nextID.Add(1) - 1
 	if int(id) >= s.opts.MaxThreads {
-		panic(errTooManyHandles(s.opts.MaxThreads))
+		return nil, errTooManyHandles(s.opts.MaxThreads)
 	}
-	return &mpHandle{s: s, id: uint64(id)}
+	return &mpHandle{s: s, id: uint64(id)}, nil
 }
 
-// Close stops the server goroutine. No Apply may be in flight or issued
-// afterwards.
-func (s *MPServer) Close() {
+// Close stops the server goroutine. It is idempotent; no Apply may be
+// in flight or issued afterwards.
+func (s *MPServer) Close() error {
 	if s.stopped.CompareAndSwap(false, true) {
 		s.reqs.Send(mpq.Words3(0, opQuit, 0))
 		<-s.done
 	}
+	return nil
 }
 
 type mpHandle struct {

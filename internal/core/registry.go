@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Factory builds one executor instance for a registered algorithm.
+// The Options it receives are already filled with defaults.
+type Factory func(Dispatch, Options) (Executor, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register adds an algorithm under name. It fails with
+// ErrDuplicateAlgorithm if the name is taken. Construction packages
+// call it from init; applications may register their own executors and
+// construct them (and the repository's objects) by name.
+func Register(name string, f Factory) error {
+	if name == "" || f == nil {
+		return fmt.Errorf("core: Register needs a name and a factory")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("core: %q: %w", name, ErrDuplicateAlgorithm)
+	}
+	registry[name] = f
+	return nil
+}
+
+// MustRegister is Register, panicking on failure; for init-time use.
+func MustRegister(name string, f Factory) {
+	if err := Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// New constructs the named algorithm around dispatch.
+func New(name string, dispatch Dispatch, opts ...Option) (Executor, error) {
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: %q (have: %s): %w",
+			name, strings.Join(Algorithms(), ", "), ErrUnknownAlgorithm)
+	}
+	return f(dispatch, BuildOptions(opts...))
+}
+
+// MustNew is New, panicking on failure.
+func MustNew(name string, dispatch Dispatch, opts ...Option) Executor {
+	e, err := New(name, dispatch, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Algorithms returns the sorted names of all registered algorithms.
+func Algorithms() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// The package's own constructions self-register here; shmsync and spin
+// register theirs from their own init functions.
+func init() {
+	MustRegister("mpserver", func(d Dispatch, o Options) (Executor, error) {
+		return NewMPServer(d, o), nil
+	})
+	MustRegister("hybcomb", func(d Dispatch, o Options) (Executor, error) {
+		return NewHybComb(d, o), nil
+	})
+}

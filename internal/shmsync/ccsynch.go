@@ -7,11 +7,23 @@
 package shmsync
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 
 	"hybsync/internal/core"
 )
+
+// The package's constructions self-register with the core registry so
+// hybsync.New can build them by name.
+func init() {
+	core.MustRegister("ccsynch", func(d core.Dispatch, o core.Options) (core.Executor, error) {
+		return NewCCSynch(d, o.MaxOps), nil
+	})
+	core.MustRegister("shmserver", func(d core.Dispatch, o core.Options) (core.Executor, error) {
+		return NewSHMServer(d, o.MaxThreads), nil
+	})
+}
 
 // CCSynch executes critical sections with the CC-Synch combining
 // algorithm: threads SWAP their spare node onto a shared tail to publish
@@ -22,6 +34,7 @@ type CCSynch struct {
 	dispatch core.Dispatch
 	tail     atomic.Pointer[ccNode]
 	maxOps   int32
+	closed   atomic.Bool
 
 	rounds   atomic.Uint64
 	combined atomic.Uint64
@@ -50,9 +63,20 @@ func NewCCSynch(dispatch core.Dispatch, maxOps int32) *CCSynch {
 	return c
 }
 
-// Handle implements core.Executor.
-func (c *CCSynch) Handle() core.Handle {
-	return &ccHandle{c: c, node: &ccNode{}}
+// NewHandle implements core.Executor. CC-Synch has no structural bound
+// on participants, so handles are unlimited until Close.
+func (c *CCSynch) NewHandle() (core.Handle, error) {
+	if c.closed.Load() {
+		return nil, fmt.Errorf("shmsync: ccsynch: %w", core.ErrClosed)
+	}
+	return &ccHandle{c: c, node: &ccNode{}}, nil
+}
+
+// Close implements core.Executor. CC-Synch owns no background
+// goroutine; closing only fails future NewHandle calls. Idempotent.
+func (c *CCSynch) Close() error {
+	c.closed.Store(true)
+	return nil
 }
 
 // Stats returns combining rounds and requests combined for others.

@@ -76,19 +76,26 @@ func (s *SHMServer) serve() {
 	}
 }
 
-// Handle implements core.Executor.
-func (s *SHMServer) Handle() core.Handle {
+// NewHandle implements core.Executor.
+func (s *SHMServer) NewHandle() (core.Handle, error) {
+	if s.stop.Load() {
+		return nil, fmt.Errorf("shmsync: shmserver: %w", core.ErrClosed)
+	}
 	id := s.nextID.Add(1) - 1
 	if int(id) >= len(s.slots) {
-		panic(fmt.Errorf("shmsync: more than %d clients", len(s.slots)))
+		return nil, fmt.Errorf("shmsync: more than %d clients (raise MaxThreads): %w",
+			len(s.slots), core.ErrTooManyHandles)
 	}
-	return &shmHandle{slot: &s.slots[id]}
+	return &shmHandle{slot: &s.slots[id]}, nil
 }
 
-// Close stops the server once all in-flight requests are served.
-func (s *SHMServer) Close() {
-	s.stop.Store(true)
-	<-s.done
+// Close stops the server once all in-flight requests are served. It is
+// idempotent.
+func (s *SHMServer) Close() error {
+	if s.stop.CompareAndSwap(false, true) {
+		<-s.done
+	}
+	return nil
 }
 
 type shmHandle struct {

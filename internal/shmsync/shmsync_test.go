@@ -1,8 +1,11 @@
 package shmsync
 
 import (
+	"errors"
 	"sync"
 	"testing"
+
+	"hybsync/internal/core"
 )
 
 func TestCCSynchSequential(t *testing.T) {
@@ -12,7 +15,7 @@ func TestCCSynchSequential(t *testing.T) {
 		state += arg
 		return old
 	}, 200)
-	h := c.Handle()
+	h := core.MustHandle(c)
 	if got := h.Apply(0, 5); got != 0 {
 		t.Fatalf("Apply = %d, want 0", got)
 	}
@@ -39,7 +42,7 @@ func TestCCSynchConcurrent(t *testing.T) {
 			wg.Add(1)
 			go func(g int) {
 				defer wg.Done()
-				h := c.Handle()
+				h := core.MustHandle(c)
 				seen[g] = make(map[uint64]bool, per)
 				for i := 0; i < per; i++ {
 					seen[g][h.Apply(0, 0)] = true
@@ -74,7 +77,7 @@ func TestSHMServerBasic(t *testing.T) {
 		return old
 	}, 4)
 	defer s.Close()
-	h := s.Handle()
+	h := core.MustHandle(s)
 	if got := h.Apply(1, 2); got != 0 {
 		t.Fatalf("Apply = %d, want 0", got)
 	}
@@ -97,7 +100,7 @@ func TestSHMServerConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			h := s.Handle()
+			h := core.MustHandle(s)
 			for i := 0; i < per; i++ {
 				h.Apply(0, 0)
 			}
@@ -112,13 +115,33 @@ func TestSHMServerConcurrent(t *testing.T) {
 func TestSHMServerTooManyClients(t *testing.T) {
 	s := NewSHMServer(func(op, arg uint64) uint64 { return 0 }, 1)
 	defer s.Close()
-	s.Handle()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("second Handle did not panic")
-		}
-	}()
-	s.Handle()
+	if _, err := s.NewHandle(); err != nil {
+		t.Fatalf("NewHandle: %v", err)
+	}
+	if _, err := s.NewHandle(); !errors.Is(err, core.ErrTooManyHandles) {
+		t.Fatalf("second NewHandle = %v, want ErrTooManyHandles", err)
+	}
+}
+
+func TestLifecycleAfterClose(t *testing.T) {
+	s := NewSHMServer(func(op, arg uint64) uint64 { return 0 }, 2)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := s.NewHandle(); !errors.Is(err, core.ErrClosed) {
+		t.Fatalf("NewHandle after Close = %v, want ErrClosed", err)
+	}
+
+	c := NewCCSynch(func(op, arg uint64) uint64 { return 0 }, 200)
+	if err := c.Close(); err != nil {
+		t.Fatalf("ccsynch Close: %v", err)
+	}
+	if _, err := c.NewHandle(); !errors.Is(err, core.ErrClosed) {
+		t.Fatalf("ccsynch NewHandle after Close = %v, want ErrClosed", err)
+	}
 }
 
 func TestSHMServerZeroResultValues(t *testing.T) {
@@ -126,7 +149,7 @@ func TestSHMServerZeroResultValues(t *testing.T) {
 	// result word, signals completion).
 	s := NewSHMServer(func(op, arg uint64) uint64 { return 0 }, 2)
 	defer s.Close()
-	h := s.Handle()
+	h := core.MustHandle(s)
 	for i := 0; i < 100; i++ {
 		if got := h.Apply(7, 9); got != 0 {
 			t.Fatalf("Apply = %d, want 0", got)

@@ -8,11 +8,29 @@
 package spin
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 
 	"hybsync/internal/core"
 )
+
+// The lock-based executors self-register with the core registry so
+// hybsync.New can build them by name. Queue locks (mcs, clh) hand each
+// executor handle its own node-carrying lock handle over one shared
+// lock; the centralized locks (tas, ttas, ticket) share one instance.
+func init() {
+	register := func(name string, mk func() func() Lock) {
+		core.MustRegister(name, func(d core.Dispatch, o core.Options) (core.Executor, error) {
+			return NewLockExecutor(d, mk()), nil
+		})
+	}
+	register("tas-lock", func() func() Lock { l := &TASLock{}; return func() Lock { return l } })
+	register("ttas-lock", func() func() Lock { l := &TTASLock{}; return func() Lock { return l } })
+	register("ticket-lock", func() func() Lock { l := &TicketLock{}; return func() Lock { return l } })
+	register("mcs-lock", func() func() Lock { l := &MCSLock{}; return func() Lock { return l.NewMCSHandle() } })
+	register("clh-lock", func() func() Lock { l := NewCLHLock(); return func() Lock { return l.NewCLHHandle() } })
+}
 
 // Lock is a mutual-exclusion lock. Locks in this package are not
 // reentrant.
@@ -202,6 +220,7 @@ func (h *CLHHandle) Unlock() {
 type LockExecutor struct {
 	dispatch core.Dispatch
 	factory  func() Lock
+	closed   atomic.Bool
 }
 
 // NewLockExecutor builds an executor over locks produced by factory (one
@@ -211,9 +230,20 @@ func NewLockExecutor(dispatch core.Dispatch, factory func() Lock) *LockExecutor 
 	return &LockExecutor{dispatch: dispatch, factory: factory}
 }
 
-// Handle implements core.Executor.
-func (e *LockExecutor) Handle() core.Handle {
-	return &lockHandle{dispatch: e.dispatch, lock: e.factory()}
+// NewHandle implements core.Executor. Lock executors have no structural
+// bound on participants, so handles are unlimited until Close.
+func (e *LockExecutor) NewHandle() (core.Handle, error) {
+	if e.closed.Load() {
+		return nil, fmt.Errorf("spin: lock executor: %w", core.ErrClosed)
+	}
+	return &lockHandle{dispatch: e.dispatch, lock: e.factory()}, nil
+}
+
+// Close implements core.Executor. A lock executor owns no background
+// resources; closing only fails future NewHandle calls. Idempotent.
+func (e *LockExecutor) Close() error {
+	e.closed.Store(true)
+	return nil
 }
 
 type lockHandle struct {

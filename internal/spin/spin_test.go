@@ -108,7 +108,7 @@ func TestLockExecutor(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			h := ex.Handle()
+			h := core.MustHandle(ex)
 			for i := 0; i < per; i++ {
 				h.Apply(0, 1)
 			}

@@ -44,7 +44,7 @@ type Profile struct {
 // ProfileTileGx approximates the TILE-Gx8036 of the paper: 6x6 mesh at
 // 1.2 GHz, two memory controllers executing all atomics, 4-way
 // multiplexed 118-word UDN buffers. Constants were calibrated so the
-// paper's headline ratios hold (see EXPERIMENTS.md): MP-SERVER ~4x
+// paper's headline ratios hold (see DESIGN.md): MP-SERVER ~4x
 // SHM-SERVER on a contended counter, HYBCOMB ~2.5x CC-SYNCH, ~30 cycles
 // of coherence stalls per op at a shared-memory servicing thread.
 func ProfileTileGx() Profile {

@@ -1,0 +1,77 @@
+// Package object exposes the concurrent objects of the paper's
+// evaluation (§5.3-§5.4) over the public hybsync API: a linearizable
+// counter, the Michael & Scott queues in one-lock and two-lock form,
+// the coarse-lock stack — each constructed over any registered
+// algorithm by name — plus the nonblocking LCRQ queue and Treiber
+// stack, which need no executor at all.
+//
+//	ctr, err := object.NewCounter("hybcomb", hybsync.WithMaxThreads(16))
+//	h, err := ctr.NewHandle() // one per goroutine
+//	h.Inc()
+//	_ = ctr.Close()
+package object
+
+import (
+	"hybsync"
+	"hybsync/internal/conc"
+)
+
+// EmptyVal is returned by Dequeue/Pop on an empty container.
+const EmptyVal = conc.EmptyVal
+
+// The object and handle types; handles are per-goroutine, obtained
+// from the object's NewHandle, and every executor-backed object has an
+// idempotent Close that shuts its construction down.
+type (
+	Counter       = conc.Counter
+	CounterHandle = conc.CounterHandle
+	MSQueue1      = conc.MSQueue1
+	MSQueue2      = conc.MSQueue2
+	QueueHandle   = conc.QueueHandle
+	Stack         = conc.Stack
+	StackHandle   = conc.StackHandle
+	LCRQueue      = conc.LCRQueue
+	TreiberStack  = conc.TreiberStack
+)
+
+// factory adapts an algorithm name plus options into the executor
+// factory the object layer consumes.
+func factory(algo string, opts []hybsync.Option) conc.ExecutorFactory {
+	return func(d hybsync.Dispatch) (hybsync.Executor, error) {
+		return hybsync.New(algo, d, opts...)
+	}
+}
+
+// NewCounter builds a linearizable fetch-and-increment counter over the
+// named algorithm.
+func NewCounter(algo string, opts ...hybsync.Option) (*Counter, error) {
+	return conc.NewCounter(factory(algo, opts))
+}
+
+// NewMSQueue1 builds the one-lock Michael & Scott queue (Figure 5a)
+// over the named algorithm.
+func NewMSQueue1(algo string, opts ...hybsync.Option) (*MSQueue1, error) {
+	return conc.NewMSQueue1(factory(algo, opts))
+}
+
+// NewMSQueue2 builds the two-lock Michael & Scott queue over two
+// independent executors of the named algorithm (for "mpserver" that
+// means two dedicated server goroutines, the cost §5.4 discusses).
+func NewMSQueue2(algo string, opts ...hybsync.Option) (*MSQueue2, error) {
+	return conc.NewMSQueue2(factory(algo, opts))
+}
+
+// NewStack builds the coarse-lock stack (Figure 5b) over the named
+// algorithm.
+func NewStack(algo string, opts ...hybsync.Option) (*Stack, error) {
+	return conc.NewStack(factory(algo, opts))
+}
+
+// NewLCRQueue builds the nonblocking LCRQ-style queue (Morrison & Afek,
+// PPoPP'13) with the given ring size; it runs over plain atomics and
+// needs no executor.
+func NewLCRQueue(ringSize int) *LCRQueue { return conc.NewLCRQueue(ringSize) }
+
+// NewTreiberStack builds Treiber's nonblocking stack; it runs over
+// plain atomics and needs no executor.
+func NewTreiberStack() *TreiberStack { return conc.NewTreiberStack() }

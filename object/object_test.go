@@ -1,0 +1,141 @@
+package object_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"hybsync"
+	"hybsync/object"
+)
+
+// TestCounterByName round-trips the counter over every registered
+// algorithm: concurrent increments must be exact, and the object's
+// lifecycle must mirror its executor's.
+func TestCounterByName(t *testing.T) {
+	const goroutines, per = 4, 250
+	for _, algo := range hybsync.Algorithms() {
+		t.Run(algo, func(t *testing.T) {
+			c, err := object.NewCounter(algo, hybsync.WithMaxThreads(goroutines))
+			if err != nil {
+				t.Fatalf("NewCounter(%q): %v", algo, err)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				h, err := c.NewHandle()
+				if err != nil {
+					t.Fatalf("NewHandle: %v", err)
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						h.Inc()
+					}
+				}()
+			}
+			wg.Wait()
+			if got := c.Value(); got != goroutines*per {
+				t.Fatalf("counter = %d, want %d", got, goroutines*per)
+			}
+			if err := c.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if err := c.Close(); err != nil {
+				t.Fatalf("second Close: %v", err)
+			}
+			if _, err := c.NewHandle(); !errors.Is(err, hybsync.ErrClosed) {
+				t.Fatalf("NewHandle after Close = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+func TestUnknownAlgorithmPropagates(t *testing.T) {
+	if _, err := object.NewCounter("no-such-algo"); !errors.Is(err, hybsync.ErrUnknownAlgorithm) {
+		t.Fatalf("NewCounter(unknown) = %v, want ErrUnknownAlgorithm", err)
+	}
+	if _, err := object.NewMSQueue2("no-such-algo"); !errors.Is(err, hybsync.ErrUnknownAlgorithm) {
+		t.Fatalf("NewMSQueue2(unknown) = %v, want ErrUnknownAlgorithm", err)
+	}
+}
+
+// TestQueueFIFOByName checks single-handle FIFO order through both
+// MS-Queue forms over a server construction.
+func TestQueueFIFOByName(t *testing.T) {
+	builders := map[string]func() (interface {
+		NewHandle() (*object.QueueHandle, error)
+		Close() error
+	}, error){
+		"MSQueue1/mpserver": func() (interface {
+			NewHandle() (*object.QueueHandle, error)
+			Close() error
+		}, error) {
+			return object.NewMSQueue1("mpserver", hybsync.WithMaxThreads(4))
+		},
+		"MSQueue2/mpserver": func() (interface {
+			NewHandle() (*object.QueueHandle, error)
+			Close() error
+		}, error) {
+			return object.NewMSQueue2("mpserver", hybsync.WithMaxThreads(4))
+		},
+	}
+	for name, mk := range builders {
+		t.Run(name, func(t *testing.T) {
+			q, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer q.Close()
+			h, err := q.NewHandle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := uint64(0); v < 500; v++ {
+				h.Enqueue(v)
+			}
+			for v := uint64(0); v < 500; v++ {
+				if got := h.Dequeue(); got != v {
+					t.Fatalf("dequeue = %d, want %d", got, v)
+				}
+			}
+			if h.Dequeue() != object.EmptyVal {
+				t.Fatal("drained queue not empty")
+			}
+		})
+	}
+}
+
+// TestStackLIFOByName checks LIFO order over a combining construction,
+// and the nonblocking structures' basic behavior.
+func TestStackLIFOByName(t *testing.T) {
+	s, err := object.NewStack("ccsynch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h, err := s.NewHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(1); v <= 100; v++ {
+		h.Push(v)
+	}
+	for v := uint64(100); v >= 1; v-- {
+		if got := h.Pop(); got != v {
+			t.Fatalf("pop = %d, want %d", got, v)
+		}
+	}
+
+	ts := object.NewTreiberStack()
+	ts.Push(42)
+	if got := ts.Pop(); got != 42 {
+		t.Fatalf("Treiber pop = %d, want 42", got)
+	}
+
+	lq := object.NewLCRQueue(16)
+	lq.Enqueue(7)
+	if got := lq.Dequeue(); got != 7 {
+		t.Fatalf("LCRQ dequeue = %d, want 7", got)
+	}
+}
