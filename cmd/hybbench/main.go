@@ -15,9 +15,11 @@
 //	hybbench -list
 //	hybbench -bench all -dur 200ms -threads 1,2,4,8,16
 //	hybbench -bench counter -algos mpserver,hybcomb,clh-lock
+//	hybbench -bench counter -json > BENCH_counter.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +33,48 @@ import (
 	"hybsync/object"
 )
 
+// jsonResult is one measured point in -json mode; the schema is the
+// commit format for BENCH_*.json perf-trajectory files.
+type jsonResult struct {
+	Bench    string  `json:"bench"`
+	Algo     string  `json:"algo"`
+	Threads  int     `json:"threads"`
+	Ops      uint64  `json:"ops"`
+	Mops     float64 `json:"mops"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	Fairness float64 `json:"fairness,omitempty"`
+	Rounds   uint64  `json:"rounds,omitempty"`
+	Combined uint64  `json:"combined,omitempty"`
+}
+
+// report accumulates jsonResults; nil means table mode.
+type report struct {
+	GoMaxProcs int          `json:"gomaxprocs"`
+	DurationMs int64        `json:"duration_ms_per_point"`
+	Results    []jsonResult `json:"results"`
+}
+
+// add records one point, deriving the scalar metrics from res.
+func (r *report) add(bench, algo string, threads int, res harness.NativeResult, rounds, combined uint64) {
+	jr := jsonResult{
+		Bench: bench, Algo: algo, Threads: threads,
+		Ops: res.Ops, Mops: res.Mops(), Fairness: res.Fairness(),
+		Rounds: rounds, Combined: combined,
+	}
+	if jr.Mops > 0 {
+		jr.NsPerOp = 1e3 / jr.Mops
+	}
+	r.Results = append(r.Results, jr)
+}
+
+func (r *report) render() {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		fatalf("encoding JSON: %v", err)
+	}
+}
+
 // defaultAlgos is the paper's four constructions plus one queue-lock
 // baseline; -algos all selects everything in the registry.
 var defaultAlgos = []string{"mpserver", "hybcomb", "shmserver", "ccsynch", "mcs-lock"}
@@ -41,6 +85,7 @@ func main() {
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default scales to GOMAXPROCS)")
 	algosFlag := flag.String("algos", "", "comma-separated algorithm names from the registry (default a representative five; 'all' for every registered algorithm)")
 	list := flag.Bool("list", false, "print the registered algorithm names and exit")
+	jsonFlag := flag.Bool("json", false, "emit machine-readable JSON instead of tables (for BENCH_*.json files)")
 	flag.Parse()
 
 	if *list {
@@ -69,23 +114,31 @@ func main() {
 		}
 	}
 
+	var rep *report
+	if *jsonFlag {
+		rep = &report{GoMaxProcs: runtime.GOMAXPROCS(0), DurationMs: dur.Milliseconds()}
+	}
+
 	switch *bench {
 	case "counter":
-		benchCounter(algos, threads, *dur)
+		benchCounter(algos, threads, *dur, rep)
 	case "queue":
-		benchQueue(algos, threads, *dur)
+		benchQueue(algos, threads, *dur, rep)
 	case "stack":
-		benchStack(algos, threads, *dur)
+		benchStack(algos, threads, *dur, rep)
 	case "fairness":
-		benchFairness(algos, threads, *dur)
+		benchFairness(algos, threads, *dur, rep)
 	case "all":
-		benchCounter(algos, threads, *dur)
-		benchQueue(algos, threads, *dur)
-		benchStack(algos, threads, *dur)
-		benchFairness(algos, threads, *dur)
+		benchCounter(algos, threads, *dur, rep)
+		benchQueue(algos, threads, *dur, rep)
+		benchStack(algos, threads, *dur, rep)
+		benchFairness(algos, threads, *dur, rep)
 	default:
 		fmt.Fprintf(os.Stderr, "hybbench: unknown bench %q\n", *bench)
 		os.Exit(2)
+	}
+	if rep != nil {
+		rep.render()
 	}
 }
 
@@ -136,38 +189,49 @@ func defaultThreads() []int {
 // hybbench drives.
 func opts() []hybsync.Option { return []hybsync.Option{hybsync.WithMaxThreads(256)} }
 
-// runCounter measures one counter-increment point for algo; shared by
-// the throughput and fairness benches.
-func runCounter(algo string, th int, dur time.Duration) harness.NativeResult {
+// runCounter measures one counter-increment point for algo (plus the
+// executor's combining stats, when it keeps them); shared by the
+// throughput and fairness benches.
+func runCounter(algo string, th int, dur time.Duration) (res harness.NativeResult, rounds, combined uint64) {
 	c, err := object.NewCounter(algo, opts()...)
 	if err != nil {
 		fatalf("NewCounter(%s): %v", algo, err)
 	}
 	defer c.Close()
-	return harness.RunNative(th, dur, 50, func(int) func(uint64) {
+	res = harness.RunNative(th, dur, 50, func(int) func(uint64) {
 		h, err := c.NewHandle()
 		if err != nil {
 			panic(err)
 		}
 		return func(uint64) { h.Inc() }
 	})
+	rounds, combined, _ = c.Stats()
+	return res, rounds, combined
 }
 
-func benchCounter(algos []string, threads []int, dur time.Duration) {
+func benchCounter(algos []string, threads []int, dur time.Duration, rep *report) {
 	header := append([]string{"threads"}, algos...)
 	t := harness.NewTable("Native counter throughput (Mops/sec)", header...)
 	t.Note = fmt.Sprintf("GOMAXPROCS=%d, local work <=50 iters, %v per point", runtime.GOMAXPROCS(0), dur)
 	for _, th := range threads {
 		row := []any{th}
 		for _, algo := range algos {
-			row = append(row, runCounter(algo, th, dur).Mops())
+			res, rounds, combined := runCounter(algo, th, dur)
+			if rep != nil {
+				rep.add("counter", algo, th, res, rounds, combined)
+			}
+			row = append(row, res.Mops())
 		}
-		t.AddRow(row...)
+		if rep == nil {
+			t.AddRow(row...)
+		}
 	}
-	t.Render(os.Stdout)
+	if rep == nil {
+		t.Render(os.Stdout)
+	}
 }
 
-func benchQueue(algos []string, threads []int, dur time.Duration) {
+func benchQueue(algos []string, threads []int, dur time.Duration, rep *report) {
 	header := []string{"threads"}
 	for _, algo := range algos {
 		header = append(header, algo+"-1")
@@ -181,7 +245,12 @@ func benchQueue(algos []string, threads []int, dur time.Duration) {
 			if err != nil {
 				fatalf("NewMSQueue1(%s): %v", algo, err)
 			}
-			row = append(row, runQueue(q.NewHandle, th, dur))
+			res := runQueue(q.NewHandle, th, dur)
+			if rep != nil {
+				rounds, combined, _ := q.Stats()
+				rep.add("queue", algo+"-1", th, res, rounds, combined)
+			}
+			row = append(row, res.Mops())
 			q.Close()
 		}
 		// LCRQ: nonblocking, no executor.
@@ -195,23 +264,34 @@ func benchQueue(algos []string, threads []int, dur time.Duration) {
 				}
 			}
 		})
+		if rep != nil {
+			rep.add("queue", "LCRQ", th, res, 0, 0)
+		}
 		row = append(row, res.Mops())
 		// Two-lock MS-Queue over two dedicated mpserver goroutines.
 		q2, err := object.NewMSQueue2("mpserver", opts()...)
 		if err != nil {
 			fatalf("NewMSQueue2(mpserver): %v", err)
 		}
-		row = append(row, runQueue(q2.NewHandle, th, dur))
+		res2 := runQueue(q2.NewHandle, th, dur)
+		if rep != nil {
+			rep.add("queue", "mpserver-2", th, res2, 0, 0)
+		}
+		row = append(row, res2.Mops())
 		q2.Close()
-		t.AddRow(row...)
+		if rep == nil {
+			t.AddRow(row...)
+		}
 	}
-	t.Render(os.Stdout)
+	if rep == nil {
+		t.Render(os.Stdout)
+	}
 }
 
 // runQueue drives a balanced enqueue/dequeue mix over per-goroutine
 // handles produced by newHandle.
-func runQueue(newHandle func() (*object.QueueHandle, error), th int, dur time.Duration) float64 {
-	res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
+func runQueue(newHandle func() (*object.QueueHandle, error), th int, dur time.Duration) harness.NativeResult {
+	return harness.RunNative(th, dur, 50, func(int) func(uint64) {
 		h, err := newHandle()
 		if err != nil {
 			panic(err)
@@ -224,10 +304,9 @@ func runQueue(newHandle func() (*object.QueueHandle, error), th int, dur time.Du
 			}
 		}
 	})
-	return res.Mops()
 }
 
-func benchStack(algos []string, threads []int, dur time.Duration) {
+func benchStack(algos []string, threads []int, dur time.Duration, rep *report) {
 	header := append([]string{"threads"}, algos...)
 	header = append(header, "Treiber")
 	t := harness.NewTable("Native stack throughput under balanced load (Mops/sec)", header...)
@@ -251,6 +330,10 @@ func benchStack(algos []string, threads []int, dur time.Duration) {
 					}
 				}
 			})
+			if rep != nil {
+				rounds, combined, _ := s.Stats()
+				rep.add("stack", algo, th, res, rounds, combined)
+			}
 			s.Close()
 			row = append(row, res.Mops())
 		}
@@ -264,13 +347,20 @@ func benchStack(algos []string, threads []int, dur time.Duration) {
 				}
 			}
 		})
+		if rep != nil {
+			rep.add("stack", "Treiber", th, res, 0, 0)
+		}
 		row = append(row, res.Mops())
-		t.AddRow(row...)
+		if rep == nil {
+			t.AddRow(row...)
+		}
 	}
-	t.Render(os.Stdout)
+	if rep == nil {
+		t.Render(os.Stdout)
+	}
 }
 
-func benchFairness(algos []string, threads []int, dur time.Duration) {
+func benchFairness(algos []string, threads []int, dur time.Duration, rep *report) {
 	header := append([]string{"threads"}, algos...)
 	t := harness.NewTable("Native fairness (max/min per-thread op ratio; 1.0 = ideal)", header...)
 	for _, th := range threads {
@@ -279,11 +369,19 @@ func benchFairness(algos []string, threads []int, dur time.Duration) {
 		}
 		row := []any{th}
 		for _, algo := range algos {
-			row = append(row, runCounter(algo, th, dur).Fairness())
+			res, rounds, combined := runCounter(algo, th, dur)
+			if rep != nil {
+				rep.add("fairness", algo, th, res, rounds, combined)
+			}
+			row = append(row, res.Fairness())
 		}
-		t.AddRow(row...)
+		if rep == nil {
+			t.AddRow(row...)
+		}
 	}
-	t.Render(os.Stdout)
+	if rep == nil {
+		t.Render(os.Stdout)
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,77 @@
+// Package backoff provides the single adaptive wait loop shared by
+// every spinning site in the repository (message-queue send/receive,
+// the HybComb combiner hand-off, the SHM-server slots, the spin locks).
+//
+// The paper's algorithms busy-wait because on the TILE-Gx a waiting
+// core is a dedicated core; under the Go runtime a spinning goroutine
+// instead starves whoever it is waiting for, and — on small hosts —
+// burns a core that the server/combiner needs. Backoff therefore
+// escalates in three phases: a short pure-spin window (the condition
+// usually fires within a handful of re-checks when the peer is
+// running), a yield window (runtime.Gosched hands the P to the peer,
+// the common case at GOMAXPROCS=1), and finally short sleeps with
+// exponential growth so long-idle waiters stop consuming CPU entirely.
+package backoff
+
+import (
+	"runtime"
+	"time"
+)
+
+const (
+	// spinLimit is how many Wait calls pure-spin before yielding.
+	spinLimit = 32
+	// yieldLimit is how many Wait calls (total) yield before sleeping.
+	yieldLimit = 1024
+	// minSleep/maxSleep bound the sleep phase; sleeps double between
+	// these bounds so a long-idle waiter converges to maxSleep wakeups.
+	minSleep = time.Microsecond
+	maxSleep = 100 * time.Microsecond
+)
+
+// Backoff is the adaptive waiter. The zero value is ready to use; it is
+// not safe for concurrent use (each waiting goroutine owns its own).
+type Backoff struct {
+	n          int
+	sleep      time.Duration
+	yieldFirst bool
+}
+
+// Wait performs one escalation step: spin, then yield, then sleep.
+// Call it each time the awaited condition is observed false.
+func (b *Backoff) Wait() {
+	b.n++
+	switch {
+	case b.n <= spinLimit:
+		// Pure re-check: the peer is likely mid-update on another core.
+	case b.n <= yieldLimit:
+		runtime.Gosched()
+	default:
+		if b.sleep == 0 {
+			b.sleep = minSleep
+		} else if b.sleep < maxSleep {
+			b.sleep *= 2
+			if b.sleep > maxSleep {
+				b.sleep = maxSleep
+			}
+		}
+		time.Sleep(b.sleep)
+	}
+}
+
+// Reset re-arms the escalation after the condition fired; call it when
+// progress is made so the next wait starts in the cheap spin phase.
+func (b *Backoff) Reset() {
+	b.n = 0
+	if b.yieldFirst {
+		b.n = spinLimit
+	}
+	b.sleep = 0
+}
+
+// Yielding returns a Backoff that skips the pure-spin phase and starts
+// at the yield phase. Use it when each re-check of the condition is
+// itself expensive — e.g. the SHM-server's full slot sweep — so that
+// burning re-checks is never cheaper than handing over the processor.
+// Reset re-arms it to yield-first as well.
+func Yielding() Backoff { return Backoff{yieldFirst: true, n: spinLimit} }

@@ -1,0 +1,69 @@
+package backoff
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWaitEventuallySleeps(t *testing.T) {
+	var b Backoff
+	for i := 0; i < yieldLimit; i++ {
+		b.Wait()
+	}
+	if b.sleep != 0 {
+		t.Fatalf("sleeping before yieldLimit: sleep=%v", b.sleep)
+	}
+	b.Wait()
+	if b.sleep != minSleep {
+		t.Fatalf("first sleep = %v, want %v", b.sleep, minSleep)
+	}
+	for i := 0; i < 64; i++ {
+		b.Wait()
+	}
+	if b.sleep != maxSleep {
+		t.Fatalf("sleep did not cap: %v, want %v", b.sleep, maxSleep)
+	}
+}
+
+func TestYieldingSkipsSpinPhase(t *testing.T) {
+	b := Yielding()
+	if b.n != spinLimit {
+		t.Fatalf("Yielding starts at n=%d, want %d", b.n, spinLimit)
+	}
+	b.Wait()
+	b.Reset()
+	if b.n != spinLimit {
+		t.Fatalf("Reset re-armed to n=%d, want %d (yield-first preserved)", b.n, spinLimit)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var b Backoff
+	for i := 0; i < yieldLimit+10; i++ {
+		b.Wait()
+	}
+	b.Reset()
+	if b.n != 0 || b.sleep != 0 {
+		t.Fatalf("Reset left state: %+v", b)
+	}
+}
+
+// TestWaitUnblocksPeer checks the property the package exists for: a
+// goroutine waiting with Backoff lets a runnable peer make progress
+// even at GOMAXPROCS=1 (the yield phase hands over the processor).
+func TestWaitUnblocksPeer(t *testing.T) {
+	var flag atomic.Bool
+	go func() {
+		time.Sleep(time.Millisecond)
+		flag.Store(true)
+	}()
+	var b Backoff
+	deadline := time.Now().Add(5 * time.Second)
+	for !flag.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter starved the peer")
+		}
+		b.Wait()
+	}
+}

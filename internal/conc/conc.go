@@ -25,6 +25,17 @@ const EmptyVal = ^uint64(0)
 // { return core.New("hybcomb", d) }.
 type ExecutorFactory func(core.Dispatch) (core.Executor, error)
 
+// execStats reports the combining statistics of an executor when it is
+// a core.StatsSource (HybComb, CC-Synch); ok is false otherwise. Read
+// only while no operation is in flight.
+func execStats(e core.Executor) (rounds, combined uint64, ok bool) {
+	if s, isSource := e.(core.StatsSource); isSource {
+		rounds, combined = s.Stats()
+		return rounds, combined, true
+	}
+	return 0, 0, false
+}
+
 // Counter is the §5.3 microbenchmark object: a linearizable
 // fetch-and-increment counter whose increment runs as a critical
 // section on the chosen executor.
@@ -62,6 +73,11 @@ func (c *Counter) Close() error { return c.exec.Close() }
 
 // Value reads the counter; call only while no increments are in flight.
 func (c *Counter) Value() uint64 { return c.value }
+
+// Stats reports the underlying executor's combining statistics when it
+// is a combining construction; ok is false otherwise. Call only while
+// no increments are in flight.
+func (c *Counter) Stats() (rounds, combined uint64, ok bool) { return execStats(c.exec) }
 
 // CounterHandle is a goroutine's capability to increment the counter.
 type CounterHandle struct {

@@ -65,6 +65,11 @@ func (q *MSQueue1) NewHandle() (*QueueHandle, error) {
 // Close shuts down the underlying executor; idempotent.
 func (q *MSQueue1) Close() error { return q.exec.Close() }
 
+// Stats reports the underlying executor's combining statistics when it
+// is a combining construction; ok is false otherwise. Call only while
+// no operations are in flight.
+func (q *MSQueue1) Stats() (rounds, combined uint64, ok bool) { return execStats(q.exec) }
+
 // MSQueue2 is the two-lock Michael & Scott queue: enqueues and dequeues
 // are protected by two independent executors, so they can run in
 // parallel. The dummy-node representation keeps the two sides

@@ -51,6 +51,11 @@ func (s *Stack) NewHandle() (*StackHandle, error) {
 // Close shuts down the underlying executor; idempotent.
 func (s *Stack) Close() error { return s.exec.Close() }
 
+// Stats reports the underlying executor's combining statistics when it
+// is a combining construction; ok is false otherwise. Call only while
+// no operations are in flight.
+func (s *Stack) Stats() (rounds, combined uint64, ok bool) { return execStats(s.exec) }
+
 // StackHandle is a goroutine's capability to use a Stack.
 type StackHandle struct {
 	h core.Handle

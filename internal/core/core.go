@@ -34,7 +34,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 
 	"hybsync/internal/mpq"
 )
@@ -166,22 +165,38 @@ func (o *Options) fill() {
 	}
 }
 
-func (o *Options) newQueue() mpq.Queue {
+// newMpscQueue returns the queue for a many-senders/one-receiver role
+// (the MP-SERVER request queue, the HybComb inboxes): the FAA-claim
+// Mpsc ring unless the channel ablation is selected.
+func (o *Options) newMpscQueue() mpq.Queue {
 	if o.UseChanQueues {
 		return mpq.NewChan(o.QueueCap)
 	}
-	return mpq.NewRing(o.QueueCap)
+	return mpq.NewMpsc(o.QueueCap)
+}
+
+// newSpscQueue returns the queue for a one-sender/one-receiver role
+// (the MP-SERVER response queues): the CAS-free Spsc ring unless the
+// channel ablation is selected.
+func (o *Options) newSpscQueue(cap int) mpq.Queue {
+	if o.UseChanQueues {
+		return mpq.NewChan(cap)
+	}
+	return mpq.NewSpsc(cap)
+}
+
+// batchLen sizes a server/combiner receive buffer: up to MaxOps
+// requests are drained per wakeup, capped so an effectively unbounded
+// MaxOps does not allocate an enormous buffer.
+func (o *Options) batchLen() int {
+	const maxBatch = 256
+	if int(o.MaxOps) < maxBatch {
+		return int(o.MaxOps)
+	}
+	return maxBatch
 }
 
 // errTooManyHandles reports NewHandle() calls beyond MaxThreads.
 func errTooManyHandles(max int) error {
 	return fmt.Errorf("core: more than %d handles requested (raise MaxThreads): %w", max, ErrTooManyHandles)
-}
-
-// spinWait yields periodically while spinning on a condition.
-func spinWait(spins *int) {
-	*spins++
-	if *spins%32 == 0 {
-		runtime.Gosched()
-	}
 }

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"unsafe"
+
+	"hybsync/internal/pad"
 )
 
 func TestMPServerBasic(t *testing.T) {
@@ -213,5 +216,16 @@ func TestOptionsDefaults(t *testing.T) {
 	o.fill()
 	if o.MaxThreads != 128 || o.MaxOps != 200 || o.QueueCap != 39 {
 		t.Fatalf("bad defaults: %+v", o)
+	}
+}
+
+func TestHybCombNodeLayout(t *testing.T) {
+	var n hcNode
+	a, b, c := unsafe.Offsetof(n.threadID), unsafe.Offsetof(n.nOps), unsafe.Offsetof(n.done)
+	if pad.SameLine(a, b) || pad.SameLine(b, c) || pad.SameLine(a, c) {
+		t.Fatalf("hcNode hot fields share a cache line: offsets %d %d %d", a, b, c)
+	}
+	if !pad.Padded(unsafe.Sizeof(n)) {
+		t.Fatalf("hcNode is %d bytes, not a whole number of cache lines", unsafe.Sizeof(n))
 	}
 }

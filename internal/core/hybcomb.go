@@ -3,8 +3,11 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"unsafe"
 
+	"hybsync/internal/backoff"
 	"hybsync/internal/mpq"
+	"hybsync/internal/pad"
 )
 
 // HybComb is the paper's Algorithm 1 as a native Go construction.
@@ -15,6 +18,11 @@ import (
 // successor spins on. Requests and responses travel through per-thread
 // message queues, so while the combiner does not change the data path is
 // identical to MPServer — no shared-memory handshake per operation.
+//
+// The inboxes are mpq.Mpsc queues (any thread sends; only the owner
+// receives) and the combiner drains them with batched receives: both
+// the eager drain (lines 25-28) and the granted-ticket drain (lines
+// 34-37) consume a run of published requests per queue synchronization.
 type HybComb struct {
 	opts     Options
 	dispatch Dispatch
@@ -31,15 +39,18 @@ type HybComb struct {
 	combined atomic.Uint64
 }
 
-// hcNode is Algorithm 1's Node, padded so that the hot n_ops field does
-// not false-share with anything else.
+// hcNode is Algorithm 1's Node. Each of the three fields is written and
+// spun on by different threads at different times (registering threads
+// FAA nOps while the successor spins on done), so each lives on its own
+// cache line; the pads are sized from the fields themselves and the
+// layout is machine-verified by TestHybCombNodeLayout.
 type hcNode struct {
 	threadID atomic.Int32
-	_        [60]byte
+	_        [pad.CacheLine - unsafe.Sizeof(atomic.Int32{})%pad.CacheLine]byte
 	nOps     atomic.Int32
-	_        [60]byte
+	_        [pad.CacheLine - unsafe.Sizeof(atomic.Int32{})%pad.CacheLine]byte
 	done     atomic.Bool
-	_        [63]byte
+	_        [pad.CacheLine - unsafe.Sizeof(atomic.Bool{})%pad.CacheLine]byte
 }
 
 // NewHybComb creates the structure. Unlike MPServer there is no
@@ -51,7 +62,7 @@ func NewHybComb(dispatch Dispatch, opts Options) *HybComb {
 	h := &HybComb{opts: opts, dispatch: dispatch}
 	h.inbox = make([]mpq.Queue, opts.MaxThreads)
 	for i := range h.inbox {
-		h.inbox[i] = opts.newQueue()
+		h.inbox[i] = opts.newMpscQueue()
 	}
 	// The initial node {⊥, MAX_OPS, true}: full, so the first thread
 	// fails registration and promotes itself; done, so it proceeds
@@ -77,7 +88,7 @@ func (h *HybComb) NewHandle() (Handle, error) {
 	n := &hcNode{}
 	n.threadID.Store(id)
 	n.nOps.Store(h.opts.MaxOps) // parked: nobody can register with it
-	return &hcHandle{h: h, id: id, myNode: n}, nil
+	return &hcHandle{h: h, id: id, myNode: n, batch: make([]mpq.Msg, h.opts.batchLen())}, nil
 }
 
 // Close implements Executor. HybComb owns no background goroutine, so
@@ -98,6 +109,7 @@ type hcHandle struct {
 	h      *HybComb
 	id     int32
 	myNode *hcNode
+	batch  []mpq.Msg // combiner-side receive buffer
 }
 
 // Apply is apply_op of Algorithm 1 (lines 6-43); line numbers below
@@ -118,9 +130,9 @@ func (hd *hcHandle) Apply(op, arg uint64) uint64 {
 		// Line 17: promote ourselves to combiner.
 		if h.lastReg.CompareAndSwap(lastReg, hd.myNode) {
 			hd.myNode.nOps.Store(0) // line 18
-			spins := 0
+			var b backoff.Backoff
 			for !lastReg.done.Load() { // lines 19-20
-				spinWait(&spins)
+				b.Wait()
 			}
 			break // line 21
 		}
@@ -131,14 +143,19 @@ func (hd *hcHandle) Apply(op, arg uint64) uint64 {
 
 	// Lines 25-28: eagerly drain the queue while requests keep arriving;
 	// postponing the closing SWAP increases the combining potential.
+	// Every ticket holder's request is drained batch-wise: one queue
+	// synchronization per run of published requests.
 	mine := h.inbox[hd.id]
+	buf := hd.batch
 	for {
-		m, ok := mine.TryRecv()
-		if !ok {
+		n := mine.TryRecvBatch(buf)
+		if n == 0 {
 			break
 		}
-		h.inbox[m.W[0]].Send(mpq.Word(h.dispatch(m.W[1], m.W[2])))
-		opsCompleted++
+		for _, m := range buf[:n] {
+			h.inbox[m.W[0]].Send(mpq.Word(h.dispatch(m.W[1], m.W[2])))
+		}
+		opsCompleted += int32(n)
 	}
 
 	// Lines 30-32: close the round; the old counter value is the number
@@ -148,11 +165,20 @@ func (hd *hcHandle) Apply(op, arg uint64) uint64 {
 		totalOps = h.opts.MaxOps
 	}
 
-	// Lines 34-37: serve the granted tickets that are still in flight.
+	// Lines 34-37: serve the granted tickets that are still in flight,
+	// again batch-wise. The batch is capped at the outstanding ticket
+	// count so the drain can never consume a request addressed to a
+	// later round.
 	for opsCompleted < totalOps {
-		m := mine.Recv()
-		h.inbox[m.W[0]].Send(mpq.Word(h.dispatch(m.W[1], m.W[2])))
-		opsCompleted++
+		want := totalOps - opsCompleted
+		if int(want) > len(buf) {
+			want = int32(len(buf))
+		}
+		n := mine.RecvBatch(buf[:want])
+		for _, m := range buf[:n] {
+			h.inbox[m.W[0]].Send(mpq.Word(h.dispatch(m.W[1], m.W[2])))
+		}
+		opsCompleted += int32(n)
 	}
 
 	// Lines 39-42: exchange nodes with the departed combiner, then

@@ -14,11 +14,20 @@ import (
 // send never blocks (each client has at most one outstanding request),
 // so — as on the hardware — no synchronization-related waiting remains
 // on the server's critical path while requests are pending.
+//
+// The transport is role-specialized (the paper's §5 theme that the
+// request/response path must be as lean as the hardware's): the request
+// queue is an mpq.Mpsc (clients claim send slots with one fetch-and-add;
+// the server never CASes) and each response queue is an mpq.Spsc (no
+// atomic read-modify-write at all). The server drains up to MaxOps
+// pending requests per wakeup (capped at 256 per receive by
+// Options.batchLen) with a batched receive, amortizing queue
+// synchronization across the batch exactly like a combiner's round.
 type MPServer struct {
 	opts     Options
 	dispatch Dispatch
-	reqs     mpq.Queue
-	resp     []mpq.Queue // per client, capacity 1
+	reqs     mpq.Queue   // MPSC: any client sends, only serve receives
+	resp     []mpq.Queue // per client, capacity 1, SPSC: server → client
 	nextID   atomic.Int32
 	stopped  atomic.Bool
 	done     chan struct{}
@@ -34,31 +43,34 @@ func NewMPServer(dispatch Dispatch, opts Options) *MPServer {
 	s := &MPServer{
 		opts:     opts,
 		dispatch: dispatch,
-		reqs:     opts.newQueue(),
+		reqs:     opts.newMpscQueue(),
 		resp:     make([]mpq.Queue, opts.MaxThreads),
 		done:     make(chan struct{}),
 	}
 	for i := range s.resp {
-		if opts.UseChanQueues {
-			s.resp[i] = mpq.NewChan(1)
-		} else {
-			s.resp[i] = mpq.NewRing(1)
-		}
+		s.resp[i] = opts.newSpscQueue(1)
 	}
 	go s.serve()
 	return s
 }
 
-// serve is the server loop: receive, execute, respond.
+// serve is the server loop: drain a batch of requests per wakeup, then
+// execute and respond. Batching pays the blocking-receive
+// synchronization once for up to batchLen requests; the responses go
+// out as each operation completes, so the first client in a batch is
+// not delayed by the rest.
 func (s *MPServer) serve() {
 	defer close(s.done)
+	buf := make([]mpq.Msg, s.opts.batchLen())
 	for {
-		m := s.reqs.Recv()
-		if m.W[1] == opQuit {
-			return
+		n := s.reqs.RecvBatch(buf)
+		for _, m := range buf[:n] {
+			if m.W[1] == opQuit {
+				return // Close guarantees no requests after opQuit
+			}
+			ret := s.dispatch(m.W[1], m.W[2])
+			s.resp[m.W[0]].Send(mpq.Word(ret))
 		}
-		ret := s.dispatch(m.W[1], m.W[2])
-		s.resp[m.W[0]].Send(mpq.Word(ret))
 	}
 }
 

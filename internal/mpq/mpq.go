@@ -13,15 +13,30 @@
 // preserves every property the algorithms rely on (FIFO, bounded,
 // blocking, contiguous) while staying allocation-free.
 //
-// Two interchangeable backends are provided: Ring, a lock-free bounded
-// MPMC ring (Vyukov-style, used by default), and ChanQueue, a thin
-// wrapper over a Go channel (the obvious baseline). The ablation
-// benchmark BenchmarkMPQBackends compares them.
+// Every queue in the system is consumed by exactly one goroutine (each
+// thread owns its incoming queue), so the package provides
+// role-specialized backends alongside the fully general one:
+//
+//   - Spsc: single producer, single consumer — the MP-SERVER response
+//     path. No atomic read-modify-write at all; one plain store
+//     publishes on each side.
+//   - Mpsc: many producers, single consumer — the MP-SERVER request
+//     queue and the HybComb inboxes. Producers claim a slot with a
+//     single fetch-and-add instead of a CAS retry loop; the consumer
+//     never CASes.
+//   - Ring: the original general MPMC Vyukov ring, kept as the
+//     conservative fallback and ablation baseline.
+//   - ChanQueue: a buffered Go channel (the obvious baseline).
+//
+// The ablation benchmark BenchmarkMPQBackends compares them per role.
 package mpq
 
 import (
-	"runtime"
 	"sync/atomic"
+	"unsafe"
+
+	"hybsync/internal/backoff"
+	"hybsync/internal/pad"
 )
 
 // Msg is one hardware-style message: N words of payload (1..3).
@@ -36,58 +51,90 @@ func Word(v uint64) Msg { return Msg{N: 1, W: [3]uint64{v}} }
 // Words3 builds a 3-word message (the request frame {id, op, arg}).
 func Words3(a, b, c uint64) Msg { return Msg{N: 3, W: [3]uint64{a, b, c}} }
 
-// Queue is a bounded FIFO with blocking Send/Recv and a non-blocking
-// TryRecv (the paper's is_queue_empty + receive idiom).
+// Queue is a bounded FIFO with blocking Send/Recv, non-blocking TryRecv
+// (the paper's is_queue_empty + receive idiom), and batched receive for
+// amortizing per-message synchronization on the consumer side.
 type Queue interface {
 	// Send enqueues m, blocking while the queue is full (back-pressure).
 	Send(m Msg)
 	// Recv dequeues the oldest message, blocking while the queue is empty.
 	Recv() Msg
-	// TryRecv dequeues if a message is available.
+	// TryRecv dequeues if a published message is available.
 	TryRecv() (Msg, bool)
-	// Empty reports whether the queue is currently empty. Like the
-	// hardware instruction it is advisory: a concurrent sender may
-	// enqueue immediately after.
+	// RecvBatch dequeues up to len(buf) messages into buf, blocking
+	// until at least one is available, and returns the count. Messages
+	// from one sender stay in order across batch boundaries. A zero-
+	// length buf returns 0 immediately.
+	RecvBatch(buf []Msg) int
+	// TryRecvBatch dequeues up to len(buf) currently published messages
+	// into buf without blocking and returns the count (0 when empty).
+	TryRecvBatch(buf []Msg) int
+	// Empty reports whether the queue currently has no published
+	// message at its head. Like the hardware instruction it is advisory
+	// in two ways: a concurrent sender may enqueue immediately after,
+	// and a sender mid-publication (slot claimed, message not yet
+	// written) still counts as empty until the write completes.
 	Empty() bool
 }
 
-// spinThenYield busy-waits briefly, then yields the processor, mirroring
-// how a hardware receive parks the issuing core.
-func spinThenYield(spins *int) {
-	*spins++
-	if *spins%64 == 0 {
-		runtime.Gosched()
+// recvBatchBlocking implements RecvBatch over a backend's blocking Recv
+// and non-blocking TryRecvBatch: block for the first message, then
+// opportunistically drain whatever else is already published.
+func recvBatchBlocking(q Queue, buf []Msg) int {
+	if len(buf) == 0 {
+		return 0
 	}
+	buf[0] = q.Recv()
+	return 1 + q.TryRecvBatch(buf[1:])
+}
+
+// ringCellHot is the live part of a ring cell; the enclosing ringCell
+// pads it to a whole cache line (verified by TestLayout) so neighbouring
+// cells never false-share.
+type ringCellHot struct {
+	seq atomic.Uint64
+	msg Msg
+}
+
+type ringCell struct {
+	ringCellHot
+	_ [pad.CacheLine - unsafe.Sizeof(ringCellHot{})%pad.CacheLine]byte
+}
+
+// ringSize rounds cap up to a power of two, minimum 2.
+func ringSize(cap int) int {
+	n := 2
+	for n < cap {
+		n <<= 1
+	}
+	return n
 }
 
 // Ring is a bounded lock-free MPMC ring buffer (Vyukov's algorithm):
 // each cell carries a sequence number; producers claim cells with a CAS
 // on the enqueue position and consumers with a CAS on the dequeue
-// position. With a single consumer per queue — the paper's usage — the
-// dequeue CAS never fails.
+// position. It is the fully general backend — when the producer or
+// consumer side is known to be single, prefer Mpsc or Spsc, which shed
+// the CAS loops.
 type Ring struct {
-	_     [56]byte // padding: keep positions on separate cache lines
-	enq   atomic.Uint64
-	_     [56]byte
-	deq   atomic.Uint64
-	_     [56]byte
-	mask  uint64
+	_    pad.Line
+	enq  atomic.Uint64
+	_    pad.Line
+	deq  atomic.Uint64
+	_    pad.Line
+	mask uint64
+	// cells[i].seq encodes the cell state for position pos = lap*len+i:
+	// seq == pos    free (or claimed by a producer that has not yet
+	//               written the message),
+	// seq == pos+1  published, ready to consume,
+	// seq == pos+len  consumed, free for the next lap.
 	cells []ringCell
-}
-
-type ringCell struct {
-	seq atomic.Uint64
-	msg Msg
-	_   [24]byte // pad to reduce false sharing between neighbours
 }
 
 // NewRing creates a ring with capacity cap messages (rounded up to a
 // power of two, minimum 2).
 func NewRing(cap int) *Ring {
-	n := 2
-	for n < cap {
-		n <<= 1
-	}
+	n := ringSize(cap)
 	r := &Ring{mask: uint64(n - 1), cells: make([]ringCell, n)}
 	for i := range r.cells {
 		r.cells[i].seq.Store(uint64(i))
@@ -97,7 +144,7 @@ func NewRing(cap int) *Ring {
 
 // Send implements Queue.
 func (r *Ring) Send(m Msg) {
-	spins := 0
+	var b backoff.Backoff
 	for {
 		pos := r.enq.Load()
 		cell := &r.cells[pos&r.mask]
@@ -111,7 +158,7 @@ func (r *Ring) Send(m Msg) {
 			}
 		case seq < pos:
 			// Full: the consumer has not freed this cell yet.
-			spinThenYield(&spins)
+			b.Wait()
 		default:
 			// Another producer won the race; retry with a fresh pos.
 		}
@@ -120,16 +167,19 @@ func (r *Ring) Send(m Msg) {
 
 // Recv implements Queue.
 func (r *Ring) Recv() Msg {
-	spins := 0
+	var b backoff.Backoff
 	for {
 		if m, ok := r.TryRecv(); ok {
 			return m
 		}
-		spinThenYield(&spins)
+		b.Wait()
 	}
 }
 
-// TryRecv implements Queue.
+// TryRecv implements Queue. It returns false both when the queue is
+// empty and when the head cell is claimed by a producer that has not
+// yet written the message (seq <= pos): an unpublished message is not
+// receivable, exactly as an in-flight hardware packet is not.
 func (r *Ring) TryRecv() (Msg, bool) {
 	for {
 		pos := r.deq.Load()
@@ -144,13 +194,32 @@ func (r *Ring) TryRecv() (Msg, bool) {
 			continue // another consumer took it; retry
 		}
 		if seq <= pos {
-			return Msg{}, false // empty
+			return Msg{}, false // empty, or head cell claimed but unwritten
 		}
 		// seq > pos+1: a racing consumer already advanced; retry.
 	}
 }
 
-// Empty implements Queue.
+// RecvBatch implements Queue.
+func (r *Ring) RecvBatch(buf []Msg) int { return recvBatchBlocking(r, buf) }
+
+// TryRecvBatch implements Queue.
+func (r *Ring) TryRecvBatch(buf []Msg) int {
+	n := 0
+	for n < len(buf) {
+		m, ok := r.TryRecv()
+		if !ok {
+			break
+		}
+		buf[n] = m
+		n++
+	}
+	return n
+}
+
+// Empty implements Queue. seq <= pos covers both genuinely empty and
+// "head cell claimed but not yet written"; either way there is nothing
+// to receive right now.
 func (r *Ring) Empty() bool {
 	pos := r.deq.Load()
 	return r.cells[pos&r.mask].seq.Load() <= pos
@@ -181,9 +250,29 @@ func (q *ChanQueue) TryRecv() (Msg, bool) {
 	}
 }
 
+// RecvBatch implements Queue.
+func (q *ChanQueue) RecvBatch(buf []Msg) int { return recvBatchBlocking(q, buf) }
+
+// TryRecvBatch implements Queue.
+func (q *ChanQueue) TryRecvBatch(buf []Msg) int {
+	n := 0
+	for n < len(buf) {
+		select {
+		case m := <-q.ch:
+			buf[n] = m
+			n++
+		default:
+			return n
+		}
+	}
+	return n
+}
+
 // Empty implements Queue.
 func (q *ChanQueue) Empty() bool { return len(q.ch) == 0 }
 
-// New returns the default backend (Ring) with the given capacity; the
-// TILE-Gx hardware queue holds 118 words, i.e. ~39 three-word requests.
+// New returns the general-purpose backend (MPMC Ring) with the given
+// capacity; the TILE-Gx hardware queue holds 118 words, i.e. ~39
+// three-word requests. Callers that know their producer/consumer roles
+// should use NewSpsc or NewMpsc directly.
 func New(cap int) Queue { return NewRing(cap) }

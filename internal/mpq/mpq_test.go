@@ -4,25 +4,47 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"unsafe"
+
+	"hybsync/internal/pad"
 )
 
-func backends(cap int) map[string]func() Queue {
-	return map[string]func() Queue{
-		"ring": func() Queue { return NewRing(cap) },
-		"chan": func() Queue { return NewChan(cap) },
+// spscBackends lists every backend that supports one producer + one
+// consumer (all of them); mpscBackends every backend that supports many
+// producers + one consumer. Deterministic slice order keeps test and
+// benchmark output stable.
+type namedBackend struct {
+	name string
+	mk   func(cap int) Queue
+}
+
+func spscBackends() []namedBackend {
+	return []namedBackend{
+		{"ring", func(c int) Queue { return NewRing(c) }},
+		{"chan", func(c int) Queue { return NewChan(c) }},
+		{"mpsc", func(c int) Queue { return NewMpsc(c) }},
+		{"spsc", func(c int) Queue { return NewSpsc(c) }},
+	}
+}
+
+func mpscBackends() []namedBackend {
+	return []namedBackend{
+		{"ring", func(c int) Queue { return NewRing(c) }},
+		{"chan", func(c int) Queue { return NewChan(c) }},
+		{"mpsc", func(c int) Queue { return NewMpsc(c) }},
 	}
 }
 
 func TestFIFOSingleProducer(t *testing.T) {
-	for name, mk := range backends(8) {
-		q := mk()
+	for _, be := range spscBackends() {
+		q := be.mk(8)
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
 			for i := uint64(0); i < 1000; i++ {
 				m := q.Recv()
 				if m.W[0] != i {
-					t.Errorf("%s: got %d, want %d", name, m.W[0], i)
+					t.Errorf("%s: got %d, want %d", be.name, m.W[0], i)
 					return
 				}
 			}
@@ -35,8 +57,8 @@ func TestFIFOSingleProducer(t *testing.T) {
 }
 
 func TestBackPressure(t *testing.T) {
-	for name, mk := range backends(4) {
-		q := mk()
+	for _, be := range spscBackends() {
+		q := be.mk(4)
 		var wg sync.WaitGroup
 		wg.Add(1)
 		go func() {
@@ -52,15 +74,15 @@ func TestBackPressure(t *testing.T) {
 		}
 		wg.Wait()
 		if got != 100 {
-			t.Fatalf("%s: received %d of 100", name, got)
+			t.Fatalf("%s: received %d of 100", be.name, got)
 		}
 	}
 }
 
 func TestMultiProducerNoLossNoDup(t *testing.T) {
 	const producers, per = 8, 2000
-	for name, mk := range backends(39) {
-		q := mk()
+	for _, be := range mpscBackends() {
+		q := be.mk(39)
 		var wg sync.WaitGroup
 		for p := 0; p < producers; p++ {
 			wg.Add(1)
@@ -79,44 +101,214 @@ func TestMultiProducerNoLossNoDup(t *testing.T) {
 		for n := 0; n < producers*per; n++ {
 			m := q.Recv()
 			if m.N != 3 {
-				t.Fatalf("%s: message arrived with %d words", name, m.N)
+				t.Fatalf("%s: message arrived with %d words", be.name, m.N)
 			}
 			key := m.W[2]
 			if seen[key] {
-				t.Fatalf("%s: duplicate message %d", name, key)
+				t.Fatalf("%s: duplicate message %d", be.name, key)
 			}
 			seen[key] = true
 			p, i := m.W[0], int64(m.W[1])
 			if i <= lastPerProducer[p] {
 				t.Fatalf("%s: per-sender order violated: producer %d sent %d after %d",
-					name, p, i, lastPerProducer[p])
+					be.name, p, i, lastPerProducer[p])
 			}
 			lastPerProducer[p] = i
 		}
 		wg.Wait()
 		if !q.Empty() {
-			t.Fatalf("%s: queue not empty after draining", name)
+			t.Fatalf("%s: queue not empty after draining", be.name)
 		}
 	}
 }
 
+// TestBatchedRecvMultiProducer is TestMultiProducerNoLossNoDup through
+// the batched receive path: messages from one sender must stay in order
+// across batch boundaries, with nothing lost or duplicated, for every
+// batch size (including 1 and sizes larger than the queue).
+func TestBatchedRecvMultiProducer(t *testing.T) {
+	const producers, per = 8, 2000
+	for _, be := range mpscBackends() {
+		for _, batch := range []int{1, 7, 64} {
+			q := be.mk(39)
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						q.Send(Words3(uint64(p), uint64(i), uint64(p*per+i)))
+					}
+				}(p)
+			}
+			seen := make(map[uint64]bool)
+			last := make([]int64, producers)
+			for i := range last {
+				last[i] = -1
+			}
+			buf := make([]Msg, batch)
+			for got := 0; got < producers*per; {
+				n := q.RecvBatch(buf)
+				if n < 1 || n > batch {
+					t.Fatalf("%s/batch=%d: RecvBatch returned %d", be.name, batch, n)
+				}
+				for _, m := range buf[:n] {
+					if seen[m.W[2]] {
+						t.Fatalf("%s/batch=%d: duplicate message %d", be.name, batch, m.W[2])
+					}
+					seen[m.W[2]] = true
+					p, i := m.W[0], int64(m.W[1])
+					if i <= last[p] {
+						t.Fatalf("%s/batch=%d: producer %d sent %d after %d",
+							be.name, batch, p, i, last[p])
+					}
+					last[p] = i
+				}
+				got += n
+			}
+			wg.Wait()
+			if !q.Empty() {
+				t.Fatalf("%s/batch=%d: queue not empty after draining", be.name, batch)
+			}
+		}
+	}
+}
+
+// TestSpscFIFOBatched streams one sequence through the SPSC queue with a
+// batched consumer under heavy back-pressure (tiny capacity).
+func TestSpscFIFOBatched(t *testing.T) {
+	const total = 20000
+	q := NewSpsc(4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]Msg, 9)
+		next := uint64(0)
+		for next < total {
+			n := q.RecvBatch(buf)
+			for _, m := range buf[:n] {
+				if m.W[0] != next {
+					t.Errorf("got %d, want %d", m.W[0], next)
+					return
+				}
+				next++
+			}
+		}
+	}()
+	for i := uint64(0); i < total; i++ {
+		q.Send(Word(i))
+	}
+	<-done
+}
+
 func TestTryRecvAndEmpty(t *testing.T) {
-	for name, mk := range backends(4) {
-		q := mk()
+	for _, be := range spscBackends() {
+		q := be.mk(4)
 		if _, ok := q.TryRecv(); ok {
-			t.Fatalf("%s: TryRecv on empty succeeded", name)
+			t.Fatalf("%s: TryRecv on empty succeeded", be.name)
 		}
 		if !q.Empty() {
-			t.Fatalf("%s: fresh queue not empty", name)
+			t.Fatalf("%s: fresh queue not empty", be.name)
 		}
 		q.Send(Word(7))
 		if q.Empty() {
-			t.Fatalf("%s: queue empty after send", name)
+			t.Fatalf("%s: queue empty after send", be.name)
 		}
 		m, ok := q.TryRecv()
 		if !ok || m.W[0] != 7 {
-			t.Fatalf("%s: TryRecv = %v,%v", name, m, ok)
+			t.Fatalf("%s: TryRecv = %v,%v", be.name, m, ok)
 		}
+	}
+}
+
+func TestTryRecvBatchEmptyAndZeroBuf(t *testing.T) {
+	for _, be := range spscBackends() {
+		q := be.mk(4)
+		if n := q.TryRecvBatch(make([]Msg, 4)); n != 0 {
+			t.Fatalf("%s: TryRecvBatch on empty = %d", be.name, n)
+		}
+		q.Send(Word(1))
+		if n := q.RecvBatch(nil); n != 0 {
+			t.Fatalf("%s: RecvBatch(nil) = %d", be.name, n)
+		}
+		if n := q.TryRecvBatch(nil); n != 0 {
+			t.Fatalf("%s: TryRecvBatch(nil) = %d", be.name, n)
+		}
+		if m, ok := q.TryRecv(); !ok || m.W[0] != 1 {
+			t.Fatalf("%s: message lost by zero-length batch calls", be.name)
+		}
+	}
+}
+
+// TestClaimedButUnwrittenCell is the regression test for the documented
+// seq <= pos semantics: a reader that observes a cell some producer has
+// claimed (position advanced) but not yet written (message and sequence
+// stamp pending) must treat the queue as empty rather than return the
+// stale cell. We reproduce the producer's half-completed Send
+// deterministically by performing only its claim step.
+func TestClaimedButUnwrittenCell(t *testing.T) {
+	t.Run("ring", func(t *testing.T) {
+		r := NewRing(4)
+		// First half of Ring.Send: claim position 0, do not publish.
+		if !r.enq.CompareAndSwap(0, 1) {
+			t.Fatal("claim CAS failed on fresh ring")
+		}
+		if _, ok := r.TryRecv(); ok {
+			t.Fatal("TryRecv returned a claimed but unwritten cell")
+		}
+		if !r.Empty() {
+			t.Fatal("Empty = false while the head cell is claimed but unwritten")
+		}
+		// Second half: publish, then the message must be receivable.
+		r.cells[0].msg = Word(9)
+		r.cells[0].seq.Store(1)
+		if m, ok := r.TryRecv(); !ok || m.W[0] != 9 {
+			t.Fatalf("after publish: TryRecv = %v,%v", m, ok)
+		}
+	})
+	t.Run("mpsc", func(t *testing.T) {
+		q := NewMpsc(4)
+		// First half of Mpsc.Send: the fetch-and-add claim.
+		pos := q.enq.Add(1) - 1
+		if _, ok := q.TryRecv(); ok {
+			t.Fatal("TryRecv returned a claimed but unwritten cell")
+		}
+		if n := q.TryRecvBatch(make([]Msg, 4)); n != 0 {
+			t.Fatalf("TryRecvBatch crossed an unpublished cell: %d", n)
+		}
+		if !q.Empty() {
+			t.Fatal("Empty = false while the head cell is claimed but unwritten")
+		}
+		cell := &q.cells[pos&q.mask]
+		cell.msg = Word(9)
+		cell.seq.Store(pos + 1)
+		if m, ok := q.TryRecv(); !ok || m.W[0] != 9 {
+			t.Fatalf("after publish: TryRecv = %v,%v", m, ok)
+		}
+	})
+}
+
+// TestBatchStopsAtUnpublishedCell checks that a batched receive stops at
+// a claimed-but-unwritten cell but still returns the published prefix —
+// a later producer's publication must not let the consumer skip over an
+// earlier in-flight message.
+func TestBatchStopsAtUnpublishedCell(t *testing.T) {
+	q := NewMpsc(8)
+	q.Send(Word(1))
+	pos := q.enq.Add(1) - 1         // claim position 1, leave it unwritten
+	q.cells[2&q.mask].msg = Word(3) // "publish" position 2 out of order
+	q.cells[2&q.mask].seq.Store(3)
+	q.enq.Add(1)
+	buf := make([]Msg, 8)
+	if n := q.TryRecvBatch(buf); n != 1 || buf[0].W[0] != 1 {
+		t.Fatalf("batch across unpublished cell: n=%d buf=%v", n, buf[:n])
+	}
+	// Complete the in-flight publish; the rest drains in order.
+	cell := &q.cells[pos&q.mask]
+	cell.msg = Word(2)
+	cell.seq.Store(pos + 1)
+	if n := q.TryRecvBatch(buf); n != 2 || buf[0].W[0] != 2 || buf[1].W[0] != 3 {
+		t.Fatalf("drain after publish: n=%d buf=%v", n, buf[:n])
 	}
 }
 
@@ -124,23 +316,26 @@ func TestRingCapacityRounding(t *testing.T) {
 	f := func(c uint8) bool {
 		cap := int(c%60) + 1
 		r := NewRing(cap)
-		n := len(r.cells)
-		// Power of two, at least requested capacity, at least 2.
-		return n >= 2 && n&(n-1) == 0 && n >= cap
+		q := NewMpsc(cap)
+		s := NewSpsc(cap)
+		ok := func(n int) bool { return n >= 2 && n&(n-1) == 0 && n >= cap }
+		return ok(len(r.cells)) && ok(len(q.cells)) && ok(len(s.cells))
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestRingWrapAround(t *testing.T) {
-	// Exercise index wrap-around arithmetic across many laps of a tiny
-	// ring.
-	q := NewRing(2)
-	for lap := uint64(0); lap < 10000; lap++ {
-		q.Send(Word(lap))
-		if m := q.Recv(); m.W[0] != lap {
-			t.Fatalf("lap %d: got %d", lap, m.W[0])
+func TestWrapAround(t *testing.T) {
+	// Exercise index wrap-around arithmetic across many laps of tiny
+	// rings.
+	for _, be := range spscBackends() {
+		q := be.mk(2)
+		for lap := uint64(0); lap < 10000; lap++ {
+			q.Send(Word(lap))
+			if m := q.Recv(); m.W[0] != lap {
+				t.Fatalf("%s: lap %d: got %d", be.name, lap, m.W[0])
+			}
 		}
 	}
 }
@@ -154,25 +349,91 @@ func TestMsgConstructors(t *testing.T) {
 	}
 }
 
+// TestLayout machine-verifies the cache-line padding (see package pad):
+// the producer- and consumer-side positions of every ring live on
+// different cache lines, and ring cells are whole-line array elements.
+func TestLayout(t *testing.T) {
+	var r Ring
+	if pad.SameLine(unsafe.Offsetof(r.enq), unsafe.Offsetof(r.deq)) {
+		t.Error("Ring: enq and deq share a cache line")
+	}
+	var m Mpsc
+	if pad.SameLine(unsafe.Offsetof(m.enq), unsafe.Offsetof(m.deq)) {
+		t.Error("Mpsc: enq and deq share a cache line")
+	}
+	var s Spsc
+	if pad.SameLine(unsafe.Offsetof(s.enq)+unsafe.Sizeof(s.enq)+unsafe.Sizeof(s.deqCache)-1,
+		unsafe.Offsetof(s.deq)) {
+		t.Error("Spsc: producer fields (enq+deqCache) and deq share a cache line")
+	}
+	if !pad.Padded(unsafe.Sizeof(ringCell{})) {
+		t.Errorf("ringCell is %d bytes, not a whole number of cache lines",
+			unsafe.Sizeof(ringCell{}))
+	}
+}
+
+// BenchmarkMPQBackends compares the backends per role. spsc-path is the
+// MP-SERVER response queue (one producer, one consumer); mpsc-path is
+// the request queue (parallel producers, one consumer); mpsc-batch is
+// the request queue drained with RecvBatch, the server-loop fast path.
 func BenchmarkMPQBackends(b *testing.B) {
-	for name, mk := range backends(39) {
-		b.Run(name, func(b *testing.B) {
-			q := mk()
-			done := make(chan struct{})
-			go func() {
-				defer close(done)
+	b.Run("spsc-path", func(b *testing.B) {
+		for _, be := range spscBackends() {
+			b.Run(be.name, func(b *testing.B) {
+				q := be.mk(39)
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for i := 0; i < b.N; i++ {
+						q.Recv()
+					}
+				}()
 				for i := 0; i < b.N; i++ {
-					q.Recv()
-				}
-			}()
-			b.RunParallel(func(pb *testing.PB) {
-				for pb.Next() {
 					q.Send(Words3(1, 2, 3))
 				}
+				<-done
 			})
-			// Drain whatever RunParallel produced beyond b.N... RunParallel
-			// produces exactly b.N sends, matching the b.N receives above.
-			<-done
-		})
-	}
+		}
+	})
+	b.Run("mpsc-path", func(b *testing.B) {
+		for _, be := range mpscBackends() {
+			b.Run(be.name, func(b *testing.B) {
+				q := be.mk(39)
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for i := 0; i < b.N; i++ {
+						q.Recv()
+					}
+				}()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						q.Send(Words3(1, 2, 3))
+					}
+				})
+				<-done
+			})
+		}
+	})
+	b.Run("mpsc-batch", func(b *testing.B) {
+		for _, be := range mpscBackends() {
+			b.Run(be.name, func(b *testing.B) {
+				q := be.mk(39)
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					buf := make([]Msg, 32)
+					for got := 0; got < b.N; {
+						got += q.RecvBatch(buf)
+					}
+				}()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						q.Send(Words3(1, 2, 3))
+					}
+				})
+				<-done
+			})
+		}
+	})
 }

@@ -1,0 +1,131 @@
+package mpq
+
+import (
+	"sync/atomic"
+
+	"hybsync/internal/backoff"
+	"hybsync/internal/pad"
+)
+
+// Mpsc is the many-producers/single-consumer fast path: the MP-SERVER
+// request queue and the HybComb inboxes, where any thread may send but
+// only the owning thread receives. Producers claim a slot with a single
+// fetch-and-add on the enqueue position — one atomic RMW per send, no
+// retry loop — and then publish by stamping the cell's sequence number.
+// The single consumer advances the dequeue position with plain atomic
+// stores; it never performs an RMW.
+//
+// Compared to the general Ring this removes the producer CAS retry loop
+// (under contention the Ring's producers repeatedly re-read enq and
+// fail their CAS; here every producer succeeds exactly once) and the
+// consumer-side CAS entirely.
+//
+// Back-pressure: a producer whose fetch-and-add lands on a cell the
+// consumer has not yet freed waits for that cell, so Send blocks while
+// the queue is full and no message is ever dropped. Slot claims are
+// per-sender monotonic, so messages from one sender stay in order.
+//
+// Exactly one goroutine may call Recv/TryRecv/RecvBatch/TryRecvBatch
+// over the queue's lifetime; concurrent consumers are a data race by
+// contract. Send is safe from any number of goroutines. Empty is safe
+// from anywhere but advisory.
+type Mpsc struct {
+	_    pad.Line
+	enq  atomic.Uint64
+	_    pad.Line
+	deq  atomic.Uint64
+	_    pad.Line
+	mask uint64
+	// cells[i].seq encodes the state for position pos = lap*len+i, as
+	// in Ring: pos = free or claimed-but-unwritten, pos+1 = published,
+	// pos+len = consumed.
+	cells []ringCell
+}
+
+// NewMpsc creates a many-producers/single-consumer queue with capacity
+// cap messages (rounded up to a power of two, minimum 2).
+func NewMpsc(cap int) *Mpsc {
+	n := ringSize(cap)
+	q := &Mpsc{mask: uint64(n - 1), cells: make([]ringCell, n)}
+	for i := range q.cells {
+		q.cells[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+// Send implements Queue: one fetch-and-add claims the slot, one store
+// publishes it.
+func (q *Mpsc) Send(m Msg) {
+	pos := q.enq.Add(1) - 1
+	cell := &q.cells[pos&q.mask]
+	if cell.seq.Load() != pos {
+		// Full for our lap: wait until the consumer frees the cell
+		// (back-pressure). Claims are honored in position order, so this
+		// cannot deadlock: the consumer drains every position before ours.
+		var b backoff.Backoff
+		for cell.seq.Load() != pos {
+			b.Wait()
+		}
+	}
+	cell.msg = m
+	cell.seq.Store(pos + 1)
+}
+
+// Recv implements Queue. Consumer-side only.
+func (q *Mpsc) Recv() Msg {
+	var b backoff.Backoff
+	for {
+		if m, ok := q.TryRecv(); ok {
+			return m
+		}
+		b.Wait()
+	}
+}
+
+// TryRecv implements Queue. Consumer-side only. It returns false both
+// when the queue is empty and when the head cell is claimed by a
+// producer that has not yet written the message (seq == pos): an
+// unpublished message is not receivable.
+func (q *Mpsc) TryRecv() (Msg, bool) {
+	pos := q.deq.Load()
+	cell := &q.cells[pos&q.mask]
+	if cell.seq.Load() != pos+1 {
+		return Msg{}, false // empty, or head cell claimed but unwritten
+	}
+	m := cell.msg
+	cell.seq.Store(pos + q.mask + 1) // free for the next lap
+	q.deq.Store(pos + 1)
+	return m, true
+}
+
+// RecvBatch implements Queue. Consumer-side only.
+func (q *Mpsc) RecvBatch(buf []Msg) int { return recvBatchBlocking(q, buf) }
+
+// TryRecvBatch implements Queue. Consumer-side only: it walks the run
+// of already-published cells and advances deq once at the end, so the
+// consumer pays one position store per batch.
+func (q *Mpsc) TryRecvBatch(buf []Msg) int {
+	pos := q.deq.Load()
+	n := 0
+	for n < len(buf) {
+		cell := &q.cells[pos&q.mask]
+		if cell.seq.Load() != pos+1 {
+			break
+		}
+		buf[n] = cell.msg
+		cell.seq.Store(pos + q.mask + 1)
+		n++
+		pos++
+	}
+	if n > 0 {
+		q.deq.Store(pos)
+	}
+	return n
+}
+
+// Empty implements Queue. Advisory; seq != pos+1 covers both genuinely
+// empty and "head cell claimed but not yet written".
+func (q *Mpsc) Empty() bool {
+	pos := q.deq.Load()
+	return q.cells[pos&q.mask].seq.Load() != pos+1
+}

@@ -1,0 +1,63 @@
+package pad
+
+import (
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+func TestLineSize(t *testing.T) {
+	if unsafe.Sizeof(Line{}) != CacheLine {
+		t.Fatalf("Line is %d bytes, want %d", unsafe.Sizeof(Line{}), CacheLine)
+	}
+}
+
+func TestSameLine(t *testing.T) {
+	if !SameLine(0, CacheLine-1) {
+		t.Error("offsets 0 and 63 are one line")
+	}
+	if SameLine(CacheLine-1, CacheLine) {
+		t.Error("offsets 63 and 64 are different lines")
+	}
+}
+
+func TestPadded(t *testing.T) {
+	if Padded(0) || Padded(CacheLine-8) || Padded(CacheLine+8) {
+		t.Error("non-multiples reported padded")
+	}
+	if !Padded(CacheLine) || !Padded(3*CacheLine) {
+		t.Error("multiples reported unpadded")
+	}
+}
+
+// TestSeparationIdiom proves the full-line separation idiom from the
+// package comment: with a Line between them, two fields can never share
+// a cache line, whatever their sizes.
+func TestSeparationIdiom(t *testing.T) {
+	var s struct {
+		a atomic.Uint64
+		_ Line
+		b atomic.Uint64
+	}
+	offA := unsafe.Offsetof(s.a) + unsafe.Sizeof(s.a) - 1 // last byte of a
+	offB := unsafe.Offsetof(s.b)
+	if SameLine(offA, offB) {
+		t.Fatalf("fields separated by a Line share a cache line (a ends %d, b starts %d)", offA, offB)
+	}
+}
+
+// TestTailPadIdiom proves the unsafe.Sizeof tail-pad idiom rounds an
+// array element up to a whole number of lines.
+func TestTailPadIdiom(t *testing.T) {
+	type hot struct {
+		seq atomic.Uint64
+		val [3]uint64
+	}
+	type cell struct {
+		hot
+		_ [CacheLine - unsafe.Sizeof(hot{})%CacheLine]byte
+	}
+	if !Padded(unsafe.Sizeof(cell{})) {
+		t.Fatalf("tail-padded cell is %d bytes, not a line multiple", unsafe.Sizeof(cell{}))
+	}
+}

@@ -8,10 +8,12 @@ package shmsync
 
 import (
 	"fmt"
-	"runtime"
 	"sync/atomic"
+	"unsafe"
 
+	"hybsync/internal/backoff"
 	"hybsync/internal/core"
+	"hybsync/internal/pad"
 )
 
 // The package's constructions self-register with the core registry so
@@ -40,16 +42,22 @@ type CCSynch struct {
 	combined atomic.Uint64
 }
 
-// ccNode is a request cell; wait is padded since every thread spins on
-// its own node.
-type ccNode struct {
+// ccNodeHot is a request cell's live fields; every thread spins on its
+// own node's wait flag, so the enclosing ccNode rounds the cell up to a
+// whole number of cache lines (verified by TestNodeLayout) to keep
+// separately-allocated nodes from false-sharing.
+type ccNodeHot struct {
 	wait      atomic.Bool
 	completed bool
 	op        uint64
 	arg       uint64
 	ret       uint64
 	next      atomic.Pointer[ccNode]
-	_         [40]byte
+}
+
+type ccNode struct {
+	ccNodeHot
+	_ [pad.CacheLine - unsafe.Sizeof(ccNodeHot{})%pad.CacheLine]byte
 }
 
 // NewCCSynch creates the structure with the given combining bound
@@ -104,12 +112,9 @@ func (h *ccHandle) Apply(op, arg uint64) uint64 {
 	h.node = cur
 	cur.next.Store(nextNode) // publish after filling the request
 
-	spins := 0
+	var b backoff.Backoff
 	for cur.wait.Load() {
-		spins++
-		if spins%32 == 0 {
-			runtime.Gosched()
-		}
+		b.Wait()
 	}
 	if cur.completed {
 		return cur.ret

@@ -2,18 +2,24 @@ package shmsync
 
 import (
 	"fmt"
-	"runtime"
 	"sync/atomic"
+	"unsafe"
 
+	"hybsync/internal/backoff"
 	"hybsync/internal/core"
+	"hybsync/internal/pad"
 )
 
 // SHMServer is the paper's SHM-SERVER: a simplified RCL. Each client
 // owns one padded slot (its "cache line channel"); it publishes {op,
 // arg} there and spins until the server writes back the result. A
-// dedicated server goroutine scans the slots round-robin. This is
-// message passing emulated over coherent shared memory — the baseline
-// whose per-request coherence misses MP-SERVER eliminates.
+// dedicated server goroutine scans the slots round-robin — each sweep
+// is a batched receive in the same sense as MPServer's drain: every
+// pending request found in one pass is served before the server checks
+// for idleness, and an idle server backs off (spin → yield → sleep)
+// instead of burning its core. This is message passing emulated over
+// coherent shared memory — the baseline whose per-request coherence
+// misses MP-SERVER eliminates.
 type SHMServer struct {
 	dispatch core.Dispatch
 	slots    []shmSlot
@@ -22,14 +28,19 @@ type SHMServer struct {
 	done     chan struct{}
 }
 
-// shmSlot is one client channel, padded to its own cache line group.
-// req holds op+1 (0 = empty). The server writes ret then clears req;
-// the client spins on req.
-type shmSlot struct {
+// shmSlotHot is one client channel: req holds op+1 (0 = empty). The
+// server writes ret then clears req; the client spins on req. The
+// enclosing shmSlot rounds it up to a whole cache line (verified by
+// TestSlotLayout) so neighbouring clients never false-share.
+type shmSlotHot struct {
 	req atomic.Uint64
 	arg uint64
 	ret uint64
-	_   [40]byte
+}
+
+type shmSlot struct {
+	shmSlotHot
+	_ [pad.CacheLine - unsafe.Sizeof(shmSlotHot{})%pad.CacheLine]byte
 }
 
 // NewSHMServer starts the polling server goroutine for up to maxClients
@@ -49,7 +60,9 @@ func NewSHMServer(dispatch core.Dispatch, maxClients int) *SHMServer {
 
 func (s *SHMServer) serve() {
 	defer close(s.done)
-	idle := 0
+	// Each idle re-check is a full slot sweep, so skip the pure-spin
+	// phase: yield to the clients immediately, then escalate to sleep.
+	idle := backoff.Yielding()
 	for {
 		served := false
 		for i := range s.slots {
@@ -66,12 +79,9 @@ func (s *SHMServer) serve() {
 			if s.stop.Load() {
 				return
 			}
-			idle++
-			if idle%16 == 0 {
-				runtime.Gosched()
-			}
+			idle.Wait()
 		} else {
-			idle = 0
+			idle.Reset()
 		}
 	}
 }
@@ -107,12 +117,9 @@ type shmHandle struct {
 func (h *shmHandle) Apply(op, arg uint64) uint64 {
 	h.slot.arg = arg
 	h.slot.req.Store(op + 1)
-	spins := 0
+	var b backoff.Backoff
 	for h.slot.req.Load() != 0 {
-		spins++
-		if spins%32 == 0 {
-			runtime.Gosched()
-		}
+		b.Wait()
 	}
 	return h.slot.ret
 }

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"unsafe"
 
 	"hybsync/internal/core"
+	"hybsync/internal/pad"
 )
 
 func TestCCSynchSequential(t *testing.T) {
@@ -154,5 +156,17 @@ func TestSHMServerZeroResultValues(t *testing.T) {
 		if got := h.Apply(7, 9); got != 0 {
 			t.Fatalf("Apply = %d, want 0", got)
 		}
+	}
+}
+
+func TestSlotLayout(t *testing.T) {
+	if !pad.Padded(unsafe.Sizeof(shmSlot{})) {
+		t.Fatalf("shmSlot is %d bytes, not a whole number of cache lines", unsafe.Sizeof(shmSlot{}))
+	}
+}
+
+func TestNodeLayout(t *testing.T) {
+	if !pad.Padded(unsafe.Sizeof(ccNode{})) {
+		t.Fatalf("ccNode is %d bytes, not a whole number of cache lines", unsafe.Sizeof(ccNode{}))
 	}
 }

@@ -9,10 +9,12 @@ package spin
 
 import (
 	"fmt"
-	"runtime"
 	"sync/atomic"
+	"unsafe"
 
+	"hybsync/internal/backoff"
 	"hybsync/internal/core"
+	"hybsync/internal/pad"
 )
 
 // The lock-based executors self-register with the core registry so
@@ -39,26 +41,18 @@ type Lock interface {
 	Unlock()
 }
 
-// yield backs off while spinning.
-func yield(spins *int) {
-	*spins++
-	if *spins%32 == 0 {
-		runtime.Gosched()
-	}
-}
-
 // TASLock is a plain test-and-set lock: every acquisition attempt is a
 // remote atomic, so contention floods the interconnect.
 type TASLock struct {
 	v atomic.Bool
-	_ [63]byte
+	_ [pad.CacheLine - unsafe.Sizeof(atomic.Bool{})%pad.CacheLine]byte
 }
 
 // Lock implements Lock.
 func (l *TASLock) Lock() {
-	spins := 0
+	var b backoff.Backoff
 	for l.v.Swap(true) {
-		yield(&spins)
+		b.Wait()
 	}
 }
 
@@ -69,15 +63,15 @@ func (l *TASLock) Unlock() { l.v.Store(false) }
 // lock looks free, eliminating most remote atomics.
 type TTASLock struct {
 	v atomic.Bool
-	_ [63]byte
+	_ [pad.CacheLine - unsafe.Sizeof(atomic.Bool{})%pad.CacheLine]byte
 }
 
 // Lock implements Lock.
 func (l *TTASLock) Lock() {
-	spins := 0
+	var b backoff.Backoff
 	for {
 		for l.v.Load() {
-			yield(&spins)
+			b.Wait()
 		}
 		if !l.v.Swap(true) {
 			return
@@ -92,17 +86,17 @@ func (l *TTASLock) Unlock() { l.v.Store(false) }
 // dispenser (Mellor-Crummey & Scott 1991, §2).
 type TicketLock struct {
 	next  atomic.Uint64
-	_     [56]byte
+	_     [pad.CacheLine - unsafe.Sizeof(atomic.Uint64{})%pad.CacheLine]byte
 	owner atomic.Uint64
-	_     [56]byte
+	_     [pad.CacheLine - unsafe.Sizeof(atomic.Uint64{})%pad.CacheLine]byte
 }
 
 // Lock implements Lock.
 func (l *TicketLock) Lock() {
 	t := l.next.Add(1) - 1
-	spins := 0
+	var b backoff.Backoff
 	for l.owner.Load() != t {
-		yield(&spins)
+		b.Wait()
 	}
 }
 
@@ -116,10 +110,14 @@ type MCSLock struct {
 	tail atomic.Pointer[mcsNode]
 }
 
-type mcsNode struct {
+type mcsNodeHot struct {
 	locked atomic.Bool
 	next   atomic.Pointer[mcsNode]
-	_      [48]byte
+}
+
+type mcsNode struct {
+	mcsNodeHot
+	_ [pad.CacheLine - unsafe.Sizeof(mcsNodeHot{})%pad.CacheLine]byte
 }
 
 // MCSHandle is one goroutine's capability to take an MCSLock.
@@ -143,9 +141,9 @@ func (h *MCSHandle) Lock() {
 		return
 	}
 	pred.next.Store(n)
-	spins := 0
+	var b backoff.Backoff
 	for n.locked.Load() {
-		yield(&spins)
+		b.Wait()
 	}
 }
 
@@ -157,9 +155,9 @@ func (h *MCSHandle) Unlock() {
 		if h.l.tail.CompareAndSwap(n, nil) {
 			return
 		}
-		spins := 0
+		var b backoff.Backoff
 		for next = n.next.Load(); next == nil; next = n.next.Load() {
-			yield(&spins) // successor is between SWAP and next.Store
+			b.Wait() // successor is between SWAP and next.Store
 		}
 	}
 	next.locked.Store(false)
@@ -173,7 +171,7 @@ type CLHLock struct {
 
 type clhNode struct {
 	locked atomic.Bool
-	_      [63]byte
+	_      [pad.CacheLine - unsafe.Sizeof(atomic.Bool{})%pad.CacheLine]byte
 }
 
 // CLHHandle is one goroutine's capability to take a CLHLock.
@@ -200,9 +198,9 @@ func (l *CLHLock) NewCLHHandle() *CLHHandle {
 func (h *CLHHandle) Lock() {
 	h.node.locked.Store(true)
 	h.pred = h.l.tail.Swap(h.node)
-	spins := 0
+	var b backoff.Backoff
 	for h.pred.locked.Load() {
-		yield(&spins)
+		b.Wait()
 	}
 }
 
