@@ -137,6 +137,38 @@ func TestRegisterDuplicateRejected(t *testing.T) {
 	}
 }
 
+// TestBadOptionsRejectedAtNew: explicitly setting a sizing option to a
+// non-positive value must fail New with a wrapped ErrBadOption instead
+// of silently substituting a default (or misbehaving later); unset
+// options still default.
+func TestBadOptionsRejectedAtNew(t *testing.T) {
+	dispatch := func(op, arg uint64) uint64 { return 0 }
+	bad := map[string]hybsync.Option{
+		"WithMaxThreads(0)":  hybsync.WithMaxThreads(0),
+		"WithMaxThreads(-4)": hybsync.WithMaxThreads(-4),
+		"WithMaxOps(0)":      hybsync.WithMaxOps(0),
+		"WithMaxOps(-1)":     hybsync.WithMaxOps(-1),
+		"WithQueueCap(0)":    hybsync.WithQueueCap(0),
+		"WithQueueCap(-9)":   hybsync.WithQueueCap(-9),
+		"WithShards(0)":      hybsync.WithShards(0),
+		"WithShards(-2)":     hybsync.WithShards(-2),
+	}
+	for name, opt := range bad {
+		t.Run(name, func(t *testing.T) {
+			if _, err := hybsync.New("mpserver", dispatch, opt); !errors.Is(err, hybsync.ErrBadOption) {
+				t.Fatalf("New with %s = %v, want ErrBadOption", name, err)
+			}
+		})
+	}
+	// Valid values (and unset defaults) still construct.
+	ex, err := hybsync.New("mpserver", dispatch,
+		hybsync.WithMaxThreads(2), hybsync.WithShards(3), hybsync.WithQueueCap(8))
+	if err != nil {
+		t.Fatalf("New with valid options: %v", err)
+	}
+	ex.Close()
+}
+
 func TestUnknownAlgorithm(t *testing.T) {
 	if _, err := hybsync.New("no-such-algo", func(op, arg uint64) uint64 { return 0 }); !errors.Is(err, hybsync.ErrUnknownAlgorithm) {
 		t.Fatalf("New(unknown) = %v, want ErrUnknownAlgorithm", err)

@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"hybsync"
+	"hybsync/harness"
 	"hybsync/object"
 	"hybsync/sim"
 )
@@ -360,4 +361,82 @@ func BenchmarkNativeStack(b *testing.B) {
 			}
 		})
 	})
+}
+
+// BenchmarkNativeShardedCounter drives Zipf-skewed keyed increments
+// through the shard router at 1 vs 4 shards — the native analogue of
+// `hybbench -bench sharded`, kept here so the CI bench smoke catches a
+// routing regression that panics or deadlocks.
+func BenchmarkNativeShardedCounter(b *testing.B) {
+	zipf, err := harness.NewZipf(1<<16, 0.99, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, algo := range []string{"mpserver", "hybcomb"} {
+		for _, shards := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/shards=%d", algo, shards), func(b *testing.B) {
+				c, err := object.NewShardedCounter(algo, shards, nativeOpts()...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				var mu sync.Mutex
+				var nextSeed uint64
+				b.RunParallel(func(pb *testing.PB) {
+					mu.Lock()
+					h, err := c.NewHandle()
+					nextSeed++
+					z := zipf.Reseed(nextSeed)
+					mu.Unlock()
+					if err != nil {
+						panic(err)
+					}
+					for pb.Next() {
+						if _, err := h.Inc(z.Next()); err != nil {
+							panic(err)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkNativeMap drives a 90/10 get/put mix over the sharded
+// fixed-capacity map.
+func BenchmarkNativeMap(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("mpserver/shards=%d", shards), func(b *testing.B) {
+			m, err := object.NewMap("mpserver", shards, 1<<16, nativeOpts()...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			var mu sync.Mutex
+			var nextSeed uint64
+			b.RunParallel(func(pb *testing.PB) {
+				mu.Lock()
+				h, err := m.NewHandle()
+				nextSeed++
+				rng := harness.NewXorShift(nextSeed)
+				mu.Unlock()
+				if err != nil {
+					panic(err)
+				}
+				for pb.Next() {
+					r := rng.Next()
+					key := uint32(r % (1 << 14))
+					var err error
+					if r%10 == 0 {
+						_, err = h.Put(key, uint32(r>>32))
+					} else {
+						_, err = h.Get(key)
+					}
+					if err != nil {
+						panic(err)
+					}
+				}
+			})
+		})
+	}
 }

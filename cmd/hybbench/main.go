@@ -16,6 +16,7 @@
 //	hybbench -bench all -dur 200ms -threads 1,2,4,8,16
 //	hybbench -bench counter -algos mpserver,hybcomb,clh-lock
 //	hybbench -bench counter -json > BENCH_counter.json
+//	hybbench -bench sharded -shards 1,8 -dist zipf:0.99 -json
 package main
 
 import (
@@ -34,22 +35,36 @@ import (
 )
 
 // jsonResult is one measured point in -json mode; the schema is the
-// commit format for BENCH_*.json perf-trajectory files.
+// commit format for BENCH_*.json perf-trajectory files. The shard_*
+// fields appear only on sharded-bench records: shard_ops is the
+// per-shard occupancy profile (how the keyed workload actually landed)
+// and shard_fairness its max/min ratio (1.0 = perfectly balanced).
 type jsonResult struct {
-	Bench    string  `json:"bench"`
-	Algo     string  `json:"algo"`
-	Threads  int     `json:"threads"`
-	Ops      uint64  `json:"ops"`
-	Mops     float64 `json:"mops"`
-	NsPerOp  float64 `json:"ns_per_op"`
-	Fairness float64 `json:"fairness,omitempty"`
-	Rounds   uint64  `json:"rounds,omitempty"`
-	Combined uint64  `json:"combined,omitempty"`
+	Bench    string   `json:"bench"`
+	Algo     string   `json:"algo"`
+	Threads  int      `json:"threads"`
+	Ops      uint64   `json:"ops"`
+	Mops     float64  `json:"mops"`
+	NsPerOp  float64  `json:"ns_per_op"`
+	Fairness float64  `json:"fairness,omitempty"`
+	Rounds   uint64   `json:"rounds,omitempty"`
+	Combined uint64   `json:"combined,omitempty"`
+	Shards   int      `json:"shards,omitempty"`
+	Dist     string   `json:"dist,omitempty"`
+	ShardOps []uint64 `json:"shard_ops,omitempty"`
+	// A pointer so sharded records keep the meaningful value 0 ("some
+	// shard was never touched") while non-sharded records omit the
+	// field entirely.
+	ShardFairness *float64 `json:"shard_fairness,omitempty"`
 }
 
-// report accumulates jsonResults; nil means table mode.
+// report accumulates jsonResults; nil means table mode. The host
+// context (gomaxprocs, goversion, numcpu) makes BENCH_*.json
+// trajectories comparable across machines.
 type report struct {
 	GoMaxProcs int          `json:"gomaxprocs"`
+	GoVersion  string       `json:"goversion"`
+	NumCPU     int          `json:"numcpu"`
 	DurationMs int64        `json:"duration_ms_per_point"`
 	Results    []jsonResult `json:"results"`
 }
@@ -80,10 +95,13 @@ func (r *report) render() {
 var defaultAlgos = []string{"mpserver", "hybcomb", "shmserver", "ccsynch", "mcs-lock"}
 
 func main() {
-	bench := flag.String("bench", "all", "benchmark: counter, queue, stack, fairness, all")
+	bench := flag.String("bench", "all", "benchmark: counter, queue, stack, fairness, sharded, all")
 	dur := flag.Duration("dur", 200*time.Millisecond, "measurement duration per point")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default scales to GOMAXPROCS)")
 	algosFlag := flag.String("algos", "", "comma-separated algorithm names from the registry (default a representative five; 'all' for every registered algorithm)")
+	shardsFlag := flag.String("shards", "1,4", "comma-separated shard counts for the sharded bench")
+	distFlag := flag.String("dist", "uniform", "keyed-workload distribution for the sharded bench: uniform or zipf:theta (0<theta<1, e.g. zipf:0.99)")
+	keysFlag := flag.Uint64("keys", 1<<16, "key-space size for the sharded bench")
 	list := flag.Bool("list", false, "print the registered algorithm names and exit")
 	jsonFlag := flag.Bool("json", false, "emit machine-readable JSON instead of tables (for BENCH_*.json files)")
 	flag.Parse()
@@ -103,20 +121,30 @@ func main() {
 
 	threads := defaultThreads()
 	if *threadsFlag != "" {
-		threads = nil
-		for _, s := range strings.Split(*threadsFlag, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || n <= 0 {
-				fmt.Fprintf(os.Stderr, "hybbench: bad thread count %q\n", s)
-				os.Exit(2)
-			}
-			threads = append(threads, n)
+		if threads, err = parseIntList(*threadsFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "hybbench: -threads: %v\n", err)
+			os.Exit(2)
 		}
+	}
+	shardCounts, err := parseIntList(*shardsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybbench: -shards: %v\n", err)
+		os.Exit(2)
+	}
+	dist, err := parseDist(*distFlag, *keysFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybbench: -dist: %v\n", err)
+		os.Exit(2)
 	}
 
 	var rep *report
 	if *jsonFlag {
-		rep = &report{GoMaxProcs: runtime.GOMAXPROCS(0), DurationMs: dur.Milliseconds()}
+		rep = &report{
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+			NumCPU:     runtime.NumCPU(),
+			DurationMs: dur.Milliseconds(),
+		}
 	}
 
 	switch *bench {
@@ -128,11 +156,14 @@ func main() {
 		benchStack(algos, threads, *dur, rep)
 	case "fairness":
 		benchFairness(algos, threads, *dur, rep)
+	case "sharded":
+		benchSharded(algos, threads, shardCounts, dist, *dur, rep)
 	case "all":
 		benchCounter(algos, threads, *dur, rep)
 		benchQueue(algos, threads, *dur, rep)
 		benchStack(algos, threads, *dur, rep)
 		benchFairness(algos, threads, *dur, rep)
+		benchSharded(algos, threads, shardCounts, dist, *dur, rep)
 	default:
 		fmt.Fprintf(os.Stderr, "hybbench: unknown bench %q\n", *bench)
 		os.Exit(2)
@@ -140,6 +171,19 @@ func main() {
 	if rep != nil {
 		rep.render()
 	}
+}
+
+// parseIntList parses a comma-separated list of positive ints.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // selectAlgos resolves the -algos flag against the registry.
@@ -381,6 +425,120 @@ func benchFairness(algos []string, threads []int, dur time.Duration, rep *report
 	}
 	if rep == nil {
 		t.Render(os.Stdout)
+	}
+}
+
+// distSpec is the parsed -dist flag: the keyed workload's popularity
+// distribution over the -keys key space.
+type distSpec struct {
+	label string // as given on the command line, for the JSON records
+	keys  uint64
+	zipf  *harness.Zipf // nil = uniform; otherwise the shared template
+}
+
+// parseDist parses "uniform" or "zipf:theta" (0 < theta < 1). The Zipf
+// zeta table is computed once here and cloned per worker with Reseed.
+func parseDist(s string, keys uint64) (distSpec, error) {
+	if keys == 0 {
+		return distSpec{}, fmt.Errorf("-keys must be positive")
+	}
+	if s == "uniform" {
+		return distSpec{label: s, keys: keys}, nil
+	}
+	if theta, ok := strings.CutPrefix(s, "zipf:"); ok {
+		v, err := strconv.ParseFloat(theta, 64)
+		if err != nil {
+			return distSpec{}, fmt.Errorf("bad zipf theta %q", theta)
+		}
+		z, err := harness.NewZipf(keys, v, 1)
+		if err != nil {
+			return distSpec{}, err
+		}
+		return distSpec{label: s, keys: keys, zipf: z}, nil
+	}
+	return distSpec{}, fmt.Errorf("unknown distribution %q (want uniform or zipf:theta)", s)
+}
+
+// sampler returns thread's key generator (deterministic per thread).
+func (d distSpec) sampler(thread int) func() uint64 {
+	seed := uint64(thread+1) * 0x9E3779B97F4A7C15
+	if d.zipf != nil {
+		z := d.zipf.Reseed(seed)
+		return z.Next
+	}
+	rng := harness.NewXorShift(seed)
+	return func() uint64 { return rng.Next() % d.keys }
+}
+
+// shardFairness is the max/min per-shard occupancy ratio (1.0 = ideal,
+// 0 = some shard was never touched) — the same formula the harness uses
+// for per-thread fairness.
+func shardFairness(occ []uint64) float64 {
+	return harness.NativeResult{PerThread: occ}.Fairness()
+}
+
+// runSharded measures one sharded-counter point: th goroutines drive
+// keyed increments (keys drawn from dist) through a router over nshards
+// executors of algo.
+func runSharded(algo string, nshards int, dist distSpec, th int, dur time.Duration) (res harness.NativeResult, occ []uint64, rounds, combined uint64) {
+	c, err := object.NewShardedCounter(algo, nshards, opts()...)
+	if err != nil {
+		fatalf("NewShardedCounter(%s, %d): %v", algo, nshards, err)
+	}
+	defer c.Close()
+	res = harness.RunNative(th, dur, 50, func(t int) func(uint64) {
+		h, err := c.NewHandle()
+		if err != nil {
+			panic(err)
+		}
+		draw := dist.sampler(t)
+		return func(uint64) {
+			if _, err := h.Inc(draw()); err != nil {
+				panic(err)
+			}
+		}
+	})
+	occ = c.Occupancy()
+	rounds, combined, _ = c.Stats()
+	return res, occ, rounds, combined
+}
+
+// benchSharded sweeps the sharded counter over every requested shard
+// count: uniform vs. skewed (-dist zipf:theta) keyed access, with
+// per-shard occupancy and its fairness in the JSON records.
+func benchSharded(algos []string, threads, shardCounts []int, dist distSpec, dur time.Duration, rep *report) {
+	for _, ns := range shardCounts {
+		header := append([]string{"threads"}, algos...)
+		t := harness.NewTable(fmt.Sprintf(
+			"Sharded counter throughput, %d shard(s), %s over %d keys (Mops/sec)",
+			ns, dist.label, dist.keys), header...)
+		for _, th := range threads {
+			row := []any{th}
+			for _, algo := range algos {
+				res, occ, rounds, combined := runSharded(algo, ns, dist, th, dur)
+				if rep != nil {
+					sf := shardFairness(occ)
+					jr := jsonResult{
+						Bench: "sharded", Algo: algo, Threads: th,
+						Ops: res.Ops, Mops: res.Mops(), Fairness: res.Fairness(),
+						Rounds: rounds, Combined: combined,
+						Shards: ns, Dist: dist.label,
+						ShardOps: occ, ShardFairness: &sf,
+					}
+					if jr.Mops > 0 {
+						jr.NsPerOp = 1e3 / jr.Mops
+					}
+					rep.Results = append(rep.Results, jr)
+				}
+				row = append(row, res.Mops())
+			}
+			if rep == nil {
+				t.AddRow(row...)
+			}
+		}
+		if rep == nil {
+			t.Render(os.Stdout)
+		}
 	}
 }
 

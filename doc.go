@@ -3,9 +3,12 @@
 // PPoPP 2014) and is the public API of the repository: the
 // Dispatch/Executor/Handle contract, the string-keyed algorithm
 // registry (New, Register, Algorithms), functional options
-// (WithMaxThreads, WithMaxOps, WithQueueCap, WithChanQueues) and the
-// uniform lifecycle — error-returning NewHandle and idempotent Close —
-// that every construction satisfies.
+// (WithMaxThreads, WithMaxOps, WithQueueCap, WithShards,
+// WithChanQueues) and the uniform lifecycle — error-returning
+// NewHandle and idempotent Close — that every construction satisfies.
+// hybsync/shard scales the constructions out: a router partitions a
+// keyed object across N independent executors (sharded counter and
+// fixed-capacity hash map in hybsync/object ride on it).
 //
 // The repository has two layers beneath this package:
 //

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+)
+
+// Zipf draws keys in [0, n) with a Zipf(theta) popularity distribution,
+// 0 < theta < 1 — the YCSB "zipfian" generator (Gray et al.'s
+// rejection-free inversion), which covers the skew range math/rand's
+// generator cannot (rand.Zipf requires s > 1; workload skew like the
+// classic theta = 0.99 lies below that). Key 0 is the hottest, key 1
+// the second-hottest, and so on; pair it with a scrambling Partitioner
+// so "hot" does not also mean "adjacent".
+//
+// A Zipf is not safe for concurrent use: give each goroutine its own,
+// sharing the precomputed table via Reseed.
+type Zipf struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // 0.5^theta, hoisted out of Next
+	rng   XorShift
+}
+
+// NewZipf builds a generator over n keys with skew theta in (0, 1)
+// (higher = more skewed; 0.99 is the YCSB default). Construction sums
+// the n-term zeta series once; clone cheaply per goroutine with Reseed.
+func NewZipf(n uint64, theta float64, seed uint64) (*Zipf, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("harness: NewZipf: need at least one key")
+	}
+	if theta <= 0 || theta >= 1 {
+		return nil, fmt.Errorf("harness: NewZipf: theta %v out of (0, 1)", theta)
+	}
+	zetan := zeta(n, theta)
+	zeta2 := zeta(2, theta)
+	z := &Zipf{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan),
+		half:  math.Pow(0.5, theta),
+		rng:   NewXorShift(seed),
+	}
+	return z, nil
+}
+
+// zeta is the truncated zeta series sum_{i=1..n} i^-theta.
+func zeta(n uint64, theta float64) float64 {
+	var s float64
+	for i := uint64(1); i <= n; i++ {
+		s += math.Pow(float64(i), -theta)
+	}
+	return s
+}
+
+// Reseed returns a copy of z drawing an independent stream — the
+// per-goroutine clone that shares the zeta precomputation.
+func (z *Zipf) Reseed(seed uint64) *Zipf {
+	c := *z
+	c.rng = NewXorShift(seed)
+	return &c
+}
+
+// Next draws the next key in [0, n).
+func (z *Zipf) Next() uint64 {
+	// 53 uniform bits → u in [0, 1).
+	u := float64(z.rng.Next()>>11) / float64(1<<53)
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1
+	}
+	k := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.n { // guard the float boundary
+		k = z.n - 1
+	}
+	return k
+}

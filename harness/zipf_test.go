@@ -1,0 +1,51 @@
+package harness
+
+import "testing"
+
+func TestZipfBoundsAndDeterminism(t *testing.T) {
+	z, err := NewZipf(1024, 0.99, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z2 := z.Reseed(7)
+	for i := 0; i < 10_000; i++ {
+		k := z.Next()
+		if k >= 1024 {
+			t.Fatalf("draw %d: key %d out of range", i, k)
+		}
+		if k2 := z2.Next(); k2 != k {
+			t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, k, k2)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	const n, draws = 1 << 16, 200_000
+	z, err := NewZipf(n, 0.99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[uint64]int)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// At theta=0.99 over 64k keys the hottest key takes roughly 1/zeta(n)
+	// ≈ 8% of draws; require clear skew without pinning the constant.
+	if frac := float64(counts[0]) / draws; frac < 0.02 {
+		t.Fatalf("key 0 drew only %.2f%% of samples; distribution not skewed", 100*frac)
+	}
+	if counts[0] <= counts[n-1]*2 {
+		t.Fatalf("head (%d) not hotter than tail (%d)", counts[0], counts[n-1])
+	}
+}
+
+func TestZipfRejectsBadParams(t *testing.T) {
+	if _, err := NewZipf(0, 0.5, 1); err == nil {
+		t.Error("NewZipf(0 keys) accepted")
+	}
+	for _, theta := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := NewZipf(10, theta, 1); err == nil {
+			t.Errorf("NewZipf(theta=%v) accepted", theta)
+		}
+	}
+}

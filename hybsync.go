@@ -50,6 +50,7 @@ var (
 	ErrClosed             = core.ErrClosed
 	ErrUnknownAlgorithm   = core.ErrUnknownAlgorithm
 	ErrDuplicateAlgorithm = core.ErrDuplicateAlgorithm
+	ErrBadOption          = core.ErrBadOption
 )
 
 // WithMaxThreads bounds how many handles an executor hands out
@@ -64,6 +65,11 @@ func WithMaxOps(n int) Option { return core.WithMaxOps(n) }
 // (default 39 ≈ the TILE-Gx's 118-word UDN buffer / 3-word requests).
 func WithQueueCap(n int) Option { return core.WithQueueCap(n) }
 
+// WithShards sets how many independent shards the hybsync/shard router
+// splits a keyed object across (default 1); the single-executor
+// constructions ignore it.
+func WithShards(n int) Option { return core.WithShards(n) }
+
 // WithChanQueues selects the Go-channel queue backend of "mpserver" and
 // "hybcomb" instead of the default lock-free ring (ablation).
 func WithChanQueues(on bool) Option { return core.WithChanQueues(on) }
@@ -72,7 +78,8 @@ func WithChanQueues(on bool) Option { return core.WithChanQueues(on) }
 // are "mpserver", "hybcomb", "ccsynch", "shmserver" and the spin-lock
 // executors "tas-lock", "ttas-lock", "ticket-lock", "mcs-lock",
 // "clh-lock"; Algorithms lists everything registered. Unknown names
-// fail with ErrUnknownAlgorithm.
+// fail with ErrUnknownAlgorithm; options explicitly set to invalid
+// values fail with ErrBadOption.
 func New(name string, dispatch Dispatch, opts ...Option) (Executor, error) {
 	return core.New(name, dispatch, opts...)
 }

@@ -87,6 +87,11 @@ var (
 	ErrUnknownAlgorithm = errors.New("unknown algorithm")
 	// ErrDuplicateAlgorithm reports a Register with a taken name.
 	ErrDuplicateAlgorithm = errors.New("algorithm already registered")
+	// ErrBadOption reports an option explicitly set to an invalid value
+	// (non-positive MaxThreads, MaxOps, QueueCap or Shards). It is
+	// detected at New time, not when the bad value would later
+	// misbehave.
+	ErrBadOption = errors.New("bad option")
 )
 
 // MustHandle returns a new handle from e, panicking on failure. It is
@@ -102,7 +107,9 @@ func MustHandle(e Executor) Handle {
 
 // Options configures the constructions. Callers build it with the
 // functional With* options; the zero value plus fill() yields the
-// paper's evaluation defaults.
+// paper's evaluation defaults. Explicitly setting a sizing option to a
+// non-positive value is rejected with ErrBadOption when the Options are
+// built (leaving an option unset selects its default).
 type Options struct {
 	// MaxThreads bounds how many Handles may be created (default 128).
 	MaxThreads int
@@ -113,22 +120,47 @@ type Options struct {
 	// (default 39 ≈ the TILE-Gx's 118-word buffer divided by 3-word
 	// requests).
 	QueueCap int
+	// Shards is the shard count consumed by the shard router (default
+	// 1). The single-executor constructions ignore it.
+	Shards int
 	// UseChanQueues selects the channel backend instead of the lock-free
 	// ring (ablation).
 	UseChanQueues bool
+
+	// err records the first invalid With* value; BuildOptions reports it.
+	err error
 }
 
 // Option mutates Options; see WithMaxThreads and friends.
 type Option func(*Options)
 
+// reject records the first explicitly-set invalid option value.
+func (o *Options) reject(opt string, v int) {
+	if o.err == nil {
+		o.err = fmt.Errorf("core: %s(%d): value must be positive: %w", opt, v, ErrBadOption)
+	}
+}
+
 // WithMaxThreads bounds how many handles an executor hands out.
-func WithMaxThreads(n int) Option { return func(o *Options) { o.MaxThreads = n } }
+func WithMaxThreads(n int) Option {
+	return func(o *Options) {
+		if n <= 0 {
+			o.reject("WithMaxThreads", n)
+			return
+		}
+		o.MaxThreads = n
+	}
+}
 
 // WithMaxOps sets the combining bound MAX_OPS (HybComb, CC-Synch).
 // Values beyond the int32 range clamp to an effectively unbounded
 // math.MaxInt32 rather than wrapping.
 func WithMaxOps(n int) Option {
 	return func(o *Options) {
+		if n <= 0 {
+			o.reject("WithMaxOps", n)
+			return
+		}
 		if n > math.MaxInt32 {
 			n = math.MaxInt32
 		}
@@ -137,20 +169,48 @@ func WithMaxOps(n int) Option {
 }
 
 // WithQueueCap sets the per-thread message-queue capacity in messages.
-func WithQueueCap(n int) Option { return func(o *Options) { o.QueueCap = n } }
+func WithQueueCap(n int) Option {
+	return func(o *Options) {
+		if n <= 0 {
+			o.reject("WithQueueCap", n)
+			return
+		}
+		o.QueueCap = n
+	}
+}
+
+// WithShards sets how many independent shards the shard router splits a
+// keyed object across (default 1). Single-executor constructions ignore
+// it.
+func WithShards(n int) Option {
+	return func(o *Options) {
+		if n <= 0 {
+			o.reject("WithShards", n)
+			return
+		}
+		o.Shards = n
+	}
+}
 
 // WithChanQueues toggles the Go-channel queue backend (ablation
 // against the default lock-free ring).
 func WithChanQueues(on bool) Option { return func(o *Options) { o.UseChanQueues = on } }
 
-// BuildOptions folds opts over the zero Options and fills defaults.
-func BuildOptions(opts ...Option) Options {
+// BuildOptions folds opts over the zero Options, rejects explicitly-set
+// invalid values with an error wrapping ErrBadOption, and fills
+// defaults.
+func BuildOptions(opts ...Option) (Options, error) {
 	var o Options
 	for _, opt := range opts {
-		opt(&o)
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	if o.err != nil {
+		return Options{}, o.err
 	}
 	o.fill()
-	return o
+	return o, nil
 }
 
 func (o *Options) fill() {
@@ -162,6 +222,9 @@ func (o *Options) fill() {
 	}
 	if o.QueueCap <= 0 {
 		o.QueueCap = 39
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
 	}
 }
 

@@ -212,10 +212,36 @@ func TestHybCombCombiningHappens(t *testing.T) {
 }
 
 func TestOptionsDefaults(t *testing.T) {
-	var o Options
-	o.fill()
-	if o.MaxThreads != 128 || o.MaxOps != 200 || o.QueueCap != 39 {
+	o, err := BuildOptions()
+	if err != nil {
+		t.Fatalf("BuildOptions(): %v", err)
+	}
+	if o.MaxThreads != 128 || o.MaxOps != 200 || o.QueueCap != 39 || o.Shards != 1 {
 		t.Fatalf("bad defaults: %+v", o)
+	}
+}
+
+func TestOptionsRejectNonPositive(t *testing.T) {
+	bad := map[string]Option{
+		"WithMaxThreads(0)":  WithMaxThreads(0),
+		"WithMaxThreads(-1)": WithMaxThreads(-1),
+		"WithMaxOps(0)":      WithMaxOps(0),
+		"WithMaxOps(-7)":     WithMaxOps(-7),
+		"WithQueueCap(0)":    WithQueueCap(0),
+		"WithShards(0)":      WithShards(0),
+		"WithShards(-2)":     WithShards(-2),
+	}
+	for name, opt := range bad {
+		if _, err := BuildOptions(opt); !errors.Is(err, ErrBadOption) {
+			t.Errorf("BuildOptions(%s) = %v, want ErrBadOption", name, err)
+		}
+	}
+	o, err := BuildOptions(WithMaxThreads(3), WithShards(5))
+	if err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	if o.MaxThreads != 3 || o.Shards != 5 {
+		t.Fatalf("valid options not applied: %+v", o)
 	}
 }
 

@@ -49,7 +49,11 @@ func New(name string, dispatch Dispatch, opts ...Option) (Executor, error) {
 		return nil, fmt.Errorf("core: %q (have: %s): %w",
 			name, strings.Join(Algorithms(), ", "), ErrUnknownAlgorithm)
 	}
-	return f(dispatch, BuildOptions(opts...))
+	o, err := BuildOptions(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return f(dispatch, o)
 }
 
 // MustNew is New, panicking on failure.

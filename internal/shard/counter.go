@@ -1,0 +1,101 @@
+package shard
+
+import (
+	"unsafe"
+
+	"hybsync/internal/pad"
+)
+
+// Counter opcodes.
+const (
+	ctrOpInc  uint64 = 1 // fetch-and-increment the shard's partition
+	ctrOpRead uint64 = 2 // read the shard's partition
+)
+
+// ctrSlot is one shard's partition of the counter, padded to a cache
+// line: each slot is touched only inside its shard's critical section,
+// and padding keeps neighbouring shards' servers from false-sharing.
+type ctrSlot struct {
+	ctrHot
+	_ [pad.CacheLine - unsafe.Sizeof(ctrHot{})%pad.CacheLine]byte
+}
+
+type ctrHot struct{ v uint64 }
+
+// Counter is the sharded fetch-and-increment counter: the §5.3
+// microbenchmark object split across nshards independent executors.
+// Inc(key) routes to key's shard and increments that shard's partition;
+// the global value is the sum over partitions (Sum for a concurrent
+// fuzzy read, Value at quiescence).
+type Counter struct {
+	r    *Router
+	vals []ctrSlot
+}
+
+// NewCounter builds the sharded counter over nshards executors made by
+// f, routing with part (nil = Fibonacci).
+func NewCounter(nshards int, part Partitioner, f ExecFactory) (*Counter, error) {
+	c := &Counter{vals: make([]ctrSlot, max(nshards, 1))}
+	r, err := NewRouter(nshards, func(shard int, op, arg uint64) uint64 {
+		s := &c.vals[shard]
+		switch op {
+		case ctrOpInc:
+			v := s.v
+			s.v++
+			return v
+		case ctrOpRead:
+			return s.v
+		default:
+			panic("shard: bad counter opcode")
+		}
+	}, part, f)
+	if err != nil {
+		return nil, err
+	}
+	c.r = r
+	return c, nil
+}
+
+// NewHandle returns a per-goroutine handle.
+func (c *Counter) NewHandle() (*CounterHandle, error) {
+	h, err := c.r.NewHandle()
+	if err != nil {
+		return nil, err
+	}
+	return &CounterHandle{h: h}, nil
+}
+
+// Close shuts down every shard's executor; idempotent.
+func (c *Counter) Close() error { return c.r.Close() }
+
+// Value reads the global counter; call only while no operations are in
+// flight (use a handle's Sum for a concurrent read).
+func (c *Counter) Value() uint64 {
+	var sum uint64
+	for i := range c.vals {
+		sum += c.vals[i].v
+	}
+	return sum
+}
+
+// Occupancy reports per-shard executed-operation counts (the workload's
+// skew profile); safe concurrently with operations.
+func (c *Counter) Occupancy() []uint64 { return c.r.Occupancy() }
+
+// Stats reports the summed combining statistics of the shard executors
+// when any of them keeps such statistics; read only at quiescence.
+func (c *Counter) Stats() (rounds, combined uint64, ok bool) { return c.r.CombiningStats() }
+
+// CounterHandle is a goroutine's capability to use the sharded counter.
+type CounterHandle struct {
+	h *Handle
+}
+
+// Inc routes to key's shard and fetch-and-increments that shard's
+// partition, returning the partition's previous value.
+func (h *CounterHandle) Inc(key uint64) (uint64, error) { return h.h.Apply(key, ctrOpInc, 0) }
+
+// Sum reads the global counter via Aggregate: linearizable per shard,
+// bounded by the counter's value at the start and end of the call, not
+// an atomic snapshot.
+func (h *CounterHandle) Sum() (uint64, error) { return h.h.Aggregate(ctrOpRead, 0) }

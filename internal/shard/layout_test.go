@@ -1,0 +1,21 @@
+package shard
+
+import (
+	"testing"
+	"unsafe"
+
+	"hybsync/internal/pad"
+)
+
+// TestLayout machine-verifies the padded array-cell structs, per the
+// internal/pad convention: occupancy counters and counter partitions
+// are per-shard array elements, so each must occupy a whole number of
+// cache lines or neighbouring shards false-share.
+func TestLayout(t *testing.T) {
+	if s := unsafe.Sizeof(occSlot{}); !pad.Padded(s) {
+		t.Errorf("occSlot is %d bytes, not a whole number of cache lines", s)
+	}
+	if s := unsafe.Sizeof(ctrSlot{}); !pad.Padded(s) {
+		t.Errorf("ctrSlot is %d bytes, not a whole number of cache lines", s)
+	}
+}

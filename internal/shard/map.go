@@ -1,0 +1,248 @@
+package shard
+
+import (
+	"fmt"
+
+	"hybsync/internal/core"
+)
+
+// Map opcodes.
+const (
+	mapOpPut uint64 = 1
+	mapOpGet uint64 = 2
+	mapOpDel uint64 = 3
+	mapOpLen uint64 = 4
+)
+
+// Map result sentinels. Keys and values are 32-bit (packed into the
+// single 64-bit operation argument), so both sentinels are outside the
+// value range.
+const (
+	// EmptyVal reports "no previous value" from Get/Put/Delete.
+	EmptyVal = ^uint64(0)
+	// FullVal reports a Put into a shard whose fixed-capacity table has
+	// no free slot left for a new key.
+	FullVal = ^uint64(0) - 1
+)
+
+// Slot states of the open-addressing table.
+const (
+	slotEmpty uint8 = iota
+	slotFull
+	slotTomb
+)
+
+// mapShard is one shard's private fixed-capacity open-addressing hash
+// table (linear probing, tombstone deletion). It is touched only inside
+// its shard's critical section.
+type mapShard struct {
+	keys  []uint32
+	vals  []uint32
+	state []uint8
+	live  uint64 // slotFull count
+}
+
+// Map is a fixed-capacity uint32→uint32 hash map whose buckets are
+// delegation-protected per shard: key k lives in shard
+// Partitioner(k, nshards), and every operation on that shard's table
+// runs as a critical section of that shard's executor. Operations on
+// different shards proceed in parallel; there is no cross-shard
+// atomicity (Len is a per-shard-linearizable Aggregate, not a
+// snapshot).
+type Map struct {
+	r      *Router
+	shards []mapShard
+}
+
+// NewMap builds the sharded map over nshards executors made by f,
+// routing with part (nil = Fibonacci). capacity is the total slot
+// count; it is split evenly and rounded up to a power of two per shard,
+// so the usable capacity is at least the requested one. A Put whose
+// shard is full fails with FullVal rather than growing the table.
+func NewMap(nshards, capacity int, part Partitioner, f ExecFactory) (*Map, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("shard: NewMap(capacity=%d): capacity must be positive: %w",
+			capacity, core.ErrBadOption)
+	}
+	m := &Map{}
+	r, err := NewRouter(nshards, m.dispatch, part, f)
+	if err != nil {
+		return nil, err
+	}
+	per := nextPow2((capacity + nshards - 1) / nshards)
+	m.shards = make([]mapShard, nshards)
+	for i := range m.shards {
+		m.shards[i] = mapShard{
+			keys:  make([]uint32, per),
+			vals:  make([]uint32, per),
+			state: make([]uint8, per),
+		}
+	}
+	m.r = r
+	return m, nil
+}
+
+// nextPow2 rounds n up to a power of two (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// dispatch executes one decoded operation against shard's table; it
+// runs in that shard's critical section.
+func (m *Map) dispatch(shard int, op, arg uint64) uint64 {
+	s := &m.shards[shard]
+	key := uint32(arg >> 32)
+	val := uint32(arg)
+	switch op {
+	case mapOpPut:
+		return s.put(key, val)
+	case mapOpGet:
+		return s.get(key)
+	case mapOpDel:
+		return s.del(key)
+	case mapOpLen:
+		return s.live
+	default:
+		panic("shard: bad map opcode")
+	}
+}
+
+// slotFor is the probe start: Fibonacci hash of the key reduced by the
+// power-of-two mask.
+func (s *mapShard) slotFor(key uint32) int {
+	const phi32 = 0x9E3779B9
+	return int(key*phi32) & (len(s.state) - 1)
+}
+
+func (s *mapShard) put(key, val uint32) uint64 {
+	n := len(s.state)
+	i := s.slotFor(key)
+	insert := -1
+	for probes := 0; probes < n; probes++ {
+		switch s.state[i] {
+		case slotEmpty:
+			if insert < 0 {
+				insert = i
+			}
+			goto place
+		case slotTomb:
+			if insert < 0 {
+				insert = i
+			}
+		case slotFull:
+			if s.keys[i] == key {
+				old := s.vals[i]
+				s.vals[i] = val
+				return uint64(old)
+			}
+		}
+		i = (i + 1) & (n - 1)
+	}
+place:
+	if insert < 0 {
+		return FullVal
+	}
+	s.keys[insert] = key
+	s.vals[insert] = val
+	s.state[insert] = slotFull
+	s.live++
+	return EmptyVal
+}
+
+func (s *mapShard) get(key uint32) uint64 {
+	n := len(s.state)
+	i := s.slotFor(key)
+	for probes := 0; probes < n; probes++ {
+		switch s.state[i] {
+		case slotEmpty:
+			return EmptyVal
+		case slotFull:
+			if s.keys[i] == key {
+				return uint64(s.vals[i])
+			}
+		}
+		i = (i + 1) & (n - 1)
+	}
+	return EmptyVal
+}
+
+func (s *mapShard) del(key uint32) uint64 {
+	n := len(s.state)
+	i := s.slotFor(key)
+	for probes := 0; probes < n; probes++ {
+		switch s.state[i] {
+		case slotEmpty:
+			return EmptyVal
+		case slotFull:
+			if s.keys[i] == key {
+				s.state[i] = slotTomb
+				s.live--
+				return uint64(s.vals[i])
+			}
+		}
+		i = (i + 1) & (n - 1)
+	}
+	return EmptyVal
+}
+
+// NewHandle returns a per-goroutine handle.
+func (m *Map) NewHandle() (*MapHandle, error) {
+	h, err := m.r.NewHandle()
+	if err != nil {
+		return nil, err
+	}
+	return &MapHandle{h: h}, nil
+}
+
+// Close shuts down every shard's executor; idempotent.
+func (m *Map) Close() error { return m.r.Close() }
+
+// Occupancy reports per-shard executed-operation counts; safe
+// concurrently with operations.
+func (m *Map) Occupancy() []uint64 { return m.r.Occupancy() }
+
+// Stats reports the summed combining statistics of the shard executors
+// when any keeps them; read only at quiescence.
+func (m *Map) Stats() (rounds, combined uint64, ok bool) { return m.r.CombiningStats() }
+
+// Len reads the live-entry count; call only at quiescence (use a
+// handle's Len for a concurrent per-shard-linearizable read).
+func (m *Map) Len() uint64 {
+	var n uint64
+	for i := range m.shards {
+		n += m.shards[i].live
+	}
+	return n
+}
+
+// packArg packs a map key and value into the single operation argument.
+func packArg(key, val uint32) uint64 { return uint64(key)<<32 | uint64(val) }
+
+// MapHandle is a goroutine's capability to use the map.
+type MapHandle struct {
+	h *Handle
+}
+
+// Put stores key→val, returning the previous value, EmptyVal when the
+// key is new, or FullVal when the key's shard is at capacity.
+func (h *MapHandle) Put(key, val uint32) (uint64, error) {
+	return h.h.Apply(uint64(key), mapOpPut, packArg(key, val))
+}
+
+// Get returns key's value, or EmptyVal when absent.
+func (h *MapHandle) Get(key uint32) (uint64, error) {
+	return h.h.Apply(uint64(key), mapOpGet, packArg(key, 0))
+}
+
+// Delete removes key, returning the removed value or EmptyVal.
+func (h *MapHandle) Delete(key uint32) (uint64, error) {
+	return h.h.Apply(uint64(key), mapOpDel, packArg(key, 0))
+}
+
+// Len aggregates per-shard live-entry counts: linearizable per shard,
+// not an atomic snapshot.
+func (h *MapHandle) Len() (uint64, error) { return h.h.Aggregate(mapOpLen, 0) }

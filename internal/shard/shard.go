@@ -1,0 +1,232 @@
+// Package shard scales the paper's single-serialization-point
+// constructions out: a Router partitions a keyed object across N
+// independent executors (any registered algorithm, mixed algorithms
+// allowed), so each shard keeps the paper's single-server guarantees —
+// every operation on that shard runs in mutual exclusion through one
+// delegation point — while unrelated keys proceed in parallel on other
+// shards.
+//
+// What the router deliberately does NOT provide: any ordering or
+// atomicity across shards. Broadcast and Aggregate visit the shards one
+// by one without a global lock; each per-shard step linearizes
+// independently, so the result is a "fuzzy snapshot" (for monotonic
+// objects it is bounded by the object's state at the start and end of
+// the call — see DESIGN.md "Sharded delegation").
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+
+	"hybsync/internal/core"
+	"hybsync/internal/pad"
+)
+
+// KeyedDispatch executes opcode op with argument arg against shard's
+// partition of the protected object. For a given shard it is always
+// invoked in mutual exclusion (by that shard's executor); calls for
+// different shards run concurrently, so partitions must not share
+// mutable state.
+type KeyedDispatch func(shard int, op, arg uint64) uint64
+
+// ExecFactory builds the executor protecting one shard. Receiving the
+// shard index lets callers mix algorithms across shards (ablation) or
+// size shards differently.
+type ExecFactory func(shard int, d core.Dispatch) (core.Executor, error)
+
+// occSlot is a per-shard operation counter padded to a cache line so
+// shards do not false-share occupancy updates.
+type occSlot struct {
+	occHot
+	_ [pad.CacheLine - unsafe.Sizeof(occHot{})%pad.CacheLine]byte
+}
+
+type occHot struct{ ops atomic.Uint64 }
+
+// Router routes keyed operations to one of nshards independent
+// executors. Obtain one Handle per goroutine from NewHandle; the handle
+// lazily opens one executor handle per shard it actually touches.
+type Router struct {
+	part   Partitioner
+	execs  []core.Executor
+	occ    []occSlot
+	closed atomic.Bool
+}
+
+// NewRouter builds a router over nshards executors made by f, routing
+// keys with part (nil selects Fibonacci). Dispatch d receives the shard
+// index alongside the operation. Executors already built are closed
+// again if a later shard's factory fails.
+func NewRouter(nshards int, d KeyedDispatch, part Partitioner, f ExecFactory) (*Router, error) {
+	if nshards <= 0 {
+		return nil, fmt.Errorf("shard: NewRouter(%d): shard count must be positive: %w",
+			nshards, core.ErrBadOption)
+	}
+	if d == nil || f == nil {
+		return nil, fmt.Errorf("shard: NewRouter needs a dispatch and an executor factory")
+	}
+	if part == nil {
+		part = Fibonacci
+	}
+	r := &Router{
+		part:  part,
+		execs: make([]core.Executor, nshards),
+		occ:   make([]occSlot, nshards),
+	}
+	for s := 0; s < nshards; s++ {
+		shard := s
+		ex, err := f(shard, func(op, arg uint64) uint64 { return d(shard, op, arg) })
+		if err != nil {
+			for _, built := range r.execs[:s] {
+				built.Close()
+			}
+			return nil, fmt.Errorf("shard: building executor for shard %d: %w", s, err)
+		}
+		r.execs[s] = ex
+	}
+	return r, nil
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return len(r.execs) }
+
+// ShardFor returns the shard index key routes to.
+func (r *Router) ShardFor(key uint64) int {
+	s := r.part(key, len(r.execs))
+	if s < 0 || s >= len(r.execs) {
+		// A misbehaving Partitioner must not crash the router or skew
+		// traffic onto shard 0; reduce into range deterministically.
+		s = int(uint(s) % uint(len(r.execs)))
+	}
+	return s
+}
+
+// NewHandle returns a per-goroutine routing handle. Like every executor
+// in the repository it fails with ErrClosed after Close; per-shard
+// handle exhaustion (ErrTooManyHandles) surfaces later, from the Apply
+// that first touches the exhausted shard.
+func (r *Router) NewHandle() (*Handle, error) {
+	if r.closed.Load() {
+		return nil, core.ErrClosed
+	}
+	return &Handle{r: r, hs: make([]core.Handle, len(r.execs))}, nil
+}
+
+// Close shuts every shard's executor down (fan-out). It is idempotent —
+// each underlying Close is idempotent, including shards whose executor
+// was already closed directly — and returns the first error any shard
+// reports. No Apply may be in flight or issued afterwards.
+func (r *Router) Close() error {
+	r.closed.Store(true)
+	var first error
+	for _, e := range r.execs {
+		if err := e.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats implements core.StatsSource by summing the combining statistics
+// of every shard whose executor is itself a StatsSource; read it only
+// at quiescence.
+func (r *Router) Stats() (rounds, combined uint64) {
+	rounds, combined, _ = r.CombiningStats()
+	return rounds, combined
+}
+
+// CombiningStats is Stats plus ok, which is false when no shard's
+// executor keeps combining statistics.
+func (r *Router) CombiningStats() (rounds, combined uint64, ok bool) {
+	for _, e := range r.execs {
+		if s, isSource := e.(core.StatsSource); isSource {
+			ro, co := s.Stats()
+			rounds += ro
+			combined += co
+			ok = true
+		}
+	}
+	return rounds, combined, ok
+}
+
+// Occupancy returns a snapshot of how many operations each shard has
+// executed — the skew profile of the workload. It may be read
+// concurrently with Applies (each element is an atomic load).
+func (r *Router) Occupancy() []uint64 {
+	out := make([]uint64, len(r.occ))
+	for i := range r.occ {
+		out[i] = r.occ[i].ops.Load()
+	}
+	return out
+}
+
+// Handle routes operations on behalf of one goroutine. It is not safe
+// for concurrent use — like every Handle in the repository, obtain one
+// per goroutine.
+type Handle struct {
+	r  *Router
+	hs []core.Handle // lazily opened, one per touched shard
+}
+
+// Apply routes (op, arg) to key's shard and executes it there in mutual
+// exclusion. The error is non-nil only when lazily opening the shard's
+// executor handle fails (ErrClosed after Close, ErrTooManyHandles when
+// the shard's MaxThreads is exhausted); the sentinels propagate exactly
+// as the executor returned them, so callers test with errors.Is.
+func (h *Handle) Apply(key, op, arg uint64) (uint64, error) {
+	return h.ApplyShard(h.r.ShardFor(key), op, arg)
+}
+
+// ApplyShard is Apply with an explicit shard index, for callers that
+// route themselves.
+func (h *Handle) ApplyShard(shard int, op, arg uint64) (uint64, error) {
+	if shard < 0 || shard >= len(h.hs) {
+		return 0, fmt.Errorf("shard: shard %d out of range [0,%d)", shard, len(h.hs))
+	}
+	eh := h.hs[shard]
+	if eh == nil {
+		var err error
+		if eh, err = h.r.execs[shard].NewHandle(); err != nil {
+			return 0, err
+		}
+		h.hs[shard] = eh
+	}
+	v := eh.Apply(op, arg)
+	h.r.occ[shard].ops.Add(1)
+	return v, nil
+}
+
+// Broadcast executes (op, arg) on every shard in ascending shard order
+// and returns the per-shard results. There is no global lock: each
+// shard's step linearizes independently, and operations on other
+// shards may interleave between steps.
+func (h *Handle) Broadcast(op, arg uint64) ([]uint64, error) {
+	out := make([]uint64, len(h.hs))
+	for s := range h.hs {
+		v, err := h.ApplyShard(s, op, arg)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = v
+	}
+	return out, nil
+}
+
+// Aggregate is Broadcast folded with +: the sum of (op, arg) applied on
+// every shard, for global reads such as a sharded counter's total.
+// Each per-shard read is linearizable, so for monotonic state the sum
+// is bounded by the object's value when Aggregate began and its value
+// when it returned (and successive Aggregates from one goroutine
+// observe non-decreasing sums); it is not an atomic snapshot.
+func (h *Handle) Aggregate(op, arg uint64) (uint64, error) {
+	var sum uint64
+	for s := range h.hs {
+		v, err := h.ApplyShard(s, op, arg)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum, nil
+}

@@ -3,7 +3,9 @@
 // counter, the Michael & Scott queues in one-lock and two-lock form,
 // the coarse-lock stack — each constructed over any registered
 // algorithm by name — plus the nonblocking LCRQ queue and Treiber
-// stack, which need no executor at all.
+// stack, which need no executor at all, and the sharded objects
+// (NewShardedCounter, NewMap) whose state is partitioned across N
+// executors by the hybsync/shard router.
 //
 //	ctr, err := object.NewCounter("hybcomb", hybsync.WithMaxThreads(16))
 //	h, err := ctr.NewHandle() // one per goroutine
@@ -14,6 +16,7 @@ package object
 import (
 	"hybsync"
 	"hybsync/internal/conc"
+	"hybsync/internal/shard"
 )
 
 // EmptyVal is returned by Dequeue/Pop on an empty container.
@@ -33,6 +36,20 @@ type (
 	LCRQueue      = conc.LCRQueue
 	TreiberStack  = conc.TreiberStack
 )
+
+// The sharded objects: state partitioned across N independent executors
+// by the hybsync/shard router, so unrelated keys proceed in parallel
+// while each shard keeps the single-server guarantees.
+type (
+	ShardedCounter       = shard.Counter
+	ShardedCounterHandle = shard.CounterHandle
+	Map                  = shard.Map
+	MapHandle            = shard.MapHandle
+)
+
+// Sentinels of the sharded map (keys and values are 32-bit): MapFullVal
+// reports a Put into a shard at capacity; absent keys read as EmptyVal.
+const MapFullVal = shard.FullVal
 
 // factory adapts an algorithm name plus options into the executor
 // factory the object layer consumes.
@@ -75,3 +92,27 @@ func NewLCRQueue(ringSize int) *LCRQueue { return conc.NewLCRQueue(ringSize) }
 // NewTreiberStack builds Treiber's nonblocking stack; it runs over
 // plain atomics and needs no executor.
 func NewTreiberStack() *TreiberStack { return conc.NewTreiberStack() }
+
+// shardFactory adapts an algorithm name plus options into the per-shard
+// executor factory the shard router consumes.
+func shardFactory(algo string, opts []hybsync.Option) shard.ExecFactory {
+	return func(_ int, d hybsync.Dispatch) (hybsync.Executor, error) {
+		return hybsync.New(algo, d, opts...)
+	}
+}
+
+// NewShardedCounter builds a fetch-and-increment counter partitioned
+// across nshards independent executors of the named algorithm
+// (Fibonacci key routing). Handle.Inc(key) increments key's shard;
+// Handle.Sum aggregates the global value shard-by-shard.
+func NewShardedCounter(algo string, nshards int, opts ...hybsync.Option) (*ShardedCounter, error) {
+	return shard.NewCounter(nshards, nil, shardFactory(algo, opts))
+}
+
+// NewMap builds the fixed-capacity open-addressing uint32→uint32 hash
+// map whose buckets are delegation-protected per shard, over nshards
+// executors of the named algorithm. capacity is the total slot count
+// (rounded up to a power of two per shard).
+func NewMap(algo string, nshards, capacity int, opts ...hybsync.Option) (*Map, error) {
+	return shard.NewMap(nshards, capacity, nil, shardFactory(algo, opts))
+}

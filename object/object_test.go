@@ -139,3 +139,120 @@ func TestStackLIFOByName(t *testing.T) {
 		t.Fatalf("LCRQ dequeue = %d, want 7", got)
 	}
 }
+
+// TestShardedCounterByName round-trips the sharded counter over a
+// representative construction per family: concurrent keyed increments
+// must conserve exactly, and occupancy must account for every op.
+func TestShardedCounterByName(t *testing.T) {
+	const goroutines, per, nshards = 4, 500, 4
+	for _, algo := range []string{"mpserver", "hybcomb", "ccsynch", "mcs-lock"} {
+		t.Run(algo, func(t *testing.T) {
+			c, err := object.NewShardedCounter(algo, nshards, hybsync.WithMaxThreads(8))
+			if err != nil {
+				t.Fatalf("NewShardedCounter(%q): %v", algo, err)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				h, err := c.NewHandle()
+				if err != nil {
+					t.Fatalf("NewHandle: %v", err)
+				}
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					for i := uint64(0); i < per; i++ {
+						if _, err := h.Inc(seed*2654435761 + i); err != nil {
+							panic(err)
+						}
+					}
+				}(uint64(g + 1))
+			}
+			wg.Wait()
+			if got := c.Value(); got != goroutines*per {
+				t.Fatalf("sharded counter = %d, want %d", got, goroutines*per)
+			}
+			var occ uint64
+			for _, n := range c.Occupancy() {
+				occ += n
+			}
+			if occ != goroutines*per {
+				t.Fatalf("occupancy accounts for %d ops, want %d", occ, goroutines*per)
+			}
+			if err := c.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if err := c.Close(); err != nil {
+				t.Fatalf("second Close: %v", err)
+			}
+			if _, err := c.NewHandle(); !errors.Is(err, hybsync.ErrClosed) {
+				t.Fatalf("NewHandle after Close = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+// TestMapByName exercises the sharded map's basic contract through the
+// public constructor: put/get/delete round-trip, the EmptyVal/
+// MapFullVal sentinels, and a concurrent keyed smoke under -race.
+func TestMapByName(t *testing.T) {
+	m, err := object.NewMap("mpserver", 4, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	h, err := m.NewHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := h.Get(7); got != object.EmptyVal {
+		t.Fatalf("Get on empty map = %#x, want EmptyVal", got)
+	}
+	if got, _ := h.Put(7, 70); got != object.EmptyVal {
+		t.Fatalf("fresh Put = %#x, want EmptyVal", got)
+	}
+	if got, _ := h.Put(7, 71); got != 70 {
+		t.Fatalf("overwrite = %#x, want 70", got)
+	}
+	if got, _ := h.Get(7); got != 71 {
+		t.Fatalf("Get = %#x, want 71", got)
+	}
+	if got, _ := h.Delete(7); got != 71 {
+		t.Fatalf("Delete = %#x, want 71", got)
+	}
+
+	const goroutines, per = 4, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		gh, err := m.NewHandle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(base uint32) {
+			defer wg.Done()
+			// Disjoint key ranges per goroutine so results are checkable.
+			for i := uint32(0); i < per; i++ {
+				if _, err := gh.Put(base+i, i); err != nil {
+					panic(err)
+				}
+			}
+			for i := uint32(0); i < per; i++ {
+				v, err := gh.Get(base + i)
+				if err != nil {
+					panic(err)
+				}
+				if v != uint64(i) {
+					panic("sharded map lost a write")
+				}
+			}
+		}(uint32(g) * 10_000)
+	}
+	wg.Wait()
+	n, err := h.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != goroutines*per {
+		t.Fatalf("Len = %d, want %d", n, goroutines*per)
+	}
+}
