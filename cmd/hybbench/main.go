@@ -17,6 +17,7 @@
 //	hybbench -bench counter -algos mpserver,hybcomb,clh-lock
 //	hybbench -bench counter -json > BENCH_counter.json
 //	hybbench -bench sharded -shards 1,8 -dist zipf:0.99 -json
+//	hybbench -bench async -depth 1,2,4,8 -json > BENCH_async.json
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"hybsync"
@@ -51,6 +53,7 @@ type jsonResult struct {
 	Combined uint64   `json:"combined,omitempty"`
 	Shards   int      `json:"shards,omitempty"`
 	Dist     string   `json:"dist,omitempty"`
+	Depth    int      `json:"depth,omitempty"`
 	ShardOps []uint64 `json:"shard_ops,omitempty"`
 	// A pointer so sharded records keep the meaningful value 0 ("some
 	// shard was never touched") while non-sharded records omit the
@@ -95,11 +98,12 @@ func (r *report) render() {
 var defaultAlgos = []string{"mpserver", "hybcomb", "shmserver", "ccsynch", "mcs-lock"}
 
 func main() {
-	bench := flag.String("bench", "all", "benchmark: counter, queue, stack, fairness, sharded, all")
+	bench := flag.String("bench", "all", "benchmark: counter, queue, stack, fairness, sharded, async, all")
 	dur := flag.Duration("dur", 200*time.Millisecond, "measurement duration per point")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default scales to GOMAXPROCS)")
 	algosFlag := flag.String("algos", "", "comma-separated algorithm names from the registry (default a representative five; 'all' for every registered algorithm)")
 	shardsFlag := flag.String("shards", "1,4", "comma-separated shard counts for the sharded bench")
+	depthFlag := flag.String("depth", "1,2,4,8", "comma-separated outstanding-window depths for the async bench")
 	distFlag := flag.String("dist", "uniform", "keyed-workload distribution for the sharded bench: uniform or zipf:theta (0<theta<1, e.g. zipf:0.99)")
 	keysFlag := flag.Uint64("keys", 1<<16, "key-space size for the sharded bench")
 	list := flag.Bool("list", false, "print the registered algorithm names and exit")
@@ -131,6 +135,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hybbench: -shards: %v\n", err)
 		os.Exit(2)
 	}
+	depths, err := parseIntList(*depthFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybbench: -depth: %v\n", err)
+		os.Exit(2)
+	}
 	dist, err := parseDist(*distFlag, *keysFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hybbench: -dist: %v\n", err)
@@ -158,12 +167,15 @@ func main() {
 		benchFairness(algos, threads, *dur, rep)
 	case "sharded":
 		benchSharded(algos, threads, shardCounts, dist, *dur, rep)
+	case "async":
+		benchAsync(algos, threads, depths, *dur, rep)
 	case "all":
 		benchCounter(algos, threads, *dur, rep)
 		benchQueue(algos, threads, *dur, rep)
 		benchStack(algos, threads, *dur, rep)
 		benchFairness(algos, threads, *dur, rep)
 		benchSharded(algos, threads, shardCounts, dist, *dur, rep)
+		benchAsync(algos, threads, depths, *dur, rep)
 	default:
 		fmt.Fprintf(os.Stderr, "hybbench: unknown bench %q\n", *bench)
 		os.Exit(2)
@@ -524,6 +536,103 @@ func benchSharded(algos []string, threads, shardCounts []int, dist distSpec, dur
 						Rounds: rounds, Combined: combined,
 						Shards: ns, Dist: dist.label,
 						ShardOps: occ, ShardFairness: &sf,
+					}
+					if jr.Mops > 0 {
+						jr.NsPerOp = 1e3 / jr.Mops
+					}
+					rep.Results = append(rep.Results, jr)
+				}
+				row = append(row, res.Mops())
+			}
+			if rep == nil {
+				t.AddRow(row...)
+			}
+		}
+		if rep == nil {
+			t.Render(os.Stdout)
+		}
+	}
+}
+
+// runAsync measures one pipelined point: th goroutines drive the native
+// counter workload keeping up to depth submissions outstanding per
+// handle (a sliding window of Submit with Wait on the oldest once the
+// window fills). depth 1 degenerates to the blocking Apply round trip;
+// deeper windows let a pipelining construction overlap submissions.
+func runAsync(algo string, depth, th int, dur time.Duration) (res harness.NativeResult, rounds, combined uint64) {
+	var state uint64
+	ex, err := hybsync.New(algo, func(op, arg uint64) uint64 {
+		v := state
+		state = v + 1
+		return v
+	}, opts()...)
+	if err != nil {
+		fatalf("New(%s): %v", algo, err)
+	}
+	handles := make([]hybsync.Handle, th)
+	res = harness.RunNative(th, dur, 50, func(t int) func(uint64) {
+		h := hybsync.MustHandle(ex)
+		handles[t] = h
+		win := make([]hybsync.Ticket, depth)
+		var head, count int
+		return func(uint64) {
+			if count == depth {
+				h.Wait(win[head])
+				head = (head + 1) % depth
+				count--
+			}
+			tk, err := h.Submit(0, 0)
+			if err != nil {
+				panic(err)
+			}
+			win[(head+count)%depth] = tk
+			count++
+		}
+	})
+	// Drain the windows before closing. Concurrently: with CC-Synch a
+	// handle's unflushed cell can hold the combiner duty another
+	// handle's Flush is spinning on, so a sequential flush could stall.
+	var wg sync.WaitGroup
+	for _, h := range handles {
+		if h == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(h hybsync.Handle) {
+			defer wg.Done()
+			h.Flush()
+		}(h)
+	}
+	wg.Wait()
+	if s, ok := ex.(hybsync.StatsSource); ok {
+		rounds, combined = s.Stats()
+	}
+	if err := ex.Close(); err != nil {
+		fatalf("Close(%s): %v", algo, err)
+	}
+	return res, rounds, combined
+}
+
+// benchAsync sweeps submission-window depth: throughput vs. how many
+// operations each handle keeps in flight. The interesting read is the
+// trajectory per algorithm — MP-SERVER should climb with depth
+// (requests pipeline through the server), the immediate-completion
+// constructions should stay flat.
+func benchAsync(algos []string, threads, depths []int, dur time.Duration, rep *report) {
+	for _, th := range threads {
+		header := append([]string{"depth"}, algos...)
+		t := harness.NewTable(fmt.Sprintf(
+			"Pipelined counter throughput, %d thread(s), by outstanding window (Mops/sec)", th),
+			header...)
+		for _, depth := range depths {
+			row := []any{depth}
+			for _, algo := range algos {
+				res, rounds, combined := runAsync(algo, depth, th, dur)
+				if rep != nil {
+					jr := jsonResult{
+						Bench: "async", Algo: algo, Threads: th, Depth: depth,
+						Ops: res.Ops, Mops: res.Mops(), Fairness: res.Fairness(),
+						Rounds: rounds, Combined: combined,
 					}
 					if jr.Mops > 0 {
 						jr.NsPerOp = 1e3 / jr.Mops

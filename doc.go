@@ -6,9 +6,16 @@
 // (WithMaxThreads, WithMaxOps, WithQueueCap, WithShards,
 // WithChanQueues) and the uniform lifecycle — error-returning
 // NewHandle and idempotent Close — that every construction satisfies.
-// hybsync/shard scales the constructions out: a router partitions a
-// keyed object across N independent executors (sharded counter and
-// fixed-capacity hash map in hybsync/object ride on it).
+// The Handle contract is a submit/complete pipeline: because a request
+// is a message, a client need not block between submission and reply,
+// so Submit(op, arg) returns a Ticket, Wait(Ticket) collects the
+// result, Post fires and forgets, Flush drains, and the classic
+// blocking Apply is just Submit+Wait. hybsync/shard scales the
+// constructions out: a router partitions a keyed object across N
+// independent executors (sharded counter and fixed-capacity hash map
+// in hybsync/object ride on it), and its MultiApply pipelines a keyed
+// batch across shards — submitting everything before waiting on
+// anything — so unrelated shards serve one client concurrently.
 //
 // The repository has two layers beneath this package:
 //

@@ -2,9 +2,13 @@
 // fixed-capacity open-addressing hash table whose buckets are
 // delegation-protected per shard. Clients drive a 90/10 get/put mix
 // with Zipf-skewed keys (the classic cache workload) through the shard
-// router: each key's shard serializes its operations through one
-// delegation point, unrelated keys proceed in parallel on other shards,
-// and the router's occupancy profile shows where the skew landed.
+// router, reading in batches of 8 through GetAll: the whole batch is
+// submitted before any result is waited on, so lookups landing on
+// different shards are served concurrently instead of one round trip
+// after another — the overlap a sequential per-key Apply loop cannot
+// get. Each key's shard still serializes its operations through one
+// delegation point, and the router's occupancy profile shows where the
+// skew landed.
 //
 //	go run ./examples/kvstore
 package main
@@ -22,7 +26,8 @@ import (
 func main() {
 	const (
 		clients  = 4
-		perOps   = 50_000
+		rounds   = 6_000
+		batch    = 8 // keys per pipelined multi-get
 		shards   = 4
 		capacity = 1 << 16
 		keys     = 1 << 14
@@ -52,16 +57,22 @@ func main() {
 			}
 			z := zipf.Reseed(uint64(c + 1))
 			rng := harness.NewXorShift(uint64(c + 1))
-			for i := 0; i < perOps; i++ {
-				key := uint32(z.Next())
+			ks := make([]uint32, batch)
+			for r := 0; r < rounds; r++ {
 				if rng.Next()%10 == 0 {
-					if _, err := h.Put(key, uint32(i)); err != nil {
+					// 10%: a write, routed to its key's shard.
+					if _, err := h.Put(uint32(z.Next()), uint32(r)); err != nil {
 						panic(err)
 					}
-				} else {
-					if _, err := h.Get(key); err != nil {
-						panic(err)
-					}
+					continue
+				}
+				// 90%: a batched multi-get across shards, one overlapped
+				// round instead of `batch` sequential round trips.
+				for i := range ks {
+					ks[i] = uint32(z.Next())
+				}
+				if _, err := h.GetAll(ks); err != nil {
+					panic(err)
 				}
 			}
 		}(c)
@@ -76,8 +87,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("Len: %v", err)
 	}
-	fmt.Printf("%d clients ran %d ops each (90%% get / 10%% put, zipf %.2f over %d keys)\n",
-		clients, perOps, theta, keys)
+	fmt.Printf("%d clients ran %d rounds each (90%% %d-key batched get / 10%% put, zipf %.2f over %d keys)\n",
+		clients, rounds, batch, theta, keys)
 	fmt.Printf("store holds %d live keys across %d shards\n", n, shards)
 	fmt.Println("per-shard operation counts (the workload's skew profile):")
 	for s, ops := range store.Occupancy() {

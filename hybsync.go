@@ -24,8 +24,20 @@ type Dispatch = core.Dispatch
 type Executor = core.Executor
 
 // Handle submits operations on behalf of one goroutine; obtain one per
-// goroutine from Executor.NewHandle.
+// goroutine from Executor.NewHandle. The contract is a submit/complete
+// pipeline: Submit(op, arg) returns a Ticket without waiting for the
+// result, Wait(Ticket) redeems it, Post is fire-and-forget, Flush
+// drains the pipeline, and Apply is the blocking Submit+Wait
+// composition. Submissions through one handle complete in submission
+// order (per-handle FIFO); nothing is ordered across handles. See
+// DESIGN.md "Asynchronous delegation" for ticket semantics and which
+// constructions genuinely overlap submissions.
 type Handle = core.Handle
+
+// Ticket identifies one outstanding asynchronous operation; it is
+// meaningful only to the Handle that issued it and must be redeemed
+// with that handle's Wait exactly once (or settled by Flush).
+type Ticket = core.Ticket
 
 // StatsSource is implemented by the combining constructions ("hybcomb",
 // "ccsynch"); type-assert an Executor to read combining statistics
@@ -93,6 +105,11 @@ func MustNew(name string, dispatch Dispatch, opts ...Option) Executor {
 // thin escape hatch for benchmarks and examples where handle exhaustion
 // is a programming error.
 func MustHandle(e Executor) Handle { return core.MustHandle(e) }
+
+// SyncHandle adapts a bare apply function into a full Handle whose
+// submissions complete immediately — for application-registered
+// executors whose transport has no natural submit/complete split.
+func SyncHandle(apply func(op, arg uint64) uint64) Handle { return core.SyncHandle(apply) }
 
 // Register adds an algorithm under name so New (and the object
 // constructors) can build it; it fails with ErrDuplicateAlgorithm if

@@ -1,0 +1,82 @@
+package conc
+
+import (
+	"sync"
+	"testing"
+
+	"hybsync/internal/core"
+)
+
+// factoryFor builds the named construction for the counter under test.
+func factoryFor(name string) ExecutorFactory {
+	return func(d core.Dispatch) (core.Executor, error) {
+		return core.New(name, d, core.WithMaxThreads(8))
+	}
+}
+
+// TestCounterAddN: the pipelined batch increments exactly n times and
+// returns the counter's value right after the batch's last increment.
+func TestCounterAddN(t *testing.T) {
+	for _, name := range []string{"mpserver", "hybcomb", "ccsynch", "shmserver", "mcs-lock"} {
+		t.Run(name, func(t *testing.T) {
+			c, err := NewCounter(factoryFor(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			h, err := c.NewHandle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := h.AddN(10); got != 10 {
+				t.Fatalf("AddN(10) = %d, want 10", got)
+			}
+			if got := h.AddN(1); got != 11 {
+				t.Fatalf("AddN(1) = %d, want 11", got)
+			}
+			if got := h.AddN(0); got != 0 {
+				t.Fatalf("AddN(0) = %d, want 0 (no-op)", got)
+			}
+			if got := c.Value(); got != 11 {
+				t.Fatalf("Value = %d, want 11", got)
+			}
+		})
+	}
+}
+
+// TestCounterAddNConcurrent: concurrent batches from several handles
+// conserve the total under the race detector.
+func TestCounterAddNConcurrent(t *testing.T) {
+	const goroutines, batches, n = 4, 50, 8
+	for _, name := range []string{"mpserver", "hybcomb", "ccsynch"} {
+		t.Run(name, func(t *testing.T) {
+			c, err := NewCounter(factoryFor(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				h, err := c.NewHandle()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for b := 0; b < batches; b++ {
+						if v := h.AddN(n); v == 0 || v > goroutines*batches*n {
+							panic("AddN returned a value outside the counter's range")
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if got := c.Value(); got != goroutines*batches*n {
+				t.Fatalf("Value = %d, want %d", got, goroutines*batches*n)
+			}
+			if err := c.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+// Ticket identifies one outstanding asynchronous operation. A Ticket is
+// meaningful only to the Handle that issued it and must be redeemed
+// with that Handle's Wait exactly once (or settled by Flush, which
+// banks the result for a later Wait).
+type Ticket struct{ seq uint64 }
+
+// NewTicket mints a ticket with the given per-handle sequence number.
+// It exists for Handle implementations outside this package
+// (internal/shmsync, internal/spin); applications never mint tickets.
+func NewTicket(seq uint64) Ticket { return Ticket{seq: seq} }
+
+// Seq returns the per-handle sequence number the ticket was minted
+// with; for Handle implementations, not applications.
+func (t Ticket) Seq() uint64 { return t.seq }
+
+// Immediate implements the asynchronous quarter of the Handle contract
+// for constructions whose submission path is inherently synchronous
+// (SHM-SERVER's single request slot, the spin-lock executors): Submit
+// executes the operation on the spot and banks the result; Wait just
+// withdraws it. The zero value is ready to use; like the handles that
+// embed it, it is not safe for concurrent use.
+type Immediate struct {
+	next    uint64
+	results map[uint64]uint64
+}
+
+// Complete banks an already-computed result and returns its ticket.
+func (im *Immediate) Complete(val uint64) Ticket {
+	if im.results == nil {
+		im.results = make(map[uint64]uint64)
+	}
+	t := Ticket{seq: im.next}
+	im.next++
+	im.results[t.seq] = val
+	return t
+}
+
+// Take withdraws t's banked result. Waiting a ticket twice — or a
+// ticket issued by another handle — is a programming error and panics.
+func (im *Immediate) Take(t Ticket) uint64 {
+	v, ok := im.results[t.seq]
+	if !ok {
+		panic("core: Wait on a ticket that is not outstanding (already waited, or issued by another handle)")
+	}
+	delete(im.results, t.seq)
+	return v
+}
+
+// SyncHandle adapts a bare apply function into a full Handle with
+// immediate completion — the escape hatch for application-registered
+// executors whose transport has no natural submit/complete split. The
+// returned handle is per-goroutine like every other.
+func SyncHandle(apply func(op, arg uint64) uint64) Handle {
+	return &syncHandle{apply: apply}
+}
+
+type syncHandle struct {
+	apply func(op, arg uint64) uint64
+	im    Immediate
+}
+
+func (h *syncHandle) Apply(op, arg uint64) uint64 { return h.apply(op, arg) }
+
+func (h *syncHandle) Submit(op, arg uint64) (Ticket, error) {
+	return h.im.Complete(h.apply(op, arg)), nil
+}
+
+func (h *syncHandle) Wait(t Ticket) uint64 { return h.im.Take(t) }
+
+func (h *syncHandle) Post(op, arg uint64) error {
+	h.apply(op, arg)
+	return nil
+}
+
+func (h *syncHandle) Flush() {}

@@ -64,10 +64,54 @@ type Executor interface {
 	Close() error
 }
 
-// Handle submits operations on behalf of one goroutine.
+// Handle submits operations on behalf of one goroutine. The contract
+// is a submit/complete pipeline: Submit enqueues an operation and
+// returns a Ticket, Wait redeems the ticket for the result, and Apply
+// is the trivial Submit+Wait composition for callers that want the
+// classic blocking critical section. Submissions through one handle
+// execute — and complete — in submission order (per-handle FIFO);
+// nothing is guaranteed about ordering across handles.
+//
+// Asynchrony is about overlap, not non-blocking submission: Submit may
+// block on transport back-pressure (a full request queue) or on
+// combiner duty (HybComb promotes the submitting thread and serves the
+// round before returning). How much genuinely overlaps depends on the
+// construction — MP-SERVER pipelines up to QueueCap requests per
+// handle, HYBCOMB overlaps registered requests, CC-SYNCH defers
+// completion (and possibly combiner duty) to Wait, and SHM-SERVER and
+// the spin locks complete every submission immediately.
 type Handle interface {
-	// Apply executes (op, arg) in mutual exclusion and returns the result.
+	// Apply executes (op, arg) in mutual exclusion and returns the
+	// result, exactly as Submit followed by Wait.
 	Apply(op, arg uint64) uint64
+
+	// Submit enqueues (op, arg) for execution in mutual exclusion and
+	// returns a ticket redeemable with Wait. It may block for
+	// back-pressure or combiner duty but does not wait for the
+	// operation's result. The error is reserved for transports that can
+	// fail to accept a submission; the built-in constructions always
+	// return nil.
+	Submit(op, arg uint64) (Ticket, error)
+
+	// Wait blocks until the operation identified by t has executed and
+	// returns its result. Tickets may be waited out of submission order;
+	// each ticket must be waited exactly once (Wait on a redeemed or
+	// foreign ticket panics).
+	Wait(t Ticket) uint64
+
+	// Post submits a result-less operation fire-and-forget: it executes
+	// in mutual exclusion, in submission order with the handle's other
+	// operations, and its result is discarded. Completion is observed
+	// collectively through Flush (or any later same-handle Wait, by
+	// FIFO).
+	Post(op, arg uint64) error
+
+	// Flush blocks until every operation submitted through this handle
+	// has executed, banking the results of not-yet-waited Submit tickets
+	// for their Wait and discarding Post results. Every handle with
+	// outstanding submissions must be flushed (or fully waited) before
+	// its executor is closed.
+	Flush()
 }
 
 // StatsSource is implemented by the combining constructions (HybComb,
@@ -118,7 +162,9 @@ type Options struct {
 	MaxOps int32
 	// QueueCap is the per-thread message-queue capacity in messages
 	// (default 39 ≈ the TILE-Gx's 118-word buffer divided by 3-word
-	// requests).
+	// requests). It also bounds a handle's submission pipeline: a
+	// handle never keeps more than QueueCap operations in flight, so a
+	// server or combiner can never block on a full response queue.
 	QueueCap int
 	// Shards is the shard count consumed by the shard router (default
 	// 1). The single-executor constructions ignore it.

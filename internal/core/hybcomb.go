@@ -23,6 +23,24 @@ import (
 // receives) and the combiner drains them with batched receives: both
 // the eager drain (lines 25-28) and the granted-ticket drain (lines
 // 34-37) consume a run of published requests per queue synchronization.
+//
+// Responses travel on a second per-thread queue, separate from the
+// inbox. With the synchronous Apply contract the inbox could carry
+// both (a thread was never a combiner and a waiting client at once);
+// with asynchronous submission a thread may promote itself to combiner
+// while responses to its earlier registered requests are still in
+// flight, and the combiner's request drain must not swallow them.
+//
+// Asynchronous submission maps onto the algorithm naturally: a Submit
+// that wins a registration ticket ships its request and returns — the
+// response arrives on the thread's response queue, collected by Wait
+// through a ticketed receive. A Submit that fails registration promotes
+// the thread to combiner exactly like Apply and completes its own
+// operation (plus the round it serves) before returning; the result is
+// banked for Wait. Round ordering makes completion per-handle FIFO: a
+// combiner serves every ticket of its round before releasing its
+// successor, so responses from earlier rounds always precede those
+// from later ones.
 type HybComb struct {
 	opts     Options
 	dispatch Dispatch
@@ -30,7 +48,8 @@ type HybComb struct {
 	lastReg  atomic.Pointer[hcNode]
 	departed atomic.Pointer[hcNode]
 
-	inbox  []mpq.Queue
+	inbox  []mpq.Queue // per thread: registered requests, drained by the owner as combiner
+	resp   []mpq.Queue // per thread: responses to the owner's registered requests
 	nextID atomic.Int32
 	closed atomic.Bool
 
@@ -61,8 +80,13 @@ func NewHybComb(dispatch Dispatch, opts Options) *HybComb {
 	opts.fill()
 	h := &HybComb{opts: opts, dispatch: dispatch}
 	h.inbox = make([]mpq.Queue, opts.MaxThreads)
+	h.resp = make([]mpq.Queue, opts.MaxThreads)
 	for i := range h.inbox {
 		h.inbox[i] = opts.newMpscQueue()
+		// Responses to one thread come from whichever thread combines
+		// each round — serialized in time, but many producers over the
+		// queue's lifetime, hence Mpsc rather than Spsc.
+		h.resp[i] = opts.newMpscQueue()
 	}
 	// The initial node {⊥, MAX_OPS, true}: full, so the first thread
 	// fails registration and promotes itself; done, so it proceeds
@@ -88,7 +112,13 @@ func (h *HybComb) NewHandle() (Handle, error) {
 	n := &hcNode{}
 	n.threadID.Store(id)
 	n.nOps.Store(h.opts.MaxOps) // parked: nobody can register with it
-	return &hcHandle{h: h, id: id, myNode: n, batch: make([]mpq.Msg, h.opts.batchLen())}, nil
+	return &hcHandle{
+		h:      h,
+		id:     id,
+		myNode: n,
+		batch:  make([]mpq.Msg, h.opts.batchLen()),
+		tk:     mpq.NewTicketed(h.resp[id]),
+	}, nil
 }
 
 // Close implements Executor. HybComb owns no background goroutine, so
@@ -105,27 +135,54 @@ func (h *HybComb) Stats() (rounds, combined uint64) {
 	return h.rounds.Load(), h.combined.Load()
 }
 
+// hcSlot records where an outstanding Submit's result will come from:
+// the response stream position of a registered request, or the value a
+// combiner-path submission already produced.
+type hcSlot struct {
+	local bool
+	pos   uint64 // response stream position (registered path)
+	val   uint64 // banked result (combiner path)
+}
+
 type hcHandle struct {
 	h      *HybComb
 	id     int32
 	myNode *hcNode
 	batch  []mpq.Msg // combiner-side receive buffer
+
+	tk    *mpq.Ticketed     // ticketed receive over h.resp[id]
+	seq   uint64            // next ticket sequence number
+	slots map[uint64]hcSlot // outstanding Submit tickets (nil until first Submit)
 }
 
-// Apply is apply_op of Algorithm 1 (lines 6-43); line numbers below
-// reference the paper.
+// Apply is apply_op of Algorithm 1 (lines 6-43): register or combine,
+// then block for the result. The uncontended path does no pipeline
+// bookkeeping at all — a combiner-path Apply returns its result
+// directly, a registered Apply waits for the next response stream
+// position.
 func (hd *hcHandle) Apply(op, arg uint64) uint64 {
-	h := hd.h
-	var opsCompleted int32
+	registered, ret := hd.submitOrCombine(op, arg)
+	if !registered {
+		return ret
+	}
+	return hd.tk.WaitFor(hd.tk.Issue()).W[0]
+}
 
-	var lastReg *hcNode
+// submitOrCombine is lines 8-21 of Algorithm 1: try to register with
+// the current combiner (registered=true: the request is shipped and the
+// response will arrive on the thread's response queue), else promote
+// ourselves, serve the round and return our own result (registered=
+// false).
+func (hd *hcHandle) submitOrCombine(op, arg uint64) (registered bool, ret uint64) {
+	h := hd.h
 	for {
-		lastReg = h.lastReg.Load() // line 9
+		lastReg := h.lastReg.Load() // line 9
 		// Line 11: FAA on the combiner's ticket counter.
 		if lastReg.nOps.Add(1)-1 < h.opts.MaxOps {
-			// Lines 13-14: registered; ship the request, await response.
+			// Lines 13-14: registered; ship the request. The response
+			// arrives on our response queue once the combiner serves it.
 			h.inbox[lastReg.threadID.Load()].Send(mpq.Words3(uint64(hd.id), op, arg))
-			return h.inbox[hd.id].Recv().W[0]
+			return true, 0
 		}
 		// Line 17: promote ourselves to combiner.
 		if h.lastReg.CompareAndSwap(lastReg, hd.myNode) {
@@ -134,9 +191,16 @@ func (hd *hcHandle) Apply(op, arg uint64) uint64 {
 			for !lastReg.done.Load() { // lines 19-20
 				b.Wait()
 			}
-			break // line 21
+			return false, hd.combine(op, arg) // line 21 onwards
 		}
 	}
+}
+
+// combine is the combiner's half of apply_op (lines 23-43): execute our
+// own operation, serve the round, hand the combiner role over.
+func (hd *hcHandle) combine(op, arg uint64) uint64 {
+	h := hd.h
+	var opsCompleted int32
 
 	// Line 23: the combiner's own operation runs first.
 	retval := h.dispatch(op, arg)
@@ -153,7 +217,7 @@ func (hd *hcHandle) Apply(op, arg uint64) uint64 {
 			break
 		}
 		for _, m := range buf[:n] {
-			h.inbox[m.W[0]].Send(mpq.Word(h.dispatch(m.W[1], m.W[2])))
+			h.resp[m.W[0]].Send(mpq.Word(h.dispatch(m.W[1], m.W[2])))
 		}
 		opsCompleted += int32(n)
 	}
@@ -176,7 +240,7 @@ func (hd *hcHandle) Apply(op, arg uint64) uint64 {
 		}
 		n := mine.RecvBatch(buf[:want])
 		for _, m := range buf[:n] {
-			h.inbox[m.W[0]].Send(mpq.Word(h.dispatch(m.W[1], m.W[2])))
+			h.resp[m.W[0]].Send(mpq.Word(h.dispatch(m.W[1], m.W[2])))
 		}
 		opsCompleted += int32(n)
 	}
@@ -195,3 +259,62 @@ func (hd *hcHandle) Apply(op, arg uint64) uint64 {
 	h.combined.Add(uint64(opsCompleted))
 	return retval // line 43
 }
+
+// makeRoom bounds the pipeline at QueueCap in-flight registered
+// requests, so a combiner can never block sending into our response
+// queue.
+func (hd *hcHandle) makeRoom() {
+	if hd.tk.InFlight() >= hd.h.opts.QueueCap {
+		hd.tk.Absorb()
+	}
+}
+
+// Submit implements Handle. The registered path is genuinely
+// asynchronous (the request is shipped, the combiner's response is
+// collected by Wait); the combiner path completes on the spot and banks
+// the result.
+func (hd *hcHandle) Submit(op, arg uint64) (Ticket, error) {
+	hd.makeRoom()
+	registered, ret := hd.submitOrCombine(op, arg)
+	if hd.slots == nil {
+		hd.slots = make(map[uint64]hcSlot)
+	}
+	t := Ticket{seq: hd.seq}
+	hd.seq++
+	if registered {
+		hd.slots[t.seq] = hcSlot{pos: hd.tk.Issue()}
+	} else {
+		hd.slots[t.seq] = hcSlot{local: true, val: ret}
+	}
+	return t, nil
+}
+
+// Wait implements Handle.
+func (hd *hcHandle) Wait(t Ticket) uint64 {
+	s, ok := hd.slots[t.seq]
+	if !ok {
+		panic("core: hybcomb: Wait on a ticket that is not outstanding (already waited, or issued by another handle)")
+	}
+	delete(hd.slots, t.seq)
+	if s.local {
+		return s.val
+	}
+	return hd.tk.WaitFor(s.pos).W[0]
+}
+
+// Post implements Handle: fire-and-forget. A registered request's
+// response is marked discarded on the completion stream; a
+// combiner-path Post completed already and needs no bookkeeping.
+func (hd *hcHandle) Post(op, arg uint64) error {
+	hd.makeRoom()
+	registered, _ := hd.submitOrCombine(op, arg)
+	if registered {
+		hd.tk.Discard(hd.tk.Issue())
+	}
+	return nil
+}
+
+// Flush implements Handle: absorb every in-flight response. Banked
+// combiner-path results stay redeemable; registered results move into
+// the ticketed receive's buffer for their Wait.
+func (hd *hcHandle) Flush() { hd.tk.Flush() }

@@ -23,6 +23,15 @@ import (
 // pending requests per wakeup (capped at 256 per receive by
 // Options.batchLen) with a batched receive, amortizing queue
 // synchronization across the batch exactly like a combiner's round.
+//
+// MPServer is the construction where asynchronous submission pays off
+// most directly: a request is a message, so a client may keep up to
+// QueueCap requests in flight per handle (Submit sends without
+// blocking on the reply; Wait collects replies through a ticketed
+// receive on the response ring). Per-sender FIFO on the request ring
+// plus in-order service plus the FIFO response ring give per-handle
+// FIFO completion. A handle bounds its in-flight count by the response
+// ring's capacity, so the server's response send never blocks.
 type MPServer struct {
 	opts     Options
 	dispatch Dispatch
@@ -48,7 +57,10 @@ func NewMPServer(dispatch Dispatch, opts Options) *MPServer {
 		done:     make(chan struct{}),
 	}
 	for i := range s.resp {
-		s.resp[i] = opts.newSpscQueue(1)
+		// QueueCap deep (not 1): the response ring is the completion
+		// stream of the handle's submission pipeline, and must hold one
+		// reply per in-flight request.
+		s.resp[i] = opts.newSpscQueue(opts.QueueCap)
 	}
 	go s.serve()
 	return s
@@ -83,11 +95,15 @@ func (s *MPServer) NewHandle() (Handle, error) {
 	if int(id) >= s.opts.MaxThreads {
 		return nil, errTooManyHandles(s.opts.MaxThreads)
 	}
-	return &mpHandle{s: s, id: uint64(id)}, nil
+	return &mpHandle{
+		s:  s,
+		id: uint64(id),
+		tk: mpq.NewTicketed(s.resp[id]),
+	}, nil
 }
 
-// Close stops the server goroutine. It is idempotent; no Apply may be
-// in flight or issued afterwards.
+// Close stops the server goroutine. It is idempotent; no operation may
+// be in flight or issued afterwards (Flush every handle first).
 func (s *MPServer) Close() error {
 	if s.stopped.CompareAndSwap(false, true) {
 		s.reqs.Send(mpq.Words3(0, opQuit, 0))
@@ -96,13 +112,58 @@ func (s *MPServer) Close() error {
 	return nil
 }
 
+// mpHandle is one client's pipeline over the server: requests go out on
+// the shared MPSC ring, replies come back on the client's own SPSC ring
+// as a ticketed completion stream. Every submission is ring-bound and
+// replies arrive in submission order, so a ticket's sequence number IS
+// its stream position — no per-ticket bookkeeping beyond the Ticketed
+// adapter.
 type mpHandle struct {
 	s  *MPServer
 	id uint64
+	tk *mpq.Ticketed
 }
 
-// Apply implements Handle: ship the request, block on the response.
-func (h *mpHandle) Apply(op, arg uint64) uint64 {
+// submit ships the request, first making room in the pipeline when
+// QueueCap operations are already in flight (absorbing one reply keeps
+// the server's response send non-blocking).
+func (h *mpHandle) submit(op, arg uint64) uint64 {
+	if h.tk.InFlight() >= h.s.opts.QueueCap {
+		h.tk.Absorb()
+	}
+	pos := h.tk.Issue()
 	h.s.reqs.Send(mpq.Words3(h.id, op, arg))
-	return h.s.resp[h.id].Recv().W[0]
+	return pos
 }
+
+// Apply implements Handle: ship the request, block on the response —
+// literally Submit followed by Wait.
+func (h *mpHandle) Apply(op, arg uint64) uint64 {
+	return h.tk.WaitFor(h.submit(op, arg)).W[0]
+}
+
+// Submit implements Handle: ship the request, don't wait for the reply.
+func (h *mpHandle) Submit(op, arg uint64) (Ticket, error) {
+	return Ticket{seq: h.submit(op, arg)}, nil
+}
+
+// Wait implements Handle: collect t's reply from the completion stream.
+func (h *mpHandle) Wait(t Ticket) uint64 {
+	return h.tk.WaitFor(t.seq).W[0]
+}
+
+// Post implements Handle: fire-and-forget. The server still replies (it
+// cannot know the client does not care), so the reply's stream position
+// is marked discarded and dropped on arrival.
+func (h *mpHandle) Post(op, arg uint64) error {
+	if h.tk.InFlight() >= h.s.opts.QueueCap {
+		h.tk.Absorb()
+	}
+	h.tk.Discard(h.tk.Issue())
+	h.s.reqs.Send(mpq.Words3(h.id, op, arg))
+	return nil
+}
+
+// Flush implements Handle: drain the completion stream, banking
+// not-yet-waited results and dropping Post replies.
+func (h *mpHandle) Flush() { h.tk.Flush() }

@@ -1,0 +1,119 @@
+package mpq
+
+// Ticketed adapts the consumer side of a Queue into a ticketed
+// completion stream, the receive half of an asynchronous submission
+// pipeline: the submitter reserves stream positions with Issue (one per
+// request whose response will arrive on q, in submission order) and
+// later collects each response with WaitFor. Because the underlying
+// queue is FIFO, position n is simply the n'th message ever received;
+// WaitFor buffers messages it pulls while looking for an earlier
+// position, so positions may be awaited out of order.
+//
+// Ticketed is bookkeeping for the queue's single consumer and inherits
+// its concurrency contract: every method except Issue touches consumer
+// state, and exactly one goroutine may drive the adapter at a time.
+type Ticketed struct {
+	q      Queue
+	issued uint64 // stream positions reserved by Issue
+	recvd  uint64 // messages pulled off q so far
+	// ahead holds messages pulled past a position the consumer has not
+	// asked for yet; skip marks positions whose message is discarded on
+	// arrival (fire-and-forget requests). Both are nil until first used.
+	ahead map[uint64]Msg
+	skip  map[uint64]bool
+}
+
+// NewTicketed wraps the consumer side of q.
+func NewTicketed(q Queue) *Ticketed { return &Ticketed{q: q} }
+
+// Issue reserves the next stream position, to be called once per
+// submitted request immediately around its send. The n'th Issue returns
+// n-1: positions count from zero in submission order.
+func (t *Ticketed) Issue() uint64 {
+	n := t.issued
+	t.issued++
+	return n
+}
+
+// Discard marks a reserved, not-yet-received position as
+// fire-and-forget: its message is dropped when it arrives instead of
+// being buffered for a WaitFor that will never come. Call it before any
+// receive that could pull the position in.
+func (t *Ticketed) Discard(pos uint64) {
+	if t.skip == nil {
+		t.skip = make(map[uint64]bool)
+	}
+	t.skip[pos] = true
+}
+
+// InFlight returns how many reserved positions have not yet been pulled
+// off the queue — the number of responses that are pending or sitting
+// unreceived in the queue. Submitters bound it by the queue's capacity
+// (calling Absorb when full) so a responder can never block on a full
+// response queue.
+func (t *Ticketed) InFlight() int { return int(t.issued - t.recvd) }
+
+// pull blocks for the next message and returns it with its position,
+// dropping it instead when the position was discarded (ok=false).
+func (t *Ticketed) pull() (pos uint64, m Msg, ok bool) {
+	m = t.q.Recv()
+	pos = t.recvd
+	t.recvd++
+	if t.skip[pos] {
+		delete(t.skip, pos)
+		return pos, Msg{}, false
+	}
+	return pos, m, true
+}
+
+// WaitFor returns the message at stream position pos, blocking until it
+// arrives. Messages pulled while skipping ahead to pos are buffered for
+// their own WaitFor. Each position may be awaited at most once; asking
+// again for a delivered position panics, since the message is gone.
+func (t *Ticketed) WaitFor(pos uint64) Msg {
+	if len(t.ahead) > 0 {
+		if m, ok := t.ahead[pos]; ok {
+			delete(t.ahead, pos)
+			return m
+		}
+	}
+	if pos < t.recvd {
+		panic("mpq: WaitFor on an already-delivered stream position")
+	}
+	for {
+		p, m, ok := t.pull()
+		if !ok {
+			continue
+		}
+		if p == pos {
+			return m
+		}
+		if t.ahead == nil {
+			t.ahead = make(map[uint64]Msg)
+		}
+		t.ahead[p] = m
+	}
+}
+
+// Absorb blocks for one message and moves it into the buffer (or drops
+// it, if discarded), freeing one slot of queue capacity without
+// deciding yet which position the consumer wants next.
+func (t *Ticketed) Absorb() {
+	p, m, ok := t.pull()
+	if !ok {
+		return
+	}
+	if t.ahead == nil {
+		t.ahead = make(map[uint64]Msg)
+	}
+	t.ahead[p] = m
+}
+
+// Flush absorbs every outstanding message: after it returns nothing is
+// in flight, discarded positions are dropped, and every other
+// undelivered position is buffered for its WaitFor.
+func (t *Ticketed) Flush() {
+	for t.recvd < t.issued {
+		t.Absorb()
+	}
+}

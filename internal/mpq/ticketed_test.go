@@ -1,0 +1,101 @@
+package mpq
+
+import "testing"
+
+// TestTicketedInOrder: positions are the receive order; awaiting them
+// in submission order delivers the messages one-to-one.
+func TestTicketedInOrder(t *testing.T) {
+	q := NewSpsc(8)
+	tk := NewTicketed(q)
+	var pos []uint64
+	for i := uint64(0); i < 5; i++ {
+		pos = append(pos, tk.Issue())
+		q.Send(Word(100 + i))
+	}
+	if got := tk.InFlight(); got != 5 {
+		t.Fatalf("InFlight = %d, want 5", got)
+	}
+	for i, p := range pos {
+		if got := tk.WaitFor(p).W[0]; got != 100+uint64(i) {
+			t.Fatalf("WaitFor(%d) = %d, want %d", p, got, 100+i)
+		}
+	}
+	if got := tk.InFlight(); got != 0 {
+		t.Fatalf("InFlight after drain = %d, want 0", got)
+	}
+}
+
+// TestTicketedOutOfOrder: awaiting a later position buffers the earlier
+// ones, which stay redeemable in any order.
+func TestTicketedOutOfOrder(t *testing.T) {
+	q := NewSpsc(8)
+	tk := NewTicketed(q)
+	p0, p1, p2 := tk.Issue(), tk.Issue(), tk.Issue()
+	q.Send(Word(10))
+	q.Send(Word(11))
+	q.Send(Word(12))
+	if got := tk.WaitFor(p2).W[0]; got != 12 {
+		t.Fatalf("WaitFor(p2) = %d, want 12", got)
+	}
+	if got := tk.WaitFor(p0).W[0]; got != 10 {
+		t.Fatalf("WaitFor(p0) = %d, want 10", got)
+	}
+	if got := tk.WaitFor(p1).W[0]; got != 11 {
+		t.Fatalf("WaitFor(p1) = %d, want 11", got)
+	}
+}
+
+// TestTicketedDiscardAndFlush: discarded positions are dropped on
+// arrival; Flush absorbs everything else for later WaitFor.
+func TestTicketedDiscardAndFlush(t *testing.T) {
+	q := NewSpsc(8)
+	tk := NewTicketed(q)
+	p0 := tk.Issue()
+	tk.Discard(tk.Issue())
+	p2 := tk.Issue()
+	for i := uint64(0); i < 3; i++ {
+		q.Send(Word(20 + i))
+	}
+	tk.Flush()
+	if got := tk.InFlight(); got != 0 {
+		t.Fatalf("InFlight after Flush = %d, want 0", got)
+	}
+	if got := tk.WaitFor(p2).W[0]; got != 22 {
+		t.Fatalf("WaitFor(p2) = %d, want 22", got)
+	}
+	if got := tk.WaitFor(p0).W[0]; got != 20 {
+		t.Fatalf("WaitFor(p0) = %d, want 20", got)
+	}
+}
+
+// TestTicketedAbsorb: Absorb frees queue capacity without choosing a
+// position; the absorbed message is still delivered by its WaitFor.
+func TestTicketedAbsorb(t *testing.T) {
+	q := NewSpsc(2)
+	tk := NewTicketed(q)
+	p0 := tk.Issue()
+	q.Send(Word(7))
+	tk.Absorb()
+	if got := tk.InFlight(); got != 0 {
+		t.Fatalf("InFlight after Absorb = %d, want 0", got)
+	}
+	if got := tk.WaitFor(p0).W[0]; got != 7 {
+		t.Fatalf("WaitFor(p0) = %d, want 7", got)
+	}
+}
+
+// TestTicketedDoubleWaitPanics: a delivered position is gone; asking
+// again is a programming error.
+func TestTicketedDoubleWaitPanics(t *testing.T) {
+	q := NewSpsc(2)
+	tk := NewTicketed(q)
+	p0 := tk.Issue()
+	q.Send(Word(1))
+	tk.WaitFor(p0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second WaitFor did not panic")
+		}
+	}()
+	tk.WaitFor(p0)
+}

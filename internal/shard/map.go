@@ -246,3 +246,19 @@ func (h *MapHandle) Delete(key uint32) (uint64, error) {
 // Len aggregates per-shard live-entry counts: linearizable per shard,
 // not an atomic snapshot.
 func (h *MapHandle) Len() (uint64, error) { return h.h.Aggregate(mapOpLen, 0) }
+
+// GetAll looks up every key and returns the values (EmptyVal for
+// absent keys) in input order. All lookups are submitted before any is
+// waited on, so keys living on different shards are served
+// concurrently — one round of cross-shard overlap instead of
+// len(keys) sequential round trips. Each lookup linearizes on its own
+// shard; the batch is not an atomic snapshot.
+func (h *MapHandle) GetAll(keys []uint32) ([]uint64, error) {
+	ks := make([]uint64, len(keys))
+	args := make([]uint64, len(keys))
+	for i, k := range keys {
+		ks[i] = uint64(k)
+		args[i] = packArg(k, 0)
+	}
+	return h.h.MultiApply(mapOpGet, ks, args)
+}

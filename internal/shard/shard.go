@@ -151,8 +151,10 @@ func (r *Router) CombiningStats() (rounds, combined uint64, ok bool) {
 }
 
 // Occupancy returns a snapshot of how many operations each shard has
-// executed — the skew profile of the workload. It may be read
-// concurrently with Applies (each element is an atomic load).
+// been handed — the skew profile of the workload. Apply counts an
+// operation when it completes, Submit and Post when they submit. It may
+// be read concurrently with operations (each element is an atomic
+// load).
 func (r *Router) Occupancy() []uint64 {
 	out := make([]uint64, len(r.occ))
 	for i := range r.occ {
@@ -164,9 +166,44 @@ func (r *Router) Occupancy() []uint64 {
 // Handle routes operations on behalf of one goroutine. It is not safe
 // for concurrent use — like every Handle in the repository, obtain one
 // per goroutine.
+//
+// Beyond the blocking Apply, the handle exposes the executors'
+// submit/complete pipeline across shards: Submit routes a request and
+// returns a Ticket without waiting, Wait redeems it, and MultiApply
+// submits a whole batch of keyed operations before waiting on any —
+// so requests landing on different shards execute concurrently instead
+// of serializing through one round trip after another. Completion is
+// FIFO per (handle, shard); nothing is guaranteed across shards.
 type Handle struct {
 	r  *Router
 	hs []core.Handle // lazily opened, one per touched shard
+}
+
+// Ticket identifies one outstanding asynchronous operation submitted
+// through a routing Handle; redeem it with the same handle's Wait
+// exactly once.
+type Ticket struct {
+	shard int
+	t     core.Ticket
+}
+
+// Shard returns the shard the ticket's operation was routed to.
+func (t Ticket) Shard() int { return t.shard }
+
+// shardHandle lazily opens the executor handle for shard.
+func (h *Handle) shardHandle(shard int) (core.Handle, error) {
+	if shard < 0 || shard >= len(h.hs) {
+		return nil, fmt.Errorf("shard: shard %d out of range [0,%d)", shard, len(h.hs))
+	}
+	eh := h.hs[shard]
+	if eh == nil {
+		var err error
+		if eh, err = h.r.execs[shard].NewHandle(); err != nil {
+			return nil, err
+		}
+		h.hs[shard] = eh
+	}
+	return eh, nil
 }
 
 // Apply routes (op, arg) to key's shard and executes it there in mutual
@@ -181,20 +218,100 @@ func (h *Handle) Apply(key, op, arg uint64) (uint64, error) {
 // ApplyShard is Apply with an explicit shard index, for callers that
 // route themselves.
 func (h *Handle) ApplyShard(shard int, op, arg uint64) (uint64, error) {
-	if shard < 0 || shard >= len(h.hs) {
-		return 0, fmt.Errorf("shard: shard %d out of range [0,%d)", shard, len(h.hs))
-	}
-	eh := h.hs[shard]
-	if eh == nil {
-		var err error
-		if eh, err = h.r.execs[shard].NewHandle(); err != nil {
-			return 0, err
-		}
-		h.hs[shard] = eh
+	eh, err := h.shardHandle(shard)
+	if err != nil {
+		return 0, err
 	}
 	v := eh.Apply(op, arg)
 	h.r.occ[shard].ops.Add(1)
 	return v, nil
+}
+
+// Submit routes (op, arg) to key's shard and submits it there without
+// waiting for the result; redeem the ticket with Wait. Errors are
+// Apply's (lazy handle opening) — a successfully submitted operation
+// cannot fail.
+func (h *Handle) Submit(key, op, arg uint64) (Ticket, error) {
+	return h.SubmitShard(h.r.ShardFor(key), op, arg)
+}
+
+// SubmitShard is Submit with an explicit shard index.
+func (h *Handle) SubmitShard(shard int, op, arg uint64) (Ticket, error) {
+	eh, err := h.shardHandle(shard)
+	if err != nil {
+		return Ticket{}, err
+	}
+	t, err := eh.Submit(op, arg)
+	if err != nil {
+		return Ticket{}, err
+	}
+	h.r.occ[shard].ops.Add(1)
+	return Ticket{shard: shard, t: t}, nil
+}
+
+// Wait blocks until t's operation has executed on its shard and
+// returns the result. Tickets may be waited out of submission order;
+// each exactly once.
+func (h *Handle) Wait(t Ticket) uint64 { return h.hs[t.shard].Wait(t.t) }
+
+// Post routes a result-less operation to key's shard fire-and-forget;
+// completion is observed collectively through Flush.
+func (h *Handle) Post(key, op, arg uint64) error {
+	shard := h.r.ShardFor(key)
+	eh, err := h.shardHandle(shard)
+	if err != nil {
+		return err
+	}
+	if err := eh.Post(op, arg); err != nil {
+		return err
+	}
+	h.r.occ[shard].ops.Add(1)
+	return nil
+}
+
+// Flush blocks until every operation submitted through this handle has
+// executed on its shard, banking unwaited Submit results for their
+// Wait and discarding Post results.
+func (h *Handle) Flush() {
+	for _, eh := range h.hs {
+		if eh != nil {
+			eh.Flush()
+		}
+	}
+}
+
+// MultiApply executes (op, args[i]) on keys[i]'s shard for every i and
+// returns the results in input order. Every operation is submitted
+// before any is waited on, so operations routed to different shards
+// execute concurrently — the cross-shard overlap a sequence of Apply
+// calls cannot get. args may be nil (every operation gets argument 0);
+// otherwise len(args) must equal len(keys). On a submission error the
+// already-submitted operations are waited out before returning, so the
+// handle is left with nothing in flight.
+func (h *Handle) MultiApply(op uint64, keys, args []uint64) ([]uint64, error) {
+	if args != nil && len(args) != len(keys) {
+		return nil, fmt.Errorf("shard: MultiApply: %d keys but %d args", len(keys), len(args))
+	}
+	tickets := make([]Ticket, len(keys))
+	for i, key := range keys {
+		var a uint64
+		if args != nil {
+			a = args[i]
+		}
+		t, err := h.Submit(key, op, a)
+		if err != nil {
+			for _, tt := range tickets[:i] {
+				h.Wait(tt)
+			}
+			return nil, err
+		}
+		tickets[i] = t
+	}
+	out := make([]uint64, len(tickets))
+	for i, t := range tickets {
+		out[i] = h.Wait(t)
+	}
+	return out, nil
 }
 
 // Broadcast executes (op, arg) on every shard in ascending shard order

@@ -1,0 +1,200 @@
+package shmsync
+
+import (
+	"sync"
+	"testing"
+
+	"hybsync/internal/core"
+)
+
+// seqDispatch hands out strictly increasing values so execution order
+// is observable through the results.
+func seqDispatch() (core.Dispatch, *uint64) {
+	state := new(uint64)
+	return func(op, arg uint64) uint64 {
+		v := *state
+		*state = v + 1
+		return v
+	}, state
+}
+
+// TestCCSynchSubmitWaitFIFO: pipelined CC-Synch submissions complete in
+// submission order, including when the waiting thread inherits the
+// combiner duty for its own deferred cells.
+func TestCCSynchSubmitWaitFIFO(t *testing.T) {
+	d, state := seqDispatch()
+	c := NewCCSynch(d, 4) // tiny MaxOps: rounds split, duty moves around
+	defer c.Close()
+	h, err := c.NewHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	tickets := make([]core.Ticket, n)
+	for i := range tickets {
+		tickets[i], _ = h.Submit(0, 0)
+	}
+	var prev int64 = -1
+	for i, tk := range tickets {
+		v := int64(h.Wait(tk))
+		if v <= prev {
+			t.Fatalf("result %d = %d, not after %d", i, v, prev)
+		}
+		prev = v
+	}
+	if *state != n {
+		t.Fatalf("state = %d, want %d", *state, n)
+	}
+}
+
+// TestCCSynchOutOfOrderWait: a later ticket may be redeemed first; its
+// Wait serves the earlier chain cells as combiner where needed.
+func TestCCSynchOutOfOrderWait(t *testing.T) {
+	d, _ := seqDispatch()
+	c := NewCCSynch(d, 200)
+	defer c.Close()
+	h, err := c.NewHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0, _ := h.Submit(0, 0)
+	t1, _ := h.Submit(0, 0)
+	t2, _ := h.Submit(0, 0)
+	if v := h.Wait(t2); v != 2 {
+		t.Fatalf("Wait(t2) = %d, want 2", v)
+	}
+	if v := h.Wait(t0); v != 0 {
+		t.Fatalf("Wait(t0) = %d, want 0", v)
+	}
+	if v := h.Wait(t1); v != 1 {
+		t.Fatalf("Wait(t1) = %d, want 1", v)
+	}
+}
+
+// TestCCSynchPostFlushDepth: posting far beyond the in-flight bound
+// settles old cells as it goes; Flush completes the rest.
+func TestCCSynchPostFlushDepth(t *testing.T) {
+	d, state := seqDispatch()
+	c := NewCCSynch(d, 8)
+	c.depth = 4
+	defer c.Close()
+	h, err := c.NewHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := h.Post(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Flush()
+	if *state != n {
+		t.Fatalf("state after %d posts + Flush = %d", n, *state)
+	}
+}
+
+// TestCCSynchConcurrentPipelines: goroutines pipeline concurrently;
+// each flushes its own handle (concurrently — a sequential flush of
+// foreign handles could hold another pipeline's combiner duty).
+func TestCCSynchConcurrentPipelines(t *testing.T) {
+	d, state := seqDispatch()
+	c := NewCCSynch(d, 6)
+	defer c.Close()
+	const goroutines, per, depth = 4, 250, 5
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		h, err := c.NewHandle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var win []core.Ticket
+			prev := int64(-1)
+			for i := 0; i < per; i++ {
+				if len(win) == depth {
+					v := int64(h.Wait(win[0]))
+					if v <= prev {
+						panic("per-handle FIFO violated")
+					}
+					prev = v
+					win = win[1:]
+				}
+				tk, _ := h.Submit(0, 0)
+				win = append(win, tk)
+			}
+			for _, tk := range win {
+				v := int64(h.Wait(tk))
+				if v <= prev {
+					panic("per-handle FIFO violated in drain")
+				}
+				prev = v
+			}
+		}()
+	}
+	wg.Wait()
+	if *state != goroutines*per {
+		t.Fatalf("state = %d, want %d", *state, goroutines*per)
+	}
+}
+
+// TestCCSynchApplyAfterSubmit: an Apply issued while the handle has
+// outstanding submissions must not spin on its own cell while an older
+// unwaited cell holds the round's dormant combiner duty — the
+// regression here deadlocked a single goroutine doing Submit (or Post)
+// then Apply.
+func TestCCSynchApplyAfterSubmit(t *testing.T) {
+	d, state := seqDispatch()
+	c := NewCCSynch(d, 200)
+	defer c.Close()
+	h, err := c.NewHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0, _ := h.Submit(0, 0)
+	if v := h.Apply(0, 0); v != 1 {
+		t.Fatalf("Apply after Submit = %d, want 1", v)
+	}
+	if v := h.Wait(t0); v != 0 {
+		t.Fatalf("Wait(t0) = %d, want 0", v)
+	}
+	if err := h.Post(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v := h.Apply(0, 0); v != 3 {
+		t.Fatalf("Apply after Post = %d, want 3", v)
+	}
+	h.Flush()
+	if *state != 4 {
+		t.Fatalf("state = %d, want 4", *state)
+	}
+}
+
+// TestSHMServerImmediate: the fallback pipeline completes at Submit;
+// results are still matched to tickets and Post/Flush work.
+func TestSHMServerImmediate(t *testing.T) {
+	d, state := seqDispatch()
+	s := NewSHMServer(d, 4)
+	defer s.Close()
+	h, err := s.NewHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0, _ := h.Submit(0, 0)
+	t1, _ := h.Submit(0, 0)
+	if v := h.Wait(t1); v != 1 {
+		t.Fatalf("Wait(t1) = %d, want 1", v)
+	}
+	if v := h.Wait(t0); v != 0 {
+		t.Fatalf("Wait(t0) = %d, want 0", v)
+	}
+	if err := h.Post(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	h.Flush()
+	if *state != 3 {
+		t.Fatalf("state = %d, want 3", *state)
+	}
+}

@@ -20,7 +20,9 @@ import (
 // hybsync.New can build them by name.
 func init() {
 	core.MustRegister("ccsynch", func(d core.Dispatch, o core.Options) (core.Executor, error) {
-		return NewCCSynch(d, o.MaxOps), nil
+		c := NewCCSynch(d, o.MaxOps)
+		c.depth = o.QueueCap
+		return c, nil
 	})
 	core.MustRegister("shmserver", func(d core.Dispatch, o core.Options) (core.Executor, error) {
 		return NewSHMServer(d, o.MaxThreads), nil
@@ -32,10 +34,26 @@ func init() {
 // a request, spin locally on their node's wait flag, and the thread
 // whose wait clears with completed unset becomes the combiner, serving
 // up to MaxOps requests along the list.
+//
+// Asynchronous submission publishes the request cell without spinning:
+// each outstanding operation holds its own node (pooled per handle, up
+// to depth in flight), and completion — spinning on that node, and
+// combining when the round's combiner handed us the duty — happens at
+// Wait. The chain orders a handle's cells in submission order and
+// combiners serve the chain in order, so completion is per-handle FIFO.
+//
+// Deferred combiner duty is the price of deferring completion: requests
+// behind an unwaited cell that was handed the combiner role do not
+// execute until that cell's handle calls Wait or Flush. Every submitted
+// ticket must therefore eventually be waited or flushed — and draining
+// several handles' pipelines from one goroutine should flush them
+// concurrently, not sequentially, since one handle's unflushed cell can
+// hold the duty another handle's Flush is spinning on.
 type CCSynch struct {
 	dispatch core.Dispatch
 	tail     atomic.Pointer[ccNode]
 	maxOps   int32
+	depth    int // per-handle in-flight bound (Options.QueueCap)
 	closed   atomic.Bool
 
 	rounds   atomic.Uint64
@@ -66,7 +84,7 @@ func NewCCSynch(dispatch core.Dispatch, maxOps int32) *CCSynch {
 	if maxOps <= 0 {
 		maxOps = 200
 	}
-	c := &CCSynch{dispatch: dispatch, maxOps: maxOps}
+	c := &CCSynch{dispatch: dispatch, maxOps: maxOps, depth: 39}
 	c.tail.Store(&ccNode{}) // initial dummy: wait=false, completed=false
 	return c
 }
@@ -92,26 +110,69 @@ func (c *CCSynch) Stats() (rounds, combined uint64) {
 	return c.rounds.Load(), c.combined.Load()
 }
 
-type ccHandle struct {
-	c    *CCSynch
-	node *ccNode // thread-local spare node
+// ccOp is one outstanding asynchronous operation: the chain cell whose
+// wait flag will clear when the operation is served (or when its owner
+// inherits combiner duty).
+type ccOp struct {
+	cell    *ccNode
+	discard bool
 }
 
-// Apply implements core.Handle following CC-Synch.
-func (h *ccHandle) Apply(op, arg uint64) uint64 {
-	c := h.c
+type ccHandle struct {
+	c    *CCSynch
+	node *ccNode   // thread-local spare node (nil while loaned to the chain)
+	free []*ccNode // reclaimed spares beyond node
 
-	nextNode := h.node
+	seq  uint64          // next ticket sequence number
+	ops  map[uint64]ccOp // outstanding submissions (nil until first Submit)
+	fifo []uint64        // submission order of outstanding seqs (lazily pruned)
+	res  map[uint64]uint64
+}
+
+// takeSpare hands out a free node for the next swap onto the chain,
+// growing the pool when every node is in flight.
+func (h *ccHandle) takeSpare() *ccNode {
+	if n := h.node; n != nil {
+		h.node = nil
+		return n
+	}
+	if k := len(h.free); k > 0 {
+		n := h.free[k-1]
+		h.free = h.free[:k-1]
+		return n
+	}
+	return &ccNode{}
+}
+
+// reclaim returns a completed cell to the pool.
+func (h *ccHandle) reclaim(n *ccNode) {
+	if h.node == nil {
+		h.node = n
+		return
+	}
+	h.free = append(h.free, n)
+}
+
+// publish is the submission half of CC-Synch: swap a spare node onto
+// the tail and fill the previous tail with our request. The returned
+// cell is the operation's completion point.
+func (h *ccHandle) publish(op, arg uint64) *ccNode {
+	nextNode := h.takeSpare()
 	nextNode.wait.Store(true)
 	nextNode.completed = false
 	nextNode.next.Store(nil)
 
-	cur := c.tail.Swap(nextNode)
+	cur := h.c.tail.Swap(nextNode)
 	cur.op = op
 	cur.arg = arg
-	h.node = cur
 	cur.next.Store(nextNode) // publish after filling the request
+	return cur
+}
 
+// completeCell spins locally on the cell and combines if the round's
+// combiner handed us the duty; the caller owns the cell's reclaim.
+func (h *ccHandle) completeCell(cur *ccNode) uint64 {
+	c := h.c
 	var b backoff.Backoff
 	for cur.wait.Load() {
 		b.Wait()
@@ -145,4 +206,140 @@ func (h *ccHandle) Apply(op, arg uint64) uint64 {
 	c.rounds.Add(1)
 	c.combined.Add(uint64(count))
 	return myRet
+}
+
+// complete is the completion half of an asynchronous submission:
+// completeCell plus returning the cell to the pool.
+func (h *ccHandle) complete(cur *ccNode) uint64 {
+	ret := h.completeCell(cur)
+	h.reclaim(cur)
+	return ret
+}
+
+// Apply implements core.Handle following CC-Synch: publish, then
+// complete — Submit and Wait fused. With outstanding asynchronous
+// submissions it must compose literally: an older unwaited cell may
+// hold the round's dormant combiner duty, and only Wait's
+// settle-older loop prevents spinning on a cell nobody will ever
+// serve. With nothing outstanding the resident spare is recycled
+// exactly as in the synchronous algorithm (the classic node
+// exchange), skipping the pool bookkeeping.
+func (h *ccHandle) Apply(op, arg uint64) uint64 {
+	if len(h.ops) != 0 {
+		t, _ := h.Submit(op, arg)
+		return h.Wait(t)
+	}
+	if h.node == nil {
+		return h.complete(h.publish(op, arg))
+	}
+	nextNode := h.node
+	nextNode.wait.Store(true)
+	nextNode.completed = false
+	nextNode.next.Store(nil)
+
+	cur := h.c.tail.Swap(nextNode)
+	cur.op = op
+	cur.arg = arg
+	h.node = cur
+	cur.next.Store(nextNode) // publish after filling the request
+	return h.completeCell(cur)
+}
+
+// settleOldest completes the oldest outstanding submission, banking its
+// result unless it was posted fire-and-forget.
+func (h *ccHandle) settleOldest() {
+	for len(h.fifo) > 0 {
+		seq := h.fifo[0]
+		h.fifo = h.fifo[1:]
+		op, ok := h.ops[seq]
+		if !ok {
+			continue // already waited directly; pruned lazily
+		}
+		delete(h.ops, seq)
+		v := h.complete(op.cell)
+		if !op.discard {
+			if h.res == nil {
+				h.res = make(map[uint64]uint64)
+			}
+			h.res[seq] = v
+		}
+		return
+	}
+}
+
+// submitOp publishes a request cell asynchronously, first settling the
+// oldest outstanding operation when depth cells are already in flight.
+func (h *ccHandle) submitOp(op, arg uint64, discard bool) uint64 {
+	if len(h.ops) >= h.c.depth {
+		h.settleOldest()
+	}
+	cell := h.publish(op, arg)
+	if h.ops == nil {
+		h.ops = make(map[uint64]ccOp)
+	}
+	seq := h.seq
+	h.seq++
+	h.ops[seq] = ccOp{cell: cell, discard: discard}
+	h.fifo = append(h.fifo, seq)
+	return seq
+}
+
+// Submit implements core.Handle: publish the cell, defer the spin (and
+// any inherited combiner duty) to Wait.
+func (h *ccHandle) Submit(op, arg uint64) (core.Ticket, error) {
+	return core.NewTicket(h.submitOp(op, arg, false)), nil
+}
+
+// oldestSeq returns the oldest outstanding submission, pruning fifo
+// entries already waited directly.
+func (h *ccHandle) oldestSeq() (uint64, bool) {
+	for len(h.fifo) > 0 {
+		if _, ok := h.ops[h.fifo[0]]; ok {
+			return h.fifo[0], true
+		}
+		h.fifo = h.fifo[1:]
+	}
+	return 0, false
+}
+
+// Wait implements core.Handle.
+func (h *ccHandle) Wait(t core.Ticket) uint64 {
+	seq := t.Seq()
+	if v, ok := h.res[seq]; ok {
+		delete(h.res, seq)
+		return v
+	}
+	op, ok := h.ops[seq]
+	if !ok {
+		panic("shmsync: ccsynch: Wait on a ticket that is not outstanding (already waited, or issued by another handle)")
+	}
+	// An out-of-order Wait must not spin on a cell while an earlier
+	// unwaited cell of this same handle holds the round's dormant
+	// combiner duty — nobody else would ever serve us. Settle older
+	// cells in order until our cell's wait clears or we are the oldest.
+	for op.cell.wait.Load() {
+		oldest, any := h.oldestSeq()
+		if !any || oldest == seq {
+			break
+		}
+		h.settleOldest()
+	}
+	delete(h.ops, seq) // its fifo entry is pruned lazily
+	return h.complete(op.cell)
+}
+
+// Post implements core.Handle: fire-and-forget; the cell is settled by
+// a later same-handle submission, Wait or Flush.
+func (h *ccHandle) Post(op, arg uint64) error {
+	h.submitOp(op, arg, true)
+	return nil
+}
+
+// Flush implements core.Handle: settle every outstanding cell in
+// submission order, banking unwaited Submit results.
+func (h *ccHandle) Flush() {
+	for len(h.ops) > 0 {
+		h.settleOldest()
+	}
+	h.fifo = h.fifo[:0]
 }

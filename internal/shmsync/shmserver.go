@@ -110,6 +110,7 @@ func (s *SHMServer) Close() error {
 
 type shmHandle struct {
 	slot *shmSlot
+	im   core.Immediate
 }
 
 // Apply publishes the request in the client's slot and spins locally
@@ -123,3 +124,23 @@ func (h *shmHandle) Apply(op, arg uint64) uint64 {
 	}
 	return h.slot.ret
 }
+
+// Submit implements core.Handle with immediate completion: a client
+// owns exactly one request slot, so there is nothing to pipeline — the
+// operation executes on the spot and the result is banked for Wait.
+func (h *shmHandle) Submit(op, arg uint64) (core.Ticket, error) {
+	return h.im.Complete(h.Apply(op, arg)), nil
+}
+
+// Wait implements core.Handle.
+func (h *shmHandle) Wait(t core.Ticket) uint64 { return h.im.Take(t) }
+
+// Post implements core.Handle: execute now, drop the result.
+func (h *shmHandle) Post(op, arg uint64) error {
+	h.Apply(op, arg)
+	return nil
+}
+
+// Flush implements core.Handle: every submission completed at Submit
+// time, so there is never anything in flight.
+func (h *shmHandle) Flush() {}

@@ -247,6 +247,7 @@ func (e *LockExecutor) Close() error {
 type lockHandle struct {
 	dispatch core.Dispatch
 	lock     Lock
+	im       core.Immediate
 }
 
 // Apply implements core.Handle.
@@ -256,3 +257,23 @@ func (h *lockHandle) Apply(op, arg uint64) uint64 {
 	h.lock.Unlock()
 	return ret
 }
+
+// Submit implements core.Handle with immediate completion: a lock
+// acquisition cannot be deferred or overlapped, so the operation
+// executes on the spot and the result is banked for Wait.
+func (h *lockHandle) Submit(op, arg uint64) (core.Ticket, error) {
+	return h.im.Complete(h.Apply(op, arg)), nil
+}
+
+// Wait implements core.Handle.
+func (h *lockHandle) Wait(t core.Ticket) uint64 { return h.im.Take(t) }
+
+// Post implements core.Handle: execute now, drop the result.
+func (h *lockHandle) Post(op, arg uint64) error {
+	h.Apply(op, arg)
+	return nil
+}
+
+// Flush implements core.Handle: every submission completed at Submit
+// time, so there is never anything in flight.
+func (h *lockHandle) Flush() {}

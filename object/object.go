@@ -5,7 +5,10 @@
 // algorithm by name — plus the nonblocking LCRQ queue and Treiber
 // stack, which need no executor at all, and the sharded objects
 // (NewShardedCounter, NewMap) whose state is partitioned across N
-// executors by the hybsync/shard router.
+// executors by the hybsync/shard router. Batched operations ride the
+// executors' submission pipeline: CounterHandle.AddN ships a whole
+// batch of increments for one round trip, and MapHandle.GetAll
+// overlaps a multi-key lookup across shards.
 //
 //	ctr, err := object.NewCounter("hybcomb", hybsync.WithMaxThreads(16))
 //	h, err := ctr.NewHandle() // one per goroutine

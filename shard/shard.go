@@ -11,8 +11,11 @@
 //	}, hybsync.WithShards(8))
 //	h, err := r.NewHandle()          // one per goroutine
 //	v, err := h.Apply(key, 0, 1)     // routes key to its shard
+//	t, err := h.Submit(key, 0, 1)    // same, without waiting
+//	v = h.Wait(t)                    // redeem the ticket
+//	vs, err := h.MultiApply(0, keys, nil) // overlap across shards
 //	sum, err := h.Aggregate(1, 0)    // fold a read over every shard
-//	_ = r.Close()                    // fan-out, idempotent
+//	_ = r.Close()                    // fan-out, idempotent (Flush handles first)
 //
 // Per shard, the paper's single-server guarantees hold (every operation
 // on that shard runs in mutual exclusion); across shards the router
@@ -37,6 +40,9 @@ type (
 	Router = ishard.Router
 	// Handle routes one goroutine's operations; obtain from Router.NewHandle.
 	Handle = ishard.Handle
+	// Ticket identifies one outstanding routed submission; redeem with
+	// the issuing Handle's Wait exactly once.
+	Ticket = ishard.Ticket
 	// KeyedDispatch is the sharded critical-section body.
 	KeyedDispatch = ishard.KeyedDispatch
 	// Partitioner maps a key to a shard in [0, nshards).
