@@ -117,8 +117,8 @@ func TestMustHandlePanicsOnExhaustion(t *testing.T) {
 }
 
 func TestRegisterDuplicateRejected(t *testing.T) {
-	factory := func(d hybsync.Dispatch, o hybsync.Options) (hybsync.Executor, error) {
-		return hybsync.New("hybcomb", d, hybsync.WithMaxThreads(o.MaxThreads))
+	factory := func(obj hybsync.Object, o hybsync.Options) (hybsync.Executor, error) {
+		return hybsync.NewObject("hybcomb", obj, hybsync.WithMaxThreads(o.MaxThreads))
 	}
 	if err := hybsync.Register("api-test-custom", factory); err != nil {
 		t.Fatalf("Register: %v", err)

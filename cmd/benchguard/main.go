@@ -1,0 +1,139 @@
+// Command benchguard compares fresh hybbench -json runs against a
+// committed baseline file and fails loudly when the blocking-path cost
+// regresses beyond a tolerance — the CI guard that keeps the batch and
+// pipeline machinery from taxing the plain Apply round trip.
+//
+// Usage:
+//
+//	hybbench -bench counter -threads 1 -json > run1.json   (repeat)
+//	benchguard -baseline BENCH_native.json -bench counter -threads 1 \
+//	    -max-regress 0.10 run1.json run2.json run3.json
+//
+// For every algorithm the baseline has a (bench, threads) record for,
+// the candidate ns/op is the MEDIAN across the given run files (run an
+// odd number, three is typical, so one noisy run cannot fail or pass
+// the gate alone). Exit status 1 means at least one algorithm
+// regressed more than -max-regress relative to the baseline; missing
+// algorithms in the candidates are an error, extra ones are ignored.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// result mirrors the hybbench jsonResult fields the guard consumes.
+type result struct {
+	Bench   string  `json:"bench"`
+	Algo    string  `json:"algo"`
+	Threads int     `json:"threads"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type report struct {
+	Results []result `json:"results"`
+}
+
+// load reads one hybbench -json report.
+func load(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// pick returns the ns/op of every (bench, threads) record by algorithm.
+func pick(r report, bench string, threads int) map[string]float64 {
+	out := map[string]float64{}
+	for _, res := range r.Results {
+		if res.Bench == bench && res.Threads == threads && res.NsPerOp > 0 {
+			out[res.Algo] = res.NsPerOp
+		}
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_native.json", "committed baseline report")
+	bench := flag.String("bench", "counter", "bench name to compare")
+	threads := flag.Int("threads", 1, "thread count to compare (1 = the blocking round-trip path)")
+	maxRegress := flag.Float64("max-regress", 0.10, "maximum allowed fractional ns/op regression vs baseline")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: need at least one candidate run file")
+		os.Exit(2)
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	baseline := pick(base, *bench, *threads)
+	if len(baseline) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: baseline has no (%s, threads=%d) records\n", *bench, *threads)
+		os.Exit(2)
+	}
+
+	candidates := map[string][]float64{}
+	for _, path := range flag.Args() {
+		r, err := load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		for algo, ns := range pick(r, *bench, *threads) {
+			candidates[algo] = append(candidates[algo], ns)
+		}
+	}
+
+	algos := make([]string, 0, len(baseline))
+	for algo := range baseline {
+		algos = append(algos, algo)
+	}
+	sort.Strings(algos)
+
+	fmt.Printf("benchguard: %s threads=%d, median of %d run(s) vs %s (tolerance +%.0f%%)\n",
+		*bench, *threads, flag.NArg(), *baselinePath, *maxRegress*100)
+	failed := false
+	for _, algo := range algos {
+		runs := candidates[algo]
+		if len(runs) == 0 {
+			fmt.Printf("  %-12s baseline %8.1f ns/op  candidate MISSING\n", algo, baseline[algo])
+			failed = true
+			continue
+		}
+		med := median(runs)
+		delta := (med - baseline[algo]) / baseline[algo]
+		status := "ok"
+		if delta > *maxRegress {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("  %-12s baseline %8.1f ns/op  median %8.1f ns/op  %+6.1f%%  %s\n",
+			algo, baseline[algo], med, delta*100, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL — blocking-path median regressed more than %.0f%% vs %s\n",
+			*maxRegress*100, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: PASS")
+}

@@ -18,6 +18,7 @@
 //	hybbench -bench counter -json > BENCH_counter.json
 //	hybbench -bench sharded -shards 1,8 -dist zipf:0.99 -json
 //	hybbench -bench async -depth 1,2,4,8 -json > BENCH_async.json
+//	hybbench -bench batch -batch 1,2,4,8,16,32 -json > BENCH_batch.json
 package main
 
 import (
@@ -54,11 +55,35 @@ type jsonResult struct {
 	Shards   int      `json:"shards,omitempty"`
 	Dist     string   `json:"dist,omitempty"`
 	Depth    int      `json:"depth,omitempty"`
+	Batch    int      `json:"batch,omitempty"`
+	Path     string   `json:"path,omitempty"` // batch bench: "apply" (per-op) vs "batch" (ApplyBatch)
 	ShardOps []uint64 `json:"shard_ops,omitempty"`
 	// A pointer so sharded records keep the meaningful value 0 ("some
 	// shard was never touched") while non-sharded records omit the
 	// field entirely.
 	ShardFairness *float64 `json:"shard_fairness,omitempty"`
+	// Pipe is present when the construction exports PipelineStats
+	// (mpserver/hybcomb/ccsynch and routers over them): backpressure
+	// counters of the submission pipeline for the measured run.
+	Pipe *pipeJSON `json:"pipeline,omitempty"`
+}
+
+// pipeJSON is the PipelineStats payload of a -json record; zero values
+// are meaningful (an unstalled run reports submit_stalls 0), so the
+// whole struct is pointer-omitted rather than field-omitted.
+type pipeJSON struct {
+	SubmitStalls uint64 `json:"submit_stalls"`
+	MaxDepth     uint64 `json:"max_depth"`
+}
+
+// pipeOf extracts the pipeline counters when src implements
+// hybsync.PipelineStats (read after every handle flushed).
+func pipeOf(src any) *pipeJSON {
+	if p, ok := src.(hybsync.PipelineStats); ok {
+		st, d := p.Pipeline()
+		return &pipeJSON{SubmitStalls: st, MaxDepth: d}
+	}
+	return nil
 }
 
 // report accumulates jsonResults; nil means table mode. The host
@@ -98,12 +123,13 @@ func (r *report) render() {
 var defaultAlgos = []string{"mpserver", "hybcomb", "shmserver", "ccsynch", "mcs-lock"}
 
 func main() {
-	bench := flag.String("bench", "all", "benchmark: counter, queue, stack, fairness, sharded, async, all")
+	bench := flag.String("bench", "all", "benchmark: counter, queue, stack, fairness, sharded, async, batch, all")
 	dur := flag.Duration("dur", 200*time.Millisecond, "measurement duration per point")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default scales to GOMAXPROCS)")
 	algosFlag := flag.String("algos", "", "comma-separated algorithm names from the registry (default a representative five; 'all' for every registered algorithm)")
 	shardsFlag := flag.String("shards", "1,4", "comma-separated shard counts for the sharded bench")
 	depthFlag := flag.String("depth", "1,2,4,8", "comma-separated outstanding-window depths for the async bench")
+	batchFlag := flag.String("batch", "1,2,4,8,16,32", "comma-separated ApplyBatch sizes for the batch bench")
 	distFlag := flag.String("dist", "uniform", "keyed-workload distribution for the sharded bench: uniform or zipf:theta (0<theta<1, e.g. zipf:0.99)")
 	keysFlag := flag.Uint64("keys", 1<<16, "key-space size for the sharded bench")
 	list := flag.Bool("list", false, "print the registered algorithm names and exit")
@@ -140,6 +166,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hybbench: -depth: %v\n", err)
 		os.Exit(2)
 	}
+	batchSizes, err := parseIntList(*batchFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybbench: -batch: %v\n", err)
+		os.Exit(2)
+	}
 	dist, err := parseDist(*distFlag, *keysFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hybbench: -dist: %v\n", err)
@@ -169,6 +200,8 @@ func main() {
 		benchSharded(algos, threads, shardCounts, dist, *dur, rep)
 	case "async":
 		benchAsync(algos, threads, depths, *dur, rep)
+	case "batch":
+		benchBatch(algos, threads, batchSizes, *dur, rep)
 	case "all":
 		benchCounter(algos, threads, *dur, rep)
 		benchQueue(algos, threads, *dur, rep)
@@ -176,6 +209,7 @@ func main() {
 		benchFairness(algos, threads, *dur, rep)
 		benchSharded(algos, threads, shardCounts, dist, *dur, rep)
 		benchAsync(algos, threads, depths, *dur, rep)
+		benchBatch(algos, threads, batchSizes, *dur, rep)
 	default:
 		fmt.Fprintf(os.Stderr, "hybbench: unknown bench %q\n", *bench)
 		os.Exit(2)
@@ -492,7 +526,7 @@ func shardFairness(occ []uint64) float64 {
 // runSharded measures one sharded-counter point: th goroutines drive
 // keyed increments (keys drawn from dist) through a router over nshards
 // executors of algo.
-func runSharded(algo string, nshards int, dist distSpec, th int, dur time.Duration) (res harness.NativeResult, occ []uint64, rounds, combined uint64) {
+func runSharded(algo string, nshards int, dist distSpec, th int, dur time.Duration) (res harness.NativeResult, occ []uint64, rounds, combined uint64, pipe *pipeJSON) {
 	c, err := object.NewShardedCounter(algo, nshards, opts()...)
 	if err != nil {
 		fatalf("NewShardedCounter(%s, %d): %v", algo, nshards, err)
@@ -512,7 +546,10 @@ func runSharded(algo string, nshards int, dist distSpec, th int, dur time.Durati
 	})
 	occ = c.Occupancy()
 	rounds, combined, _ = c.Stats()
-	return res, occ, rounds, combined
+	if st, d, ok := c.Pipeline(); ok {
+		pipe = &pipeJSON{SubmitStalls: st, MaxDepth: d}
+	}
+	return res, occ, rounds, combined, pipe
 }
 
 // benchSharded sweeps the sharded counter over every requested shard
@@ -527,7 +564,7 @@ func benchSharded(algos []string, threads, shardCounts []int, dist distSpec, dur
 		for _, th := range threads {
 			row := []any{th}
 			for _, algo := range algos {
-				res, occ, rounds, combined := runSharded(algo, ns, dist, th, dur)
+				res, occ, rounds, combined, pipe := runSharded(algo, ns, dist, th, dur)
 				if rep != nil {
 					sf := shardFairness(occ)
 					jr := jsonResult{
@@ -535,7 +572,7 @@ func benchSharded(algos []string, threads, shardCounts []int, dist distSpec, dur
 						Ops: res.Ops, Mops: res.Mops(), Fairness: res.Fairness(),
 						Rounds: rounds, Combined: combined,
 						Shards: ns, Dist: dist.label,
-						ShardOps: occ, ShardFairness: &sf,
+						ShardOps: occ, ShardFairness: &sf, Pipe: pipe,
 					}
 					if jr.Mops > 0 {
 						jr.NsPerOp = 1e3 / jr.Mops
@@ -559,7 +596,7 @@ func benchSharded(algos []string, threads, shardCounts []int, dist distSpec, dur
 // handle (a sliding window of Submit with Wait on the oldest once the
 // window fills). depth 1 degenerates to the blocking Apply round trip;
 // deeper windows let a pipelining construction overlap submissions.
-func runAsync(algo string, depth, th int, dur time.Duration) (res harness.NativeResult, rounds, combined uint64) {
+func runAsync(algo string, depth, th int, dur time.Duration) (res harness.NativeResult, rounds, combined uint64, pipe *pipeJSON) {
 	var state uint64
 	ex, err := hybsync.New(algo, func(op, arg uint64) uint64 {
 		v := state
@@ -607,10 +644,11 @@ func runAsync(algo string, depth, th int, dur time.Duration) (res harness.Native
 	if s, ok := ex.(hybsync.StatsSource); ok {
 		rounds, combined = s.Stats()
 	}
+	pipe = pipeOf(ex)
 	if err := ex.Close(); err != nil {
 		fatalf("Close(%s): %v", algo, err)
 	}
-	return res, rounds, combined
+	return res, rounds, combined, pipe
 }
 
 // benchAsync sweeps submission-window depth: throughput vs. how many
@@ -627,17 +665,143 @@ func benchAsync(algos []string, threads, depths []int, dur time.Duration, rep *r
 		for _, depth := range depths {
 			row := []any{depth}
 			for _, algo := range algos {
-				res, rounds, combined := runAsync(algo, depth, th, dur)
+				res, rounds, combined, pipe := runAsync(algo, depth, th, dur)
 				if rep != nil {
 					jr := jsonResult{
 						Bench: "async", Algo: algo, Threads: th, Depth: depth,
 						Ops: res.Ops, Mops: res.Mops(), Fairness: res.Fairness(),
-						Rounds: rounds, Combined: combined,
+						Rounds: rounds, Combined: combined, Pipe: pipe,
 					}
 					if jr.Mops > 0 {
 						jr.NsPerOp = 1e3 / jr.Mops
 					}
 					rep.Results = append(rep.Results, jr)
+				}
+				row = append(row, res.Mops())
+			}
+			if rep == nil {
+				t.AddRow(row...)
+			}
+		}
+		if rep == nil {
+			t.Render(os.Stdout)
+		}
+	}
+}
+
+// batchCounter is the batch bench's native object: a run of increments
+// reads the shared value once, hands out results from a register and
+// writes the sum back — the object-side amortization DispatchBatch
+// exists for.
+type batchCounter struct{ state uint64 }
+
+func (o *batchCounter) DispatchBatch(reqs []hybsync.Req, results []uint64) {
+	v := o.state
+	for i := range reqs {
+		results[i] = v
+		v++
+	}
+	o.state = v
+}
+
+// runBatch measures one batched point: th goroutines each repeatedly
+// issue one ApplyBatch of b increments (reqs/results reused across
+// calls). Ops counts individual operations, so ns_per_op is directly
+// comparable with the per-op Apply path.
+func runBatch(algo string, b, th int, dur time.Duration) (res harness.NativeResult, rounds, combined uint64, pipe *pipeJSON) {
+	obj := &batchCounter{}
+	ex, err := hybsync.NewObject(algo, obj, opts()...)
+	if err != nil {
+		fatalf("NewObject(%s): %v", algo, err)
+	}
+	res = harness.RunNative(th, dur, 50, func(int) func(uint64) {
+		h := hybsync.MustHandle(ex)
+		reqs := make([]hybsync.Req, b)
+		rets := make([]uint64, b)
+		return func(uint64) { h.ApplyBatch(reqs, rets) }
+	})
+	// One iteration is b operations; rescale so Ops/Mops/fairness are
+	// per operation. ApplyBatch blocks until its batch completed, so
+	// nothing is in flight at close.
+	res.Ops *= uint64(b)
+	for i := range res.PerThread {
+		res.PerThread[i] *= uint64(b)
+	}
+	if s, ok := ex.(hybsync.StatsSource); ok {
+		rounds, combined = s.Stats()
+	}
+	pipe = pipeOf(ex)
+	if err := ex.Close(); err != nil {
+		fatalf("Close(%s): %v", algo, err)
+	}
+	return res, rounds, combined, pipe
+}
+
+// runBatchApply is runBatch's per-op baseline: the same counter driven
+// through scalar Apply calls (the legacy path's cost per operation).
+func runBatchApply(algo string, th int, dur time.Duration) (res harness.NativeResult, rounds, combined uint64, pipe *pipeJSON) {
+	obj := &batchCounter{}
+	ex, err := hybsync.NewObject(algo, obj, opts()...)
+	if err != nil {
+		fatalf("NewObject(%s): %v", algo, err)
+	}
+	res = harness.RunNative(th, dur, 50, func(int) func(uint64) {
+		h := hybsync.MustHandle(ex)
+		return func(uint64) { h.Apply(0, 0) }
+	})
+	if s, ok := ex.(hybsync.StatsSource); ok {
+		rounds, combined = s.Stats()
+	}
+	pipe = pipeOf(ex)
+	if err := ex.Close(); err != nil {
+		fatalf("Close(%s): %v", algo, err)
+	}
+	return res, rounds, combined, pipe
+}
+
+// benchBatch sweeps ApplyBatch size against the per-op Apply baseline:
+// the trajectory per algorithm shows how much of the dispatch and
+// transport cost the batch amortizes (mpserver: one round-trip wait per
+// batch; hybcomb: one promotion per combiner-path run; ccsynch: one
+// spin/handover per chain segment; locks: one acquisition per batch).
+func benchBatch(algos []string, threads, batchSizes []int, dur time.Duration, rep *report) {
+	record := func(algo, path string, b, th int, res harness.NativeResult, rounds, combined uint64, pipe *pipeJSON) {
+		jr := jsonResult{
+			Bench: "batch", Algo: algo, Threads: th, Batch: b, Path: path,
+			Ops: res.Ops, Mops: res.Mops(), Fairness: res.Fairness(),
+			Rounds: rounds, Combined: combined, Pipe: pipe,
+		}
+		if jr.Mops > 0 {
+			jr.NsPerOp = 1e3 / jr.Mops
+		}
+		rep.Results = append(rep.Results, jr)
+	}
+	for _, th := range threads {
+		header := append([]string{"batch"}, algos...)
+		t := harness.NewTable(fmt.Sprintf(
+			"Batched dispatch throughput, %d thread(s), by ApplyBatch size (Mops/sec; batch 0 = per-op Apply)", th),
+			header...)
+		// The per-op baseline first: batch 0 in the table and OMITTED
+		// from the JSON record (path "apply"), so consumers keying on
+		// the batch field can never conflate it with a real size-1
+		// ApplyBatch measurement (path "batch", batch 1).
+		row := []any{0}
+		for _, algo := range algos {
+			res, rounds, combined, pipe := runBatchApply(algo, th, dur)
+			if rep != nil {
+				record(algo, "apply", 0, th, res, rounds, combined, pipe)
+			}
+			row = append(row, res.Mops())
+		}
+		if rep == nil {
+			t.AddRow(row...)
+		}
+		for _, b := range batchSizes {
+			row := []any{b}
+			for _, algo := range algos {
+				res, rounds, combined, pipe := runBatch(algo, b, th, dur)
+				if rep != nil {
+					record(algo, "batch", b, th, res, rounds, combined, pipe)
 				}
 				row = append(row, res.Mops())
 			}

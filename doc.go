@@ -1,21 +1,27 @@
 // Package hybsync reproduces "Leveraging Hardware Message Passing for
 // Efficient Thread Synchronization" (Petrović, Ropars, Schiper —
 // PPoPP 2014) and is the public API of the repository: the
-// Dispatch/Executor/Handle contract, the string-keyed algorithm
-// registry (New, Register, Algorithms), functional options
+// Object/Executor/Handle contract, the string-keyed algorithm
+// registry (New, NewObject, Register, Algorithms), functional options
 // (WithMaxThreads, WithMaxOps, WithQueueCap, WithShards,
 // WithChanQueues) and the uniform lifecycle — error-returning
 // NewHandle and idempotent Close — that every construction satisfies.
-// The Handle contract is a submit/complete pipeline: because a request
+// The execution contract is batch-aware: an Object's DispatchBatch
+// executes a whole drained run of {op, arg} requests in one
+// mutual-exclusion call (NewObject; the legacy scalar Dispatch still
+// works through New, wrapped in the looping Func adapter), and the
+// Handle contract is a submit/complete pipeline: because a request
 // is a message, a client need not block between submission and reply,
 // so Submit(op, arg) returns a Ticket, Wait(Ticket) collects the
-// result, Post fires and forgets, Flush drains, and the classic
-// blocking Apply is just Submit+Wait. hybsync/shard scales the
-// constructions out: a router partitions a keyed object across N
-// independent executors (sharded counter and fixed-capacity hash map
-// in hybsync/object ride on it), and its MultiApply pipelines a keyed
-// batch across shards — submitting everything before waiting on
-// anything — so unrelated shards serve one client concurrently.
+// result, Post fires and forgets, Flush drains, ApplyBatch executes a
+// whole batch blocking, and the classic blocking Apply is just
+// Submit+Wait. hybsync/shard scales the constructions out: a router
+// partitions a keyed object across N independent executors (sharded
+// counter and fixed-capacity hash map in hybsync/object ride on it),
+// and its MultiApply pipelines a keyed batch across shards —
+// submitting everything before waiting on anything, same-shard
+// operations grouped into contiguous runs — so unrelated shards serve
+// one client concurrently.
 //
 // The repository has two layers beneath this package:
 //

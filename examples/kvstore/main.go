@@ -2,13 +2,14 @@
 // fixed-capacity open-addressing hash table whose buckets are
 // delegation-protected per shard. Clients drive a 90/10 get/put mix
 // with Zipf-skewed keys (the classic cache workload) through the shard
-// router, reading in batches of 8 through GetAll: the whole batch is
-// submitted before any result is waited on, so lookups landing on
-// different shards are served concurrently instead of one round trip
-// after another — the overlap a sequential per-key Apply loop cannot
-// get. Each key's shard still serializes its operations through one
-// delegation point, and the router's occupancy profile shows where the
-// skew landed.
+// router, reading in batches of 8 through GetAll and writing in
+// batches of 4 through MultiPut: each batch is submitted before any
+// result is waited on, so operations landing on different shards are
+// served concurrently instead of one round trip after another — and
+// same-shard keys are grouped into contiguous runs the shard executes
+// as single batch calls. Each key's shard still serializes its
+// operations through one delegation point, and the router's occupancy
+// profile shows where the skew landed.
 //
 //	go run ./examples/kvstore
 package main
@@ -28,6 +29,7 @@ func main() {
 		clients  = 4
 		rounds   = 6_000
 		batch    = 8 // keys per pipelined multi-get
+		wbatch   = 4 // keys per pipelined multi-put
 		shards   = 4
 		capacity = 1 << 16
 		keys     = 1 << 14
@@ -58,10 +60,17 @@ func main() {
 			z := zipf.Reseed(uint64(c + 1))
 			rng := harness.NewXorShift(uint64(c + 1))
 			ks := make([]uint32, batch)
+			wks := make([]uint32, wbatch)
+			wvs := make([]uint32, wbatch)
 			for r := 0; r < rounds; r++ {
 				if rng.Next()%10 == 0 {
-					// 10%: a write, routed to its key's shard.
-					if _, err := h.Put(uint32(z.Next()), uint32(r)); err != nil {
+					// 10%: a batched multi-put — same-shard keys grouped
+					// into one run per shard, shards overlapped.
+					for i := range wks {
+						wks[i] = uint32(z.Next())
+						wvs[i] = uint32(r)
+					}
+					if _, err := h.MultiPut(wks, wvs); err != nil {
 						panic(err)
 					}
 					continue
@@ -87,8 +96,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("Len: %v", err)
 	}
-	fmt.Printf("%d clients ran %d rounds each (90%% %d-key batched get / 10%% put, zipf %.2f over %d keys)\n",
-		clients, rounds, batch, theta, keys)
+	fmt.Printf("%d clients ran %d rounds each (90%% %d-key batched get / 10%% %d-key batched put, zipf %.2f over %d keys)\n",
+		clients, rounds, batch, wbatch, theta, keys)
 	fmt.Printf("store holds %d live keys across %d shards\n", n, shards)
 	fmt.Println("per-shard operation counts (the workload's skew profile):")
 	for s, ops := range store.Occupancy() {

@@ -14,8 +14,28 @@ import (
 // Dispatch executes opcode op with argument arg against the protected
 // object and returns the result. It is always invoked in mutual
 // exclusion, so it may touch shared state without further
-// synchronization.
+// synchronization. Dispatch is the legacy scalar contract: New wraps
+// it in Func, so everything executes through the batch-aware Object
+// interface underneath.
 type Dispatch = core.Dispatch
+
+// Req is one operation of a batch: opcode plus the single 64-bit
+// argument.
+type Req = core.Req
+
+// Object is the batch-aware execution contract: DispatchBatch executes
+// a whole run of requests in one mutual-exclusion call, filling
+// results[i] with reqs[i]'s result. Constructions guarantee
+// len(results) == len(reqs) and non-overlapping slices; the object
+// must not retain either slice past the call (both buffers are
+// reused). How runs form is per-construction — see DESIGN.md
+// "Batch-aware dispatch".
+type Object = core.Object
+
+// Func adapts a legacy Dispatch function into an Object that loops;
+// Func(d) is what New wraps a scalar dispatch with, and the conversion
+// is free (the two share an underlying type).
+type Func = core.Func
 
 // Executor is the uniform contract of every critical-section
 // construction: NewHandle hands out per-goroutine capabilities and
@@ -27,11 +47,14 @@ type Executor = core.Executor
 // goroutine from Executor.NewHandle. The contract is a submit/complete
 // pipeline: Submit(op, arg) returns a Ticket without waiting for the
 // result, Wait(Ticket) redeems it, Post is fire-and-forget, Flush
-// drains the pipeline, and Apply is the blocking Submit+Wait
-// composition. Submissions through one handle complete in submission
-// order (per-handle FIFO); nothing is ordered across handles. See
-// DESIGN.md "Asynchronous delegation" for ticket semantics and which
-// constructions genuinely overlap submissions.
+// drains the pipeline, Apply is the blocking Submit+Wait composition,
+// and ApplyBatch executes a whole []Req run blocking, batched as far
+// as the construction allows (one lock acquisition, one combining
+// round, one pipelined server run). Submissions through one handle
+// complete in submission order (per-handle FIFO); nothing is ordered
+// across handles. See DESIGN.md "Asynchronous delegation" for ticket
+// semantics and "Batch-aware dispatch" for per-construction batch
+// formation.
 type Handle = core.Handle
 
 // Ticket identifies one outstanding asynchronous operation; it is
@@ -40,9 +63,18 @@ type Handle = core.Handle
 type Ticket = core.Ticket
 
 // StatsSource is implemented by the combining constructions ("hybcomb",
-// "ccsynch"); type-assert an Executor to read combining statistics
-// after quiescence.
+// "ccsynch"); type-assert an Executor to read combining statistics.
+// Read only at pipeline quiescence: every handle with submissions
+// outstanding has been flushed (or fully waited) first.
 type StatsSource = core.StatsSource
+
+// PipelineStats is implemented by the pipelining constructions
+// ("mpserver", "hybcomb", "ccsynch") and the shard router:
+// backpressure counters of the submission pipeline (SubmitStalls =
+// submissions that found the pipeline full, MaxDepth = deepest
+// in-flight window any handle reached). Read at pipeline quiescence,
+// like StatsSource.
+type PipelineStats = core.PipelineStats
 
 // Option configures a construction; see WithMaxThreads and friends.
 type Option = core.Option
@@ -52,7 +84,9 @@ type Option = core.Option
 type Options = core.Options
 
 // Factory builds one executor instance for a registered algorithm from
-// a Dispatch and the already-defaulted Options.
+// the batch-aware Object and the already-defaulted Options. Legacy
+// scalar dispatches arrive wrapped in Func, so a factory never
+// distinguishes the two.
 type Factory = core.Factory
 
 // Sentinel errors returned (wrapped) by the lifecycle and registry
@@ -86,19 +120,35 @@ func WithShards(n int) Option { return core.WithShards(n) }
 // "hybcomb" instead of the default lock-free ring (ablation).
 func WithChanQueues(on bool) Option { return core.WithChanQueues(on) }
 
-// New constructs the named algorithm around dispatch. Built-in names
-// are "mpserver", "hybcomb", "ccsynch", "shmserver" and the spin-lock
-// executors "tas-lock", "ttas-lock", "ticket-lock", "mcs-lock",
-// "clh-lock"; Algorithms lists everything registered. Unknown names
-// fail with ErrUnknownAlgorithm; options explicitly set to invalid
-// values fail with ErrBadOption.
+// New constructs the named algorithm around a legacy scalar dispatch
+// function (wrapped in Func); NewObject is the batch-aware primary
+// entry point. Built-in names are "mpserver", "hybcomb", "ccsynch",
+// "shmserver" and the spin-lock executors "tas-lock", "ttas-lock",
+// "ticket-lock", "mcs-lock", "clh-lock"; Algorithms lists everything
+// registered. Unknown names fail with ErrUnknownAlgorithm; options
+// explicitly set to invalid values fail with ErrBadOption.
 func New(name string, dispatch Dispatch, opts ...Option) (Executor, error) {
 	return core.New(name, dispatch, opts...)
+}
+
+// NewObject constructs the named algorithm around a batch-aware
+// object: every drained run, combining round or lock-held batch the
+// construction forms reaches obj as one DispatchBatch call, letting
+// the object amortize work across the run (a counter sums it locally,
+// a queue applies it without per-operation indirection). Names and
+// errors are New's.
+func NewObject(name string, obj Object, opts ...Option) (Executor, error) {
+	return core.NewObject(name, obj, opts...)
 }
 
 // MustNew is New, panicking on failure.
 func MustNew(name string, dispatch Dispatch, opts ...Option) Executor {
 	return core.MustNew(name, dispatch, opts...)
+}
+
+// MustNewObject is NewObject, panicking on failure.
+func MustNewObject(name string, obj Object, opts ...Option) Executor {
+	return core.MustNewObject(name, obj, opts...)
 }
 
 // MustHandle returns a new handle from e, panicking on failure — the

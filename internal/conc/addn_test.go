@@ -9,8 +9,8 @@ import (
 
 // factoryFor builds the named construction for the counter under test.
 func factoryFor(name string) ExecutorFactory {
-	return func(d core.Dispatch) (core.Executor, error) {
-		return core.New(name, d, core.WithMaxThreads(8))
+	return func(obj core.Object) (core.Executor, error) {
+		return core.NewObject(name, obj, core.WithMaxThreads(8))
 	}
 }
 

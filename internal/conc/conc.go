@@ -20,10 +20,13 @@ const (
 // EmptyVal is returned by Dequeue/Pop on an empty container.
 const EmptyVal = ^uint64(0)
 
-// ExecutorFactory builds an executor around the object's sequential
-// dispatch function — e.g. func(d core.Dispatch) (core.Executor, error)
-// { return core.New("hybcomb", d) }.
-type ExecutorFactory func(core.Dispatch) (core.Executor, error)
+// ExecutorFactory builds an executor around the object's batch-aware
+// sequential implementation — e.g. func(obj core.Object)
+// (core.Executor, error) { return core.NewObject("hybcomb", obj) }.
+// Every object in this package is a native core.Object, so each
+// drained run the construction forms executes against it in one
+// DispatchBatch call.
+type ExecutorFactory func(core.Object) (core.Executor, error)
 
 // execStats reports the combining statistics of an executor when it is
 // a core.StatsSource (HybComb, CC-Synch); ok is false otherwise. Read
@@ -44,14 +47,26 @@ type Counter struct {
 	value uint64 // touched only inside the CS
 }
 
+// counterObject is the counter's native batch object: a run of
+// increments reads the shared value once, hands out the run's results
+// from a register, and writes the sum back — the batch contract's
+// simplest payoff (any opcode increments, matching the legacy scalar
+// dispatch).
+type counterObject struct{ c *Counter }
+
+func (o counterObject) DispatchBatch(reqs []core.Req, results []uint64) {
+	v := o.c.value
+	for i := range reqs {
+		results[i] = v
+		v++
+	}
+	o.c.value = v
+}
+
 // NewCounter builds the counter over the given construction.
 func NewCounter(f ExecutorFactory) (*Counter, error) {
 	c := &Counter{}
-	exec, err := f(func(op, arg uint64) uint64 {
-		v := c.value
-		c.value++
-		return v
-	})
+	exec, err := f(counterObject{c: c})
 	if err != nil {
 		return nil, err
 	}

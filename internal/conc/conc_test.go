@@ -17,8 +17,8 @@ import (
 // the algorithm registry; the objects' own Close shuts servers down.
 func factories() map[string]ExecutorFactory {
 	mk := func(name string, opts ...core.Option) ExecutorFactory {
-		return func(d core.Dispatch) (core.Executor, error) {
-			return core.New(name, d, opts...)
+		return func(obj core.Object) (core.Executor, error) {
+			return core.NewObject(name, obj, opts...)
 		}
 	}
 	return map[string]ExecutorFactory{
@@ -389,7 +389,7 @@ func TestTreiberStack(t *testing.T) {
 }
 
 func TestHybCombStats(t *testing.T) {
-	hc := core.NewHybComb(func(op, arg uint64) uint64 { return arg }, core.Options{MaxThreads: 32})
+	hc := core.NewHybComb(core.Func(func(op, arg uint64) uint64 { return arg }), core.Options{MaxThreads: 32})
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -412,8 +412,8 @@ func TestHybCombStats(t *testing.T) {
 }
 
 func ExampleCounter() {
-	ctr, err := NewCounter(func(d core.Dispatch) (core.Executor, error) {
-		return core.New("hybcomb", d)
+	ctr, err := NewCounter(func(obj core.Object) (core.Executor, error) {
+		return core.NewObject("hybcomb", obj)
 	})
 	if err != nil {
 		panic(err)

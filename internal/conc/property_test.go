@@ -53,25 +53,25 @@ func TestExecutorSequentialEquivalence(t *testing.T) {
 
 	for _, exec := range []struct {
 		name string
-		mk   func(core.Dispatch) core.Executor
+		mk   func(core.Object) core.Executor
 	}{
-		{"hybcomb", func(d core.Dispatch) core.Executor {
-			return core.NewHybComb(d, core.Options{MaxThreads: 4})
+		{"hybcomb", func(obj core.Object) core.Executor {
+			return core.NewHybComb(obj, core.Options{MaxThreads: 4})
 		}},
-		{"mpserver", func(d core.Dispatch) core.Executor {
-			return core.NewMPServer(d, core.Options{MaxThreads: 4})
+		{"mpserver", func(obj core.Object) core.Executor {
+			return core.NewMPServer(obj, core.Options{MaxThreads: 4})
 		}},
-		{"ccsynch", func(d core.Dispatch) core.Executor {
-			return shmsync.NewCCSynch(d, 200)
+		{"ccsynch", func(obj core.Object) core.Executor {
+			return shmsync.NewCCSynch(obj, 200)
 		}},
-		{"shmserver", func(d core.Dispatch) core.Executor {
-			return shmsync.NewSHMServer(d, 4)
+		{"shmserver", func(obj core.Object) core.Executor {
+			return shmsync.NewSHMServer(obj, 4)
 		}},
 	} {
 		exec := exec
 		t.Run(exec.name, func(t *testing.T) {
 			f := func(ops []opcode) bool {
-				ex := exec.mk(mkDispatch())
+				ex := exec.mk(core.Func(mkDispatch()))
 				defer ex.Close()
 				h := core.MustHandle(ex)
 				want := model(ops)
@@ -158,11 +158,11 @@ func TestLCRQPackingProperty(t *testing.T) {
 // send is followed by a blocking receive, so the server always drains).
 func TestMPServerTinyQueuesNoDeadlock(t *testing.T) {
 	var state uint64
-	s := core.NewMPServer(func(op, arg uint64) uint64 {
+	s := core.NewMPServer(core.Func(func(op, arg uint64) uint64 {
 		v := state
 		state = v + 1
 		return v
-	}, core.Options{MaxThreads: 64, QueueCap: 2})
+	}), core.Options{MaxThreads: 64, QueueCap: 2})
 	defer s.Close()
 	const goroutines, per = 24, 500
 	var wg sync.WaitGroup
@@ -186,8 +186,8 @@ func TestMPServerTinyQueuesNoDeadlock(t *testing.T) {
 // operating in strict alternation on a stack via one handle, LIFO
 // reduces to echo.
 func TestStackConcurrentLIFOWindow(t *testing.T) {
-	s, err := NewStack(func(d core.Dispatch) (core.Executor, error) {
-		return core.NewHybComb(d, core.Options{MaxThreads: 4}), nil
+	s, err := NewStack(func(obj core.Object) (core.Executor, error) {
+		return core.NewHybComb(obj, core.Options{MaxThreads: 4}), nil
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -23,29 +23,41 @@ type MSQueue1 struct {
 	tail *qnode
 }
 
+// queue1Object is the one-lock queue's native batch object: a run of
+// mixed enqueues/dequeues walks the list with the head and tail held
+// locally, linking and unlinking without a dispatch indirection per
+// operation.
+type queue1Object struct{ q *MSQueue1 }
+
+func (o queue1Object) DispatchBatch(reqs []core.Req, results []uint64) {
+	q := o.q
+	for i, r := range reqs {
+		switch r.Op {
+		case OpEnq:
+			n := &qnode{value: r.Arg}
+			q.tail.next = n
+			q.tail = n
+			results[i] = 0
+		case OpDeq:
+			next := q.head.next
+			if next == nil {
+				results[i] = EmptyVal
+				continue
+			}
+			q.head = next
+			results[i] = next.value
+		default:
+			panic("conc: bad queue opcode")
+		}
+	}
+}
+
 // NewMSQueue1 builds the queue over the given construction.
 func NewMSQueue1(f ExecutorFactory) (*MSQueue1, error) {
 	q := &MSQueue1{}
 	dummy := &qnode{}
 	q.head, q.tail = dummy, dummy
-	exec, err := f(func(op, arg uint64) uint64 {
-		switch op {
-		case OpEnq:
-			n := &qnode{value: arg}
-			q.tail.next = n
-			q.tail = n
-			return 0
-		case OpDeq:
-			next := q.head.next
-			if next == nil {
-				return EmptyVal
-			}
-			q.head = next
-			return next.value
-		default:
-			panic("conc: bad queue opcode")
-		}
-	})
+	exec, err := f(queue1Object{q: q})
 	if err != nil {
 		return nil, err
 	}
@@ -89,29 +101,47 @@ type aqnode struct {
 	next  atomic.Pointer[aqnode]
 }
 
+// enqObject and deqObject are the two-lock queue's native batch
+// objects, one per side; each side's run executes under its own
+// executor's mutual exclusion.
+type enqObject struct{ q *MSQueue2 }
+
+func (o enqObject) DispatchBatch(reqs []core.Req, results []uint64) {
+	q := o.q
+	for i, r := range reqs {
+		n := &aqnode{value: r.Arg}
+		q.tail.next.Store(n)
+		q.tail = n
+		results[i] = 0
+	}
+}
+
+type deqObject struct{ q *MSQueue2 }
+
+func (o deqObject) DispatchBatch(reqs []core.Req, results []uint64) {
+	q := o.q
+	for i := range reqs {
+		next := q.head.next.Load()
+		if next == nil {
+			results[i] = EmptyVal
+			continue
+		}
+		q.head = next
+		results[i] = next.value
+	}
+}
+
 // NewMSQueue2 builds the queue over two executors (for MP-SERVER this
 // means two dedicated server goroutines, the cost §5.4 discusses).
 func NewMSQueue2(f ExecutorFactory) (*MSQueue2, error) {
 	q := &MSQueue2{}
 	dummy := &aqnode{}
 	q.head, q.tail = dummy, dummy
-	enq, err := f(func(op, arg uint64) uint64 {
-		n := &aqnode{value: arg}
-		q.tail.next.Store(n)
-		q.tail = n
-		return 0
-	})
+	enq, err := f(enqObject{q: q})
 	if err != nil {
 		return nil, err
 	}
-	deq, err := f(func(op, arg uint64) uint64 {
-		next := q.head.next.Load()
-		if next == nil {
-			return EmptyVal
-		}
-		q.head = next
-		return next.value
-	})
+	deq, err := f(deqObject{q: q})
 	if err != nil {
 		enq.Close()
 		return nil, err

@@ -13,25 +13,35 @@ type Stack struct {
 	top  *qnode
 }
 
-// NewStack builds the stack over the given construction.
-func NewStack(f ExecutorFactory) (*Stack, error) {
-	s := &Stack{}
-	exec, err := f(func(op, arg uint64) uint64 {
-		switch op {
+// stackObject is the stack's native batch object: a run of mixed
+// pushes/pops walks the top pointer locally and writes it back once.
+type stackObject struct{ s *Stack }
+
+func (o stackObject) DispatchBatch(reqs []core.Req, results []uint64) {
+	top := o.s.top
+	for i, r := range reqs {
+		switch r.Op {
 		case OpPush:
-			s.top = &qnode{value: arg, next: s.top}
-			return 0
+			top = &qnode{value: r.Arg, next: top}
+			results[i] = 0
 		case OpPop:
-			if s.top == nil {
-				return EmptyVal
+			if top == nil {
+				results[i] = EmptyVal
+				continue
 			}
-			v := s.top.value
-			s.top = s.top.next
-			return v
+			results[i] = top.value
+			top = top.next
 		default:
 			panic("conc: bad stack opcode")
 		}
-	})
+	}
+	o.s.top = top
+}
+
+// NewStack builds the stack over the given construction.
+func NewStack(f ExecutorFactory) (*Stack, error) {
+	s := &Stack{}
+	exec, err := f(stackObject{s: s})
 	if err != nil {
 		return nil, err
 	}

@@ -75,3 +75,14 @@ func (h *syncHandle) Post(op, arg uint64) error {
 }
 
 func (h *syncHandle) Flush() {}
+
+// ApplyBatch executes the batch by looping — the adapted transport has
+// no batch window to exploit, only the contract to satisfy.
+func (h *syncHandle) ApplyBatch(reqs []Req, results []uint64) {
+	for i, r := range reqs {
+		v := h.apply(r.Op, r.Arg)
+		if results != nil {
+			results[i] = v
+		}
+	}
+}

@@ -12,10 +12,13 @@
 // pointers, exactly mirroring Algorithm 1's CAS/FAA/SWAP structure.
 //
 // Both constructions execute operations described by an opcode and one
-// 64-bit argument against a Dispatch function — the paper's §5.2
-// optimization of shipping "a unique opcode of the CS" instead of a
-// function pointer, which lets the servicing thread's dispatch inline
-// the critical sections.
+// 64-bit argument against an Object — the paper's §5.2 optimization of
+// shipping "a unique opcode of the CS" instead of a function pointer,
+// which lets the servicing thread's dispatch inline the critical
+// sections. The contract is batch-aware (Object.DispatchBatch executes
+// a whole drained run in one mutual-exclusion call); a bare function
+// still works everywhere via the Func adapter, which is what New wraps
+// a legacy Dispatch with.
 //
 // Usage (through the registry; hybsync.New re-exports core.New):
 //
@@ -41,7 +44,9 @@ import (
 // Dispatch executes opcode op with argument arg against the protected
 // object and returns the result. It is always invoked in mutual
 // exclusion, so it may touch shared state without further
-// synchronization.
+// synchronization. Dispatch is the legacy scalar contract: the
+// constructions themselves execute through Object, and New adapts a
+// Dispatch into one with Func (a trivial per-operation loop).
 type Dispatch func(op, arg uint64) uint64
 
 // Executor is the common contract of all critical-section constructions
@@ -112,12 +117,47 @@ type Handle interface {
 	// outstanding submissions must be flushed (or fully waited) before
 	// its executor is closed.
 	Flush()
+
+	// ApplyBatch executes every request of reqs in mutual exclusion, in
+	// order, and blocks until the whole batch has executed, filling
+	// results[i] with reqs[i]'s result. A nil results discards the
+	// values (the batch still completes before ApplyBatch returns);
+	// otherwise len(results) must be at least len(reqs). The handle
+	// reads reqs and writes results only until ApplyBatch returns and
+	// retains neither slice; reqs and results must not overlap.
+	//
+	// Semantically ApplyBatch is Submit-all-then-Wait-all — the batch
+	// executes after the handle's earlier submissions, in batch order —
+	// but the construction executes as much of it as possible through
+	// single DispatchBatch calls: a lock executor runs the whole batch
+	// under one acquisition, MP-SERVER pipelines it into the server's
+	// drain (one DispatchBatch per drained run), HYBCOMB executes a
+	// combiner-path remainder as one round's own run, and CC-SYNCH's
+	// combiner serves the published cells as one chain segment.
+	ApplyBatch(reqs []Req, results []uint64)
 }
 
 // StatsSource is implemented by the combining constructions (HybComb,
-// CCSynch); Stats must be read only while no Apply is in flight.
+// CCSynch). Stats must be read only at pipeline quiescence: every
+// handle with submissions outstanding has been flushed (or fully
+// waited) and no new operation is issued until the read returns.
+// "While no Apply is in flight" is no longer sufficient wording —
+// submissions are asynchronous, so an unflushed Submit or Post keeps
+// the pipeline live long after the submitting call returned.
 type StatsSource interface {
 	Stats() (rounds, combined uint64)
+}
+
+// PipelineStats is implemented by the pipelining constructions
+// (MPServer, HybComb, CCSynch) and aggregated by the shard router; it
+// exposes the backpressure counters of the submission pipeline.
+// SubmitStalls counts submissions that found the handle's pipeline
+// full and had to absorb or settle an older operation before they
+// could proceed; MaxDepth is the deepest in-flight window any handle
+// has reached. Like Stats, read only at pipeline quiescence (every
+// handle flushed).
+type PipelineStats interface {
+	Pipeline() (submitStalls, maxDepth uint64)
 }
 
 // Lifecycle and registry errors. NewHandle and registry failures wrap

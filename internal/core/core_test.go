@@ -11,11 +11,11 @@ import (
 
 func TestMPServerBasic(t *testing.T) {
 	var state uint64
-	s := NewMPServer(func(op, arg uint64) uint64 {
+	s := NewMPServer(Func(func(op, arg uint64) uint64 {
 		old := state
 		state += arg
 		return old + op
-	}, Options{MaxThreads: 8})
+	}), Options{MaxThreads: 8})
 	defer s.Close()
 	h := MustHandle(s)
 	if got := h.Apply(5, 10); got != 5 {
@@ -34,11 +34,11 @@ func TestMPServerConcurrentMutualExclusion(t *testing.T) {
 	// exclusion (single server goroutine) must make it safe, and the
 	// race detector must stay silent.
 	var state uint64
-	s := NewMPServer(func(op, arg uint64) uint64 {
+	s := NewMPServer(Func(func(op, arg uint64) uint64 {
 		v := state
 		state = v + 1
 		return v
-	}, Options{MaxThreads: 32})
+	}), Options{MaxThreads: 32})
 	defer s.Close()
 	const goroutines, per = 16, 3000
 	var wg sync.WaitGroup
@@ -59,13 +59,13 @@ func TestMPServerConcurrentMutualExclusion(t *testing.T) {
 }
 
 func TestMPServerCloseIdempotent(t *testing.T) {
-	s := NewMPServer(func(op, arg uint64) uint64 { return 0 }, Options{})
+	s := NewMPServer(Func(func(op, arg uint64) uint64 { return 0 }), Options{})
 	s.Close()
 	s.Close() // must not hang or panic
 }
 
 func TestMPServerTooManyHandles(t *testing.T) {
-	s := NewMPServer(func(op, arg uint64) uint64 { return 0 }, Options{MaxThreads: 2})
+	s := NewMPServer(Func(func(op, arg uint64) uint64 { return 0 }), Options{MaxThreads: 2})
 	defer s.Close()
 	for i := 0; i < 2; i++ {
 		if _, err := s.NewHandle(); err != nil {
@@ -78,7 +78,7 @@ func TestMPServerTooManyHandles(t *testing.T) {
 }
 
 func TestMustHandlePanics(t *testing.T) {
-	s := NewMPServer(func(op, arg uint64) uint64 { return 0 }, Options{MaxThreads: 1})
+	s := NewMPServer(Func(func(op, arg uint64) uint64 { return 0 }), Options{MaxThreads: 1})
 	defer s.Close()
 	MustHandle(s)
 	defer func() {
@@ -90,7 +90,7 @@ func TestMustHandlePanics(t *testing.T) {
 }
 
 func TestNewHandleAfterClose(t *testing.T) {
-	hc := NewHybComb(func(op, arg uint64) uint64 { return 0 }, Options{MaxThreads: 4})
+	hc := NewHybComb(Func(func(op, arg uint64) uint64 { return 0 }), Options{MaxThreads: 4})
 	if err := hc.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
@@ -101,7 +101,7 @@ func TestNewHandleAfterClose(t *testing.T) {
 		t.Fatalf("NewHandle after Close = %v, want ErrClosed", err)
 	}
 
-	s := NewMPServer(func(op, arg uint64) uint64 { return 0 }, Options{MaxThreads: 4})
+	s := NewMPServer(Func(func(op, arg uint64) uint64 { return 0 }), Options{MaxThreads: 4})
 	s.Close()
 	if _, err := s.NewHandle(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("mpserver NewHandle after Close = %v, want ErrClosed", err)
@@ -109,7 +109,7 @@ func TestNewHandleAfterClose(t *testing.T) {
 }
 
 func TestRegistryDuplicateAndUnknown(t *testing.T) {
-	f := func(d Dispatch, o Options) (Executor, error) { return NewHybComb(d, o), nil }
+	f := func(obj Object, o Options) (Executor, error) { return NewHybComb(obj, o), nil }
 	if err := Register("core-test-dup", f); err != nil {
 		t.Fatalf("Register: %v", err)
 	}
@@ -123,11 +123,11 @@ func TestRegistryDuplicateAndUnknown(t *testing.T) {
 
 func TestHybCombSingleThread(t *testing.T) {
 	var state uint64
-	hc := NewHybComb(func(op, arg uint64) uint64 {
+	hc := NewHybComb(Func(func(op, arg uint64) uint64 {
 		old := state
 		state++
 		return old
-	}, Options{MaxThreads: 4})
+	}), Options{MaxThreads: 4})
 	h := MustHandle(hc)
 	for i := uint64(0); i < 100; i++ {
 		if got := h.Apply(0, 0); got != i {
@@ -152,11 +152,11 @@ func TestHybCombManyThreads(t *testing.T) {
 		{MaxThreads: 40, UseChanQueues: true},
 	} {
 		var state uint64
-		hc := NewHybComb(func(op, arg uint64) uint64 {
+		hc := NewHybComb(Func(func(op, arg uint64) uint64 {
 			v := state
 			state = v + 1
 			return v
-		}, opts)
+		}), opts)
 		const goroutines, per = 12, 2000
 		var wg sync.WaitGroup
 		results := make([]map[uint64]bool, goroutines)
@@ -188,7 +188,7 @@ func TestHybCombManyThreads(t *testing.T) {
 }
 
 func TestHybCombCombiningHappens(t *testing.T) {
-	hc := NewHybComb(func(op, arg uint64) uint64 { return 0 }, Options{MaxThreads: 16})
+	hc := NewHybComb(Func(func(op, arg uint64) uint64 { return 0 }), Options{MaxThreads: 16})
 	const goroutines, per = 8, 4000
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {

@@ -22,7 +22,13 @@ import (
 // The inboxes are mpq.Mpsc queues (any thread sends; only the owner
 // receives) and the combiner drains them with batched receives: both
 // the eager drain (lines 25-28) and the granted-ticket drain (lines
-// 34-37) consume a run of published requests per queue synchronization.
+// 34-37) consume a run of published requests per queue synchronization —
+// and each drained run executes as ONE DispatchBatch call against the
+// object, with the responses scattered to the requesters' queues after
+// the call. The combiner's own operations batch the same way: a
+// combiner-path ApplyBatch hands its whole remaining run to the round
+// as a single DispatchBatch (Algorithm 1's line 23 generalized from one
+// own operation to a run of them).
 //
 // Responses travel on a second per-thread queue, separate from the
 // inbox. With the synchronous Apply contract the inbox could carry
@@ -42,8 +48,8 @@ import (
 // successor, so responses from earlier rounds always precede those
 // from later ones.
 type HybComb struct {
-	opts     Options
-	dispatch Dispatch
+	opts Options
+	obj  Object
 
 	lastReg  atomic.Pointer[hcNode]
 	departed atomic.Pointer[hcNode]
@@ -53,9 +59,10 @@ type HybComb struct {
 	nextID atomic.Int32
 	closed atomic.Bool
 
-	// Stats counts combining activity (read with Stats after quiescence).
+	// Stats counts combining activity (read at pipeline quiescence).
 	rounds   atomic.Uint64
 	combined atomic.Uint64
+	ps       PipeCounters
 }
 
 // hcNode is Algorithm 1's Node. Each of the three fields is written and
@@ -76,9 +83,9 @@ type hcNode struct {
 // background goroutine: threads combine for each other on demand, an
 // idle HybComb consumes no resources, and Close only seals the
 // executor against new handles.
-func NewHybComb(dispatch Dispatch, opts Options) *HybComb {
+func NewHybComb(obj Object, opts Options) *HybComb {
 	opts.fill()
-	h := &HybComb{opts: opts, dispatch: dispatch}
+	h := &HybComb{opts: opts, obj: obj}
 	h.inbox = make([]mpq.Queue, opts.MaxThreads)
 	h.resp = make([]mpq.Queue, opts.MaxThreads)
 	for i := range h.inbox {
@@ -112,12 +119,15 @@ func (h *HybComb) NewHandle() (Handle, error) {
 	n := &hcNode{}
 	n.threadID.Store(id)
 	n.nOps.Store(h.opts.MaxOps) // parked: nobody can register with it
+	bl := h.opts.batchLen()
 	return &hcHandle{
-		h:      h,
-		id:     id,
-		myNode: n,
-		batch:  make([]mpq.Msg, h.opts.batchLen()),
-		tk:     mpq.NewTicketed(h.resp[id]),
+		h:       h,
+		id:      id,
+		myNode:  n,
+		batch:   make([]mpq.Msg, bl),
+		runReqs: make([]Req, bl),
+		runRets: make([]uint64, bl),
+		tk:      mpq.NewTicketed(h.resp[id]),
 	}, nil
 }
 
@@ -129,11 +139,14 @@ func (h *HybComb) Close() error {
 }
 
 // Stats returns the number of completed combining rounds and the total
-// requests served by combiners for other threads. Call only while no
-// Apply is in flight.
+// requests served by combiners for other threads. Read only at
+// pipeline quiescence (every handle flushed or fully waited).
 func (h *HybComb) Stats() (rounds, combined uint64) {
 	return h.rounds.Load(), h.combined.Load()
 }
+
+// Pipeline implements PipelineStats.
+func (h *HybComb) Pipeline() (submitStalls, maxDepth uint64) { return h.ps.Pipeline() }
 
 // hcSlot records where an outstanding Submit's result will come from:
 // the response stream position of a registered request, or the value a
@@ -148,9 +161,17 @@ type hcHandle struct {
 	h      *HybComb
 	id     int32
 	myNode *hcNode
-	batch  []mpq.Msg // combiner-side receive buffer
 
-	tk    *mpq.Ticketed     // ticketed receive over h.resp[id]
+	batch   []mpq.Msg // combiner-side receive buffer
+	runReqs []Req     // combiner-side batch-dispatch scratch
+	runRets []uint64
+	one     [1]Req // scalar combiner-path scratch
+	oneRet  [1]uint64
+	posBuf  []uint64 // ApplyBatch position scratch
+	drop    []uint64 // discarded-results scratch for ApplyBatch(reqs, nil)
+
+	tk    *mpq.Ticketed // ticketed receive over h.resp[id]
+	dt    DepthTracker
 	seq   uint64            // next ticket sequence number
 	slots map[uint64]hcSlot // outstanding Submit tickets (nil until first Submit)
 }
@@ -168,12 +189,13 @@ func (hd *hcHandle) Apply(op, arg uint64) uint64 {
 	return hd.tk.WaitFor(hd.tk.Issue()).W[0]
 }
 
-// submitOrCombine is lines 8-21 of Algorithm 1: try to register with
-// the current combiner (registered=true: the request is shipped and the
-// response will arrive on the thread's response queue), else promote
-// ourselves, serve the round and return our own result (registered=
-// false).
-func (hd *hcHandle) submitOrCombine(op, arg uint64) (registered bool, ret uint64) {
+// acquire is lines 8-20 of Algorithm 1: try to register (op, arg) with
+// the current combiner. True means registered — the request is shipped
+// and its response will arrive on our response queue. False means we
+// promoted ourselves to combiner, waited out our predecessor's round,
+// and now own the round: the operation was NOT shipped and the caller
+// must execute it through combineBatch.
+func (hd *hcHandle) acquire(op, arg uint64) bool {
 	h := hd.h
 	for {
 		lastReg := h.lastReg.Load() // line 9
@@ -182,7 +204,7 @@ func (hd *hcHandle) submitOrCombine(op, arg uint64) (registered bool, ret uint64
 			// Lines 13-14: registered; ship the request. The response
 			// arrives on our response queue once the combiner serves it.
 			h.inbox[lastReg.threadID.Load()].Send(mpq.Words3(uint64(hd.id), op, arg))
-			return true, 0
+			return true
 		}
 		// Line 17: promote ourselves to combiner.
 		if h.lastReg.CompareAndSwap(lastReg, hd.myNode) {
@@ -191,24 +213,55 @@ func (hd *hcHandle) submitOrCombine(op, arg uint64) (registered bool, ret uint64
 			for !lastReg.done.Load() { // lines 19-20
 				b.Wait()
 			}
-			return false, hd.combine(op, arg) // line 21 onwards
+			return false
 		}
 	}
 }
 
-// combine is the combiner's half of apply_op (lines 23-43): execute our
-// own operation, serve the round, hand the combiner role over.
-func (hd *hcHandle) combine(op, arg uint64) uint64 {
+// submitOrCombine registers (op, arg) or serves a round with it as the
+// combiner's own single operation (registered=false, ret = its result).
+func (hd *hcHandle) submitOrCombine(op, arg uint64) (registered bool, ret uint64) {
+	if hd.acquire(op, arg) {
+		return true, 0
+	}
+	hd.one[0] = Req{Op: op, Arg: arg}
+	hd.combineBatch(hd.one[:], hd.oneRet[:])
+	return false, hd.oneRet[0]
+}
+
+// serveRun executes one drained run of registered requests as a single
+// DispatchBatch call and scatters the responses to the requesters'
+// queues.
+func (hd *hcHandle) serveRun(run []mpq.Msg) {
+	h := hd.h
+	reqs := hd.runReqs[:len(run)]
+	for i, m := range run {
+		reqs[i] = Req{Op: m.W[1], Arg: m.W[2]}
+	}
+	rets := hd.runRets[:len(run)]
+	h.obj.DispatchBatch(reqs, rets)
+	for i, m := range run {
+		h.resp[m.W[0]].Send(mpq.Word(rets[i]))
+	}
+}
+
+// combineBatch is the combiner's half of apply_op (lines 23-43)
+// generalized to a run of own operations: execute the own run as one
+// DispatchBatch (line 23), serve the round batch-wise, hand the
+// combiner role over. results receives the own run's results and must
+// be len(own) long.
+func (hd *hcHandle) combineBatch(own []Req, results []uint64) {
 	h := hd.h
 	var opsCompleted int32
 
-	// Line 23: the combiner's own operation runs first.
-	retval := h.dispatch(op, arg)
+	// Line 23 generalized: the combiner's own run executes first, in one
+	// mutual-exclusion call.
+	h.obj.DispatchBatch(own, results)
 
 	// Lines 25-28: eagerly drain the queue while requests keep arriving;
 	// postponing the closing SWAP increases the combining potential.
-	// Every ticket holder's request is drained batch-wise: one queue
-	// synchronization per run of published requests.
+	// Every drained run is one queue synchronization and one
+	// DispatchBatch.
 	mine := h.inbox[hd.id]
 	buf := hd.batch
 	for {
@@ -216,9 +269,7 @@ func (hd *hcHandle) combine(op, arg uint64) uint64 {
 		if n == 0 {
 			break
 		}
-		for _, m := range buf[:n] {
-			h.resp[m.W[0]].Send(mpq.Word(h.dispatch(m.W[1], m.W[2])))
-		}
+		hd.serveRun(buf[:n])
 		opsCompleted += int32(n)
 	}
 
@@ -239,9 +290,7 @@ func (hd *hcHandle) combine(op, arg uint64) uint64 {
 			want = int32(len(buf))
 		}
 		n := mine.RecvBatch(buf[:want])
-		for _, m := range buf[:n] {
-			h.resp[m.W[0]].Send(mpq.Word(h.dispatch(m.W[1], m.W[2])))
-		}
+		hd.serveRun(buf[:n])
 		opsCompleted += int32(n)
 	}
 
@@ -257,7 +306,6 @@ func (hd *hcHandle) combine(op, arg uint64) uint64 {
 
 	h.rounds.Add(1)
 	h.combined.Add(uint64(opsCompleted))
-	return retval // line 43
 }
 
 // makeRoom bounds the pipeline at QueueCap in-flight registered
@@ -265,6 +313,7 @@ func (hd *hcHandle) combine(op, arg uint64) uint64 {
 // queue.
 func (hd *hcHandle) makeRoom() {
 	if hd.tk.InFlight() >= hd.h.opts.QueueCap {
+		hd.h.ps.NoteStall()
 		hd.tk.Absorb()
 	}
 }
@@ -283,6 +332,7 @@ func (hd *hcHandle) Submit(op, arg uint64) (Ticket, error) {
 	hd.seq++
 	if registered {
 		hd.slots[t.seq] = hcSlot{pos: hd.tk.Issue()}
+		hd.dt.Note(&hd.h.ps, hd.tk.InFlight())
 	} else {
 		hd.slots[t.seq] = hcSlot{local: true, val: ret}
 	}
@@ -310,6 +360,7 @@ func (hd *hcHandle) Post(op, arg uint64) error {
 	registered, _ := hd.submitOrCombine(op, arg)
 	if registered {
 		hd.tk.Discard(hd.tk.Issue())
+		hd.dt.Note(&hd.h.ps, hd.tk.InFlight())
 	}
 	return nil
 }
@@ -318,3 +369,69 @@ func (hd *hcHandle) Post(op, arg uint64) error {
 // combiner-path results stay redeemable; registered results move into
 // the ticketed receive's buffer for their Wait.
 func (hd *hcHandle) Flush() { hd.tk.Flush() }
+
+// posLocal marks an ApplyBatch entry resolved on the combiner path (its
+// result is already in results); every real stream position is below it
+// because positions count from zero.
+const posLocal = ^uint64(0)
+
+// ApplyBatch implements Handle: walk the batch registering requests
+// with the current combiner; the first request that fails registration
+// promotes us, and the batch's entire remaining run becomes the round's
+// own run — one DispatchBatch for all of it (line 23 generalized). The
+// registered prefix's responses are collected afterwards in stream
+// order. A batch therefore costs at most one promotion handshake, with
+// the dispatch indirection amortized across the whole remainder.
+func (hd *hcHandle) ApplyBatch(reqs []Req, results []uint64) {
+	if len(reqs) == 0 {
+		return
+	}
+	if len(reqs) == 1 { // a 1-batch is exactly the scalar critical section
+		v := hd.Apply(reqs[0].Op, reqs[0].Arg)
+		if results != nil {
+			results[0] = v
+		}
+		return
+	}
+	if cap(hd.posBuf) < len(reqs) {
+		hd.posBuf = make([]uint64, len(reqs))
+	}
+	pos := hd.posBuf[:len(reqs)]
+	res := results
+	if res == nil {
+		// The combiner path needs somewhere to write. A dedicated
+		// discard buffer, NOT runRets: combineBatch's serveRun reuses
+		// runRets for drained-run responses while the own-run results
+		// are still live in res.
+		if cap(hd.drop) < len(reqs) {
+			hd.drop = make([]uint64, len(reqs))
+		}
+		res = hd.drop[:len(reqs)]
+	}
+
+	i := 0
+	for i < len(reqs) {
+		hd.makeRoom()
+		if hd.acquire(reqs[i].Op, reqs[i].Arg) {
+			pos[i] = hd.tk.Issue()
+			hd.dt.Note(&hd.h.ps, hd.tk.InFlight())
+			i++
+			continue
+		}
+		// Combiner: the rest of the batch is the round's own run.
+		hd.combineBatch(reqs[i:], res[i:len(reqs)])
+		for j := i; j < len(reqs); j++ {
+			pos[j] = posLocal
+		}
+		break
+	}
+	for j, p := range pos {
+		if p == posLocal {
+			continue
+		}
+		v := hd.tk.WaitFor(p).W[0]
+		if results != nil {
+			results[j] = v
+		}
+	}
+}

@@ -11,9 +11,10 @@ import (
 // the protected object and executes every critical section; clients send
 // {id, op, arg} request messages and block on a one-message response
 // queue. The server's receive reads from a local queue and its response
-// send never blocks (each client has at most one outstanding request),
-// so — as on the hardware — no synchronization-related waiting remains
-// on the server's critical path while requests are pending.
+// send never blocks (each client bounds its in-flight requests by its
+// response ring's capacity), so — as on the hardware — no
+// synchronization-related waiting remains on the server's critical path
+// while requests are pending.
 //
 // The transport is role-specialized (the paper's §5 theme that the
 // request/response path must be as lean as the hardware's): the request
@@ -21,8 +22,11 @@ import (
 // the server never CASes) and each response queue is an mpq.Spsc (no
 // atomic read-modify-write at all). The server drains up to MaxOps
 // pending requests per wakeup (capped at 256 per receive by
-// Options.batchLen) with a batched receive, amortizing queue
-// synchronization across the batch exactly like a combiner's round.
+// Options.batchLen) with a batched receive — and hands the whole
+// drained run to the object as ONE DispatchBatch call, scattering the
+// responses to the per-client rings after the call returns. Batching
+// thus amortizes both the queue synchronization (RecvBatch) and the
+// dispatch indirection (DispatchBatch) across the run.
 //
 // MPServer is the construction where asynchronous submission pays off
 // most directly: a request is a message, so a client may keep up to
@@ -33,13 +37,14 @@ import (
 // FIFO completion. A handle bounds its in-flight count by the response
 // ring's capacity, so the server's response send never blocks.
 type MPServer struct {
-	opts     Options
-	dispatch Dispatch
-	reqs     mpq.Queue   // MPSC: any client sends, only serve receives
-	resp     []mpq.Queue // per client, capacity 1, SPSC: server → client
-	nextID   atomic.Int32
-	stopped  atomic.Bool
-	done     chan struct{}
+	opts    Options
+	obj     Object
+	reqs    mpq.Queue   // MPSC: any client sends, only serve receives
+	resp    []mpq.Queue // per client, QueueCap deep, SPSC: server → client
+	nextID  atomic.Int32
+	stopped atomic.Bool
+	done    chan struct{}
+	ps      PipeCounters
 }
 
 // opQuit is an internal opcode that stops the server loop.
@@ -47,14 +52,14 @@ const opQuit = ^uint64(0)
 
 // NewMPServer starts the server goroutine. Close must be called to stop
 // it.
-func NewMPServer(dispatch Dispatch, opts Options) *MPServer {
+func NewMPServer(obj Object, opts Options) *MPServer {
 	opts.fill()
 	s := &MPServer{
-		opts:     opts,
-		dispatch: dispatch,
-		reqs:     opts.newMpscQueue(),
-		resp:     make([]mpq.Queue, opts.MaxThreads),
-		done:     make(chan struct{}),
+		opts: opts,
+		obj:  obj,
+		reqs: opts.newMpscQueue(),
+		resp: make([]mpq.Queue, opts.MaxThreads),
+		done: make(chan struct{}),
 	}
 	for i := range s.resp {
 		// QueueCap deep (not 1): the response ring is the completion
@@ -66,22 +71,37 @@ func NewMPServer(dispatch Dispatch, opts Options) *MPServer {
 	return s
 }
 
-// serve is the server loop: drain a batch of requests per wakeup, then
-// execute and respond. Batching pays the blocking-receive
-// synchronization once for up to batchLen requests; the responses go
-// out as each operation completes, so the first client in a batch is
-// not delayed by the rest.
+// serve is the server loop: drain a batch of requests per wakeup,
+// execute the run as one DispatchBatch, then scatter the responses.
+// Batching pays the blocking-receive synchronization and the dispatch
+// indirection once for up to batchLen requests; the price is that the
+// first client of a run now waits for the whole run before its
+// response goes out — the flat-combining trade the paper's combiners
+// make on every round.
 func (s *MPServer) serve() {
 	defer close(s.done)
 	buf := make([]mpq.Msg, s.opts.batchLen())
+	run := make([]Req, 0, len(buf))
+	rets := make([]uint64, len(buf))
 	for {
 		n := s.reqs.RecvBatch(buf)
+		quit := false
+		run = run[:0]
 		for _, m := range buf[:n] {
 			if m.W[1] == opQuit {
-				return // Close guarantees no requests after opQuit
+				quit = true // Close guarantees no requests after opQuit
+				break
 			}
-			ret := s.dispatch(m.W[1], m.W[2])
-			s.resp[m.W[0]].Send(mpq.Word(ret))
+			run = append(run, Req{Op: m.W[1], Arg: m.W[2]})
+		}
+		if len(run) > 0 {
+			s.obj.DispatchBatch(run, rets[:len(run)])
+			for i, m := range buf[:len(run)] {
+				s.resp[m.W[0]].Send(mpq.Word(rets[i]))
+			}
+		}
+		if quit {
+			return
 		}
 	}
 }
@@ -112,6 +132,9 @@ func (s *MPServer) Close() error {
 	return nil
 }
 
+// Pipeline implements PipelineStats.
+func (s *MPServer) Pipeline() (submitStalls, maxDepth uint64) { return s.ps.Pipeline() }
+
 // mpHandle is one client's pipeline over the server: requests go out on
 // the shared MPSC ring, replies come back on the client's own SPSC ring
 // as a ticketed completion stream. Every submission is ring-bound and
@@ -119,9 +142,11 @@ func (s *MPServer) Close() error {
 // its stream position — no per-ticket bookkeeping beyond the Ticketed
 // adapter.
 type mpHandle struct {
-	s  *MPServer
-	id uint64
-	tk *mpq.Ticketed
+	s   *MPServer
+	id  uint64
+	tk  *mpq.Ticketed
+	dt  DepthTracker
+	pos []uint64 // ApplyBatch stream-position scratch
 }
 
 // submit ships the request, first making room in the pipeline when
@@ -129,10 +154,12 @@ type mpHandle struct {
 // the server's response send non-blocking).
 func (h *mpHandle) submit(op, arg uint64) uint64 {
 	if h.tk.InFlight() >= h.s.opts.QueueCap {
+		h.s.ps.NoteStall()
 		h.tk.Absorb()
 	}
 	pos := h.tk.Issue()
 	h.s.reqs.Send(mpq.Words3(h.id, op, arg))
+	h.dt.Note(&h.s.ps, h.tk.InFlight())
 	return pos
 }
 
@@ -157,13 +184,37 @@ func (h *mpHandle) Wait(t Ticket) uint64 {
 // is marked discarded and dropped on arrival.
 func (h *mpHandle) Post(op, arg uint64) error {
 	if h.tk.InFlight() >= h.s.opts.QueueCap {
+		h.s.ps.NoteStall()
 		h.tk.Absorb()
 	}
 	h.tk.Discard(h.tk.Issue())
 	h.s.reqs.Send(mpq.Words3(h.id, op, arg))
+	h.dt.Note(&h.s.ps, h.tk.InFlight())
 	return nil
 }
 
 // Flush implements Handle: drain the completion stream, banking
 // not-yet-waited results and dropping Post replies.
 func (h *mpHandle) Flush() { h.tk.Flush() }
+
+// ApplyBatch implements Handle: ship the whole batch back-to-back, then
+// collect the replies in stream order. The requests land contiguously
+// on the request ring (interleaved only with other clients'), so the
+// server's drain sees the batch as part of one run and executes it
+// through single DispatchBatch calls; the client pays one round-trip
+// wait for the whole batch instead of one per operation.
+func (h *mpHandle) ApplyBatch(reqs []Req, results []uint64) {
+	if cap(h.pos) < len(reqs) {
+		h.pos = make([]uint64, len(reqs))
+	}
+	pos := h.pos[:len(reqs)]
+	for i, r := range reqs {
+		pos[i] = h.submit(r.Op, r.Arg)
+	}
+	for i := range pos {
+		v := h.tk.WaitFor(pos[i]).W[0]
+		if results != nil {
+			results[i] = v
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import "sync/atomic"
+
+// PipeCounters is the shared implementation of PipelineStats, embedded
+// by the pipelining executors (MPServer, HybComb here; CC-Synch in
+// internal/shmsync). Stalls are counted directly — a stall already
+// pays a blocking receive or a combining round, so one more atomic add
+// is noise — while depth goes through a per-handle DepthTracker so the
+// hot submission path almost never touches the shared maximum.
+type PipeCounters struct {
+	stalls atomic.Uint64
+	depth  atomic.Uint64
+}
+
+// NoteStall records one submission that found the handle's pipeline
+// full and had to absorb or settle an older operation first.
+func (p *PipeCounters) NoteStall() { p.stalls.Add(1) }
+
+// bumpDepth raises the published maximum in-flight depth to d
+// (monotonic CAS max).
+func (p *PipeCounters) bumpDepth(d uint64) {
+	for {
+		cur := p.depth.Load()
+		if d <= cur || p.depth.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// Pipeline implements PipelineStats.
+func (p *PipeCounters) Pipeline() (submitStalls, maxDepth uint64) {
+	return p.stalls.Load(), p.depth.Load()
+}
+
+// DepthTracker keeps one handle's in-flight high-water mark locally so
+// the executor's shared maximum is only CASed when this handle reaches
+// a new personal record — an amortized handful of publishes per handle
+// lifetime instead of one shared-line touch per submission. The zero
+// value is ready; like the handle embedding it, not concurrency-safe.
+type DepthTracker struct{ seen uint64 }
+
+// Note observes the handle's current in-flight depth, publishing to ps
+// only on a new per-handle maximum.
+func (t *DepthTracker) Note(ps *PipeCounters, d int) {
+	if u := uint64(d); u > t.seen {
+		t.seen = u
+		ps.bumpDepth(u)
+	}
+}

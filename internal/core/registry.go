@@ -7,9 +7,12 @@ import (
 	"sync"
 )
 
-// Factory builds one executor instance for a registered algorithm.
-// The Options it receives are already filled with defaults.
-type Factory func(Dispatch, Options) (Executor, error)
+// Factory builds one executor instance for a registered algorithm
+// around the batch-aware Object contract. The Options it receives are
+// already filled with defaults. Legacy scalar dispatches arrive
+// wrapped in Func (New does this), so a factory never distinguishes
+// the two.
+type Factory func(Object, Options) (Executor, error)
 
 var (
 	regMu    sync.RWMutex
@@ -40,8 +43,17 @@ func MustRegister(name string, f Factory) {
 	}
 }
 
-// New constructs the named algorithm around dispatch.
+// New constructs the named algorithm around a legacy scalar dispatch,
+// wrapping it in the Func adapter; NewObject is the batch-aware
+// primary entry point.
 func New(name string, dispatch Dispatch, opts ...Option) (Executor, error) {
+	return NewObject(name, Func(dispatch), opts...)
+}
+
+// NewObject constructs the named algorithm around the batch-aware
+// object: every drained run, combining round or lock-held batch the
+// construction forms reaches obj as one DispatchBatch call.
+func NewObject(name string, obj Object, opts ...Option) (Executor, error) {
 	regMu.RLock()
 	f, ok := registry[name]
 	regMu.RUnlock()
@@ -53,12 +65,21 @@ func New(name string, dispatch Dispatch, opts ...Option) (Executor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return f(dispatch, o)
+	return f(obj, o)
 }
 
 // MustNew is New, panicking on failure.
 func MustNew(name string, dispatch Dispatch, opts ...Option) Executor {
 	e, err := New(name, dispatch, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// MustNewObject is NewObject, panicking on failure.
+func MustNewObject(name string, obj Object, opts ...Option) Executor {
+	e, err := NewObject(name, obj, opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -80,10 +101,10 @@ func Algorithms() []string {
 // The package's own constructions self-register here; shmsync and spin
 // register theirs from their own init functions.
 func init() {
-	MustRegister("mpserver", func(d Dispatch, o Options) (Executor, error) {
-		return NewMPServer(d, o), nil
+	MustRegister("mpserver", func(obj Object, o Options) (Executor, error) {
+		return NewMPServer(obj, o), nil
 	})
-	MustRegister("hybcomb", func(d Dispatch, o Options) (Executor, error) {
-		return NewHybComb(d, o), nil
+	MustRegister("hybcomb", func(obj Object, o Options) (Executor, error) {
+		return NewHybComb(obj, o), nil
 	})
 }

@@ -11,8 +11,8 @@ import (
 // submission pipeline).
 func seqFactory(t *testing.T) ExecFactory {
 	t.Helper()
-	return func(_ int, d core.Dispatch) (core.Executor, error) {
-		return core.New("mpserver", d, core.WithMaxThreads(16))
+	return func(_ int, obj core.Object) (core.Executor, error) {
+		return core.NewObject("mpserver", obj, core.WithMaxThreads(16))
 	}
 }
 
@@ -241,5 +241,65 @@ func TestMapGetAll(t *testing.T) {
 		if got[i] != want {
 			t.Fatalf("GetAll[%d] (key %d) = %#x, want %#x", i, k, got[i], want)
 		}
+	}
+}
+
+// TestMapMultiPut: the batched multi-put returns previous values in
+// input order (EmptyVal for new keys), stores every pair, and a
+// same-batch duplicate key observes the value an earlier entry stored.
+func TestMapMultiPut(t *testing.T) {
+	m, err := NewMap(4, 1024, nil, seqFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	h, err := m.NewHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint32, 64)
+	vals := make([]uint32, 64)
+	for i := range keys {
+		keys[i] = uint32(i)
+		vals[i] = uint32(i * 3)
+	}
+	old, err := h.MultiPut(keys, vals)
+	if err != nil {
+		t.Fatalf("MultiPut: %v", err)
+	}
+	for i := range old {
+		if old[i] != EmptyVal {
+			t.Fatalf("MultiPut[%d] previous = %#x, want EmptyVal (fresh key)", i, old[i])
+		}
+	}
+	// Overwrite with a duplicate inside the batch: index 1 and 2 both
+	// write key 7; the second must observe the first's value.
+	dupKeys := []uint32{5, 7, 7}
+	dupVals := []uint32{50, 70, 71}
+	old, err = h.MultiPut(dupKeys, dupVals)
+	if err != nil {
+		t.Fatalf("MultiPut dup: %v", err)
+	}
+	if old[0] != uint64(5*3) || old[1] != uint64(7*3) || old[2] != 70 {
+		t.Fatalf("MultiPut dup previous = %v, want [15 21 70]", old)
+	}
+	for i, k := range keys {
+		v, err := h.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(vals[i])
+		switch k {
+		case 5:
+			want = 50
+		case 7:
+			want = 71
+		}
+		if v != want {
+			t.Fatalf("Get(%d) = %d, want %d after MultiPut", k, v, want)
+		}
+	}
+	if _, err := h.MultiPut([]uint32{1}, []uint32{1, 2}); err == nil {
+		t.Fatal("MultiPut with mismatched lengths did not fail")
 	}
 }

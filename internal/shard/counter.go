@@ -3,6 +3,7 @@ package shard
 import (
 	"unsafe"
 
+	"hybsync/internal/core"
 	"hybsync/internal/pad"
 )
 
@@ -32,23 +33,34 @@ type Counter struct {
 	vals []ctrSlot
 }
 
+// ctrObject is the counter's native KeyedObject: a run against one
+// shard reads the partition once, applies the whole run against the
+// locally-held value, and writes it back — no per-operation dispatch
+// indirection and no per-operation reload of the shared word.
+type ctrObject struct{ c *Counter }
+
+func (o ctrObject) DispatchShardBatch(shard int, reqs []core.Req, results []uint64) {
+	s := &o.c.vals[shard]
+	v := s.v
+	for i, r := range reqs {
+		switch r.Op {
+		case ctrOpInc:
+			results[i] = v
+			v++
+		case ctrOpRead:
+			results[i] = v
+		default:
+			panic("shard: bad counter opcode")
+		}
+	}
+	s.v = v
+}
+
 // NewCounter builds the sharded counter over nshards executors made by
 // f, routing with part (nil = Fibonacci).
 func NewCounter(nshards int, part Partitioner, f ExecFactory) (*Counter, error) {
 	c := &Counter{vals: make([]ctrSlot, max(nshards, 1))}
-	r, err := NewRouter(nshards, func(shard int, op, arg uint64) uint64 {
-		s := &c.vals[shard]
-		switch op {
-		case ctrOpInc:
-			v := s.v
-			s.v++
-			return v
-		case ctrOpRead:
-			return s.v
-		default:
-			panic("shard: bad counter opcode")
-		}
-	}, part, f)
+	r, err := NewObjectRouter(nshards, ctrObject{c: c}, part, f)
 	if err != nil {
 		return nil, err
 	}
@@ -85,6 +97,13 @@ func (c *Counter) Occupancy() []uint64 { return c.r.Occupancy() }
 // Stats reports the summed combining statistics of the shard executors
 // when any of them keeps such statistics; read only at quiescence.
 func (c *Counter) Stats() (rounds, combined uint64, ok bool) { return c.r.CombiningStats() }
+
+// Pipeline reports the aggregated backpressure counters of the shard
+// executors when any of them keeps such counters (ok false otherwise);
+// read only at pipeline quiescence.
+func (c *Counter) Pipeline() (submitStalls, maxDepth uint64, ok bool) {
+	return c.r.PipelineCounters()
+}
 
 // CounterHandle is a goroutine's capability to use the sharded counter.
 type CounterHandle struct {

@@ -65,7 +65,7 @@ func NewMap(nshards, capacity int, part Partitioner, f ExecFactory) (*Map, error
 			capacity, core.ErrBadOption)
 	}
 	m := &Map{}
-	r, err := NewRouter(nshards, m.dispatch, part, f)
+	r, err := NewObjectRouter(nshards, mapObject{m: m}, part, f)
 	if err != nil {
 		return nil, err
 	}
@@ -91,23 +91,30 @@ func nextPow2(n int) int {
 	return p
 }
 
-// dispatch executes one decoded operation against shard's table; it
-// runs in that shard's critical section.
-func (m *Map) dispatch(shard int, op, arg uint64) uint64 {
-	s := &m.shards[shard]
-	key := uint32(arg >> 32)
-	val := uint32(arg)
-	switch op {
-	case mapOpPut:
-		return s.put(key, val)
-	case mapOpGet:
-		return s.get(key)
-	case mapOpDel:
-		return s.del(key)
-	case mapOpLen:
-		return s.live
-	default:
-		panic("shard: bad map opcode")
+// mapObject is the map's native KeyedObject: a run against one shard
+// resolves the table pointer once and walks the run's decoded
+// operations against it directly — same-shard keys grouped by
+// MultiApply (GetAll, MultiPut) execute with no per-key dispatch
+// indirection.
+type mapObject struct{ m *Map }
+
+func (o mapObject) DispatchShardBatch(shard int, reqs []core.Req, results []uint64) {
+	s := &o.m.shards[shard]
+	for i, r := range reqs {
+		key := uint32(r.Arg >> 32)
+		val := uint32(r.Arg)
+		switch r.Op {
+		case mapOpPut:
+			results[i] = s.put(key, val)
+		case mapOpGet:
+			results[i] = s.get(key)
+		case mapOpDel:
+			results[i] = s.del(key)
+		case mapOpLen:
+			results[i] = s.live
+		default:
+			panic("shard: bad map opcode")
+		}
 	}
 }
 
@@ -209,6 +216,13 @@ func (m *Map) Occupancy() []uint64 { return m.r.Occupancy() }
 // when any keeps them; read only at quiescence.
 func (m *Map) Stats() (rounds, combined uint64, ok bool) { return m.r.CombiningStats() }
 
+// Pipeline reports the aggregated backpressure counters of the shard
+// executors when any of them keeps such counters (ok false otherwise);
+// read only at pipeline quiescence.
+func (m *Map) Pipeline() (submitStalls, maxDepth uint64, ok bool) {
+	return m.r.PipelineCounters()
+}
+
 // Len reads the live-entry count; call only at quiescence (use a
 // handle's Len for a concurrent per-shard-linearizable read).
 func (m *Map) Len() uint64 {
@@ -251,8 +265,10 @@ func (h *MapHandle) Len() (uint64, error) { return h.h.Aggregate(mapOpLen, 0) }
 // absent keys) in input order. All lookups are submitted before any is
 // waited on, so keys living on different shards are served
 // concurrently — one round of cross-shard overlap instead of
-// len(keys) sequential round trips. Each lookup linearizes on its own
-// shard; the batch is not an atomic snapshot.
+// len(keys) sequential round trips — and MultiApply's shard grouping
+// lands same-shard keys as one contiguous run, executed by the shard
+// through single batch calls. Each lookup linearizes on its own shard;
+// the batch is not an atomic snapshot.
 func (h *MapHandle) GetAll(keys []uint32) ([]uint64, error) {
 	ks := make([]uint64, len(keys))
 	args := make([]uint64, len(keys))
@@ -261,4 +277,25 @@ func (h *MapHandle) GetAll(keys []uint32) ([]uint64, error) {
 		args[i] = packArg(k, 0)
 	}
 	return h.h.MultiApply(mapOpGet, ks, args)
+}
+
+// MultiPut stores keys[i]→vals[i] for every i and returns the previous
+// values in input order (EmptyVal for new keys, FullVal where a key's
+// shard is at capacity) — GetAll's write-side mirror, riding the same
+// shard-grouped MultiApply: one overlapped cross-shard round, with
+// same-shard puts batched into single dispatch calls. A duplicate key
+// later in the batch observes the value an earlier entry stored (puts
+// execute in batch order per shard); the batch is not atomic across
+// shards.
+func (h *MapHandle) MultiPut(keys, vals []uint32) ([]uint64, error) {
+	if len(vals) != len(keys) {
+		return nil, fmt.Errorf("shard: MultiPut: %d keys but %d vals", len(keys), len(vals))
+	}
+	ks := make([]uint64, len(keys))
+	args := make([]uint64, len(keys))
+	for i, k := range keys {
+		ks[i] = uint64(k)
+		args[i] = packArg(k, vals[i])
+	}
+	return h.h.MultiApply(mapOpPut, ks, args)
 }

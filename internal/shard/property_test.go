@@ -152,8 +152,8 @@ func TestCloseFanOutIdempotent(t *testing.T) {
 		t.Run(algo, func(t *testing.T) {
 			var execs []core.Executor
 			r, err := NewRouter(3, func(shard int, op, arg uint64) uint64 { return 0 }, nil,
-				func(_ int, d core.Dispatch) (core.Executor, error) {
-					ex, err := core.New(algo, d)
+				func(_ int, obj core.Object) (core.Executor, error) {
+					ex, err := core.NewObject(algo, obj)
 					if err == nil {
 						execs = append(execs, ex)
 					}

@@ -27,13 +27,48 @@ import (
 // partition of the protected object. For a given shard it is always
 // invoked in mutual exclusion (by that shard's executor); calls for
 // different shards run concurrently, so partitions must not share
-// mutable state.
+// mutable state. KeyedDispatch is the legacy scalar contract; the
+// router itself runs on KeyedObject and wraps a KeyedDispatch with
+// KeyedFunc.
 type KeyedDispatch func(shard int, op, arg uint64) uint64
 
-// ExecFactory builds the executor protecting one shard. Receiving the
-// shard index lets callers mix algorithms across shards (ablation) or
-// size shards differently.
-type ExecFactory func(shard int, d core.Dispatch) (core.Executor, error)
+// KeyedObject is the batch-aware sharded execution contract, the
+// sharded equivalent of core.Object: DispatchShardBatch executes a
+// whole run of requests against shard's partition in one
+// mutual-exclusion call of that shard's executor. Calls for different
+// shards run concurrently, so partitions must not share mutable state;
+// the aliasing rules are core.Object's (neither slice retained, no
+// overlap, len(results) == len(reqs)).
+type KeyedObject interface {
+	DispatchShardBatch(shard int, reqs []core.Req, results []uint64)
+}
+
+// KeyedFunc adapts a legacy KeyedDispatch into a KeyedObject that
+// executes a batch by looping.
+type KeyedFunc func(shard int, op, arg uint64) uint64
+
+// DispatchShardBatch implements KeyedObject.
+func (f KeyedFunc) DispatchShardBatch(shard int, reqs []core.Req, results []uint64) {
+	for i, r := range reqs {
+		results[i] = f(shard, r.Op, r.Arg)
+	}
+}
+
+// shardView presents one shard's slice of a KeyedObject as a
+// core.Object for that shard's executor.
+type shardView struct {
+	obj   KeyedObject
+	shard int
+}
+
+func (v shardView) DispatchBatch(reqs []core.Req, results []uint64) {
+	v.obj.DispatchShardBatch(v.shard, reqs, results)
+}
+
+// ExecFactory builds the executor protecting one shard around that
+// shard's view of the object. Receiving the shard index lets callers
+// mix algorithms across shards (ablation) or size shards differently.
+type ExecFactory func(shard int, obj core.Object) (core.Executor, error)
 
 // occSlot is a per-shard operation counter padded to a cache line so
 // shards do not false-share occupancy updates.
@@ -56,14 +91,26 @@ type Router struct {
 
 // NewRouter builds a router over nshards executors made by f, routing
 // keys with part (nil selects Fibonacci). Dispatch d receives the shard
-// index alongside the operation. Executors already built are closed
-// again if a later shard's factory fails.
+// index alongside the operation; it is wrapped in KeyedFunc, so
+// NewObjectRouter is the batch-aware primary constructor.
 func NewRouter(nshards int, d KeyedDispatch, part Partitioner, f ExecFactory) (*Router, error) {
+	if d == nil {
+		return nil, fmt.Errorf("shard: NewRouter needs a dispatch and an executor factory")
+	}
+	return NewObjectRouter(nshards, KeyedFunc(d), part, f)
+}
+
+// NewObjectRouter builds a router over nshards executors made by f,
+// executing against the batch-aware obj: every run a shard's executor
+// forms reaches obj as one DispatchShardBatch call for that shard.
+// Keys route with part (nil selects Fibonacci). Executors already
+// built are closed again if a later shard's factory fails.
+func NewObjectRouter(nshards int, obj KeyedObject, part Partitioner, f ExecFactory) (*Router, error) {
 	if nshards <= 0 {
 		return nil, fmt.Errorf("shard: NewRouter(%d): shard count must be positive: %w",
 			nshards, core.ErrBadOption)
 	}
-	if d == nil || f == nil {
+	if obj == nil || f == nil {
 		return nil, fmt.Errorf("shard: NewRouter needs a dispatch and an executor factory")
 	}
 	if part == nil {
@@ -75,8 +122,7 @@ func NewRouter(nshards int, d KeyedDispatch, part Partitioner, f ExecFactory) (*
 		occ:   make([]occSlot, nshards),
 	}
 	for s := 0; s < nshards; s++ {
-		shard := s
-		ex, err := f(shard, func(op, arg uint64) uint64 { return d(shard, op, arg) })
+		ex, err := f(s, shardView{obj: obj, shard: s})
 		if err != nil {
 			for _, built := range r.execs[:s] {
 				built.Close()
@@ -150,6 +196,33 @@ func (r *Router) CombiningStats() (rounds, combined uint64, ok bool) {
 	return rounds, combined, ok
 }
 
+// Pipeline implements core.PipelineStats by aggregating the shards
+// whose executors keep pipeline counters: stalls sum, the maximum
+// depth is the max across shards. Shards without counters contribute
+// nothing. Read only at pipeline quiescence, like the per-executor
+// counters.
+func (r *Router) Pipeline() (submitStalls, maxDepth uint64) {
+	submitStalls, maxDepth, _ = r.PipelineCounters()
+	return submitStalls, maxDepth
+}
+
+// PipelineCounters is Pipeline plus ok, which is false when no shard's
+// executor keeps pipeline counters — distinguishing "measured and
+// unstalled" from "nothing measures" (mirroring CombiningStats).
+func (r *Router) PipelineCounters() (submitStalls, maxDepth uint64, ok bool) {
+	for _, e := range r.execs {
+		if p, isSource := e.(core.PipelineStats); isSource {
+			st, d := p.Pipeline()
+			submitStalls += st
+			if d > maxDepth {
+				maxDepth = d
+			}
+			ok = true
+		}
+	}
+	return submitStalls, maxDepth, ok
+}
+
 // Occupancy returns a snapshot of how many operations each shard has
 // been handed — the skew profile of the workload. Apply counts an
 // operation when it completes, Submit and Post when they submit. It may
@@ -177,6 +250,13 @@ func (r *Router) Occupancy() []uint64 {
 type Handle struct {
 	r  *Router
 	hs []core.Handle // lazily opened, one per touched shard
+
+	// MultiApply's counting-sort scratch, reused across calls (the
+	// handle is single-goroutine, so the buffers never alias a live
+	// call).
+	maShards []int
+	maCounts []int
+	maOrder  []int
 }
 
 // Ticket identifies one outstanding asynchronous operation submitted
@@ -284,32 +364,82 @@ func (h *Handle) Flush() {
 // returns the results in input order. Every operation is submitted
 // before any is waited on, so operations routed to different shards
 // execute concurrently — the cross-shard overlap a sequence of Apply
-// calls cannot get. args may be nil (every operation gets argument 0);
-// otherwise len(args) must equal len(keys). On a submission error the
-// already-submitted operations are waited out before returning, so the
-// handle is left with nothing in flight.
+// calls cannot get. Submissions are grouped by destination shard
+// (stable within a group), so each shard's transport receives its
+// group as one contiguous run and a batch-aware executor hands it to
+// the object through single DispatchShardBatch calls instead of one
+// indirect call per key. args may be nil (every operation gets
+// argument 0); otherwise len(args) must equal len(keys). On a
+// submission error the already-submitted operations are waited out
+// before returning, so the handle is left with nothing in flight.
 func (h *Handle) MultiApply(op uint64, keys, args []uint64) ([]uint64, error) {
 	if args != nil && len(args) != len(keys) {
 		return nil, fmt.Errorf("shard: MultiApply: %d keys but %d args", len(keys), len(args))
 	}
-	tickets := make([]Ticket, len(keys))
+	if len(keys) == 0 {
+		return []uint64{}, nil
+	}
+	if len(keys) == 1 { // nothing to group or overlap
+		var a uint64
+		if args != nil {
+			a = args[0]
+		}
+		v, err := h.Apply(keys[0], op, a)
+		if err != nil {
+			return nil, err
+		}
+		return []uint64{v}, nil
+	}
+	// order holds the input indices sorted by shard, built with a
+	// counting sort over the shard histogram (stable, no comparison
+	// sort); the scratch lives on the handle so the hot path does not
+	// allocate. counts doubles as the running start offsets.
+	if cap(h.maShards) < len(keys) {
+		h.maShards = make([]int, len(keys))
+		h.maOrder = make([]int, len(keys))
+	}
+	if h.maCounts == nil {
+		h.maCounts = make([]int, len(h.hs))
+	}
+	shards := h.maShards[:len(keys)]
+	counts := h.maCounts
+	for s := range counts {
+		counts[s] = 0
+	}
 	for i, key := range keys {
+		s := h.r.ShardFor(key)
+		shards[i] = s
+		counts[s]++
+	}
+	sum := 0
+	for s, c := range counts {
+		counts[s] = sum
+		sum += c
+	}
+	order := h.maOrder[:len(keys)]
+	for i, s := range shards {
+		order[counts[s]] = i
+		counts[s]++
+	}
+
+	tickets := make([]Ticket, len(keys))
+	for n, i := range order {
 		var a uint64
 		if args != nil {
 			a = args[i]
 		}
-		t, err := h.Submit(key, op, a)
+		t, err := h.SubmitShard(shards[i], op, a)
 		if err != nil {
-			for _, tt := range tickets[:i] {
-				h.Wait(tt)
+			for _, m := range order[:n] {
+				h.Wait(tickets[m])
 			}
 			return nil, err
 		}
 		tickets[i] = t
 	}
-	out := make([]uint64, len(tickets))
-	for i, t := range tickets {
-		out[i] = h.Wait(t)
+	out := make([]uint64, len(keys))
+	for _, i := range order {
+		out[i] = h.Wait(tickets[i])
 	}
 	return out, nil
 }

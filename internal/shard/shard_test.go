@@ -9,8 +9,8 @@ import (
 
 // coreFactory builds every shard over the named core algorithm.
 func coreFactory(algo string, opts ...core.Option) ExecFactory {
-	return func(_ int, d core.Dispatch) (core.Executor, error) {
-		return core.New(algo, d, opts...)
+	return func(_ int, obj core.Object) (core.Executor, error) {
+		return core.NewObject(algo, obj, opts...)
 	}
 }
 
@@ -242,11 +242,11 @@ func TestRouterFactoryFailureClosesBuiltShards(t *testing.T) {
 	var built []core.Executor
 	boom := errors.New("boom")
 	_, err := NewRouter(3, func(shard int, op, arg uint64) uint64 { return 0 }, nil,
-		func(s int, d core.Dispatch) (core.Executor, error) {
+		func(s int, obj core.Object) (core.Executor, error) {
 			if s == 2 {
 				return nil, boom
 			}
-			ex, err := core.New("mpserver", d)
+			ex, err := core.NewObject("mpserver", obj)
 			if err == nil {
 				built = append(built, ex)
 			}

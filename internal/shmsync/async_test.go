@@ -23,7 +23,7 @@ func seqDispatch() (core.Dispatch, *uint64) {
 // combiner duty for its own deferred cells.
 func TestCCSynchSubmitWaitFIFO(t *testing.T) {
 	d, state := seqDispatch()
-	c := NewCCSynch(d, 4) // tiny MaxOps: rounds split, duty moves around
+	c := NewCCSynch(core.Func(d), 4) // tiny MaxOps: rounds split, duty moves around
 	defer c.Close()
 	h, err := c.NewHandle()
 	if err != nil {
@@ -51,7 +51,7 @@ func TestCCSynchSubmitWaitFIFO(t *testing.T) {
 // Wait serves the earlier chain cells as combiner where needed.
 func TestCCSynchOutOfOrderWait(t *testing.T) {
 	d, _ := seqDispatch()
-	c := NewCCSynch(d, 200)
+	c := NewCCSynch(core.Func(d), 200)
 	defer c.Close()
 	h, err := c.NewHandle()
 	if err != nil {
@@ -75,7 +75,7 @@ func TestCCSynchOutOfOrderWait(t *testing.T) {
 // settles old cells as it goes; Flush completes the rest.
 func TestCCSynchPostFlushDepth(t *testing.T) {
 	d, state := seqDispatch()
-	c := NewCCSynch(d, 8)
+	c := NewCCSynch(core.Func(d), 8)
 	c.depth = 4
 	defer c.Close()
 	h, err := c.NewHandle()
@@ -99,7 +99,7 @@ func TestCCSynchPostFlushDepth(t *testing.T) {
 // foreign handles could hold another pipeline's combiner duty).
 func TestCCSynchConcurrentPipelines(t *testing.T) {
 	d, state := seqDispatch()
-	c := NewCCSynch(d, 6)
+	c := NewCCSynch(core.Func(d), 6)
 	defer c.Close()
 	const goroutines, per, depth = 4, 250, 5
 	var wg sync.WaitGroup
@@ -147,7 +147,7 @@ func TestCCSynchConcurrentPipelines(t *testing.T) {
 // then Apply.
 func TestCCSynchApplyAfterSubmit(t *testing.T) {
 	d, state := seqDispatch()
-	c := NewCCSynch(d, 200)
+	c := NewCCSynch(core.Func(d), 200)
 	defer c.Close()
 	h, err := c.NewHandle()
 	if err != nil {
@@ -176,7 +176,7 @@ func TestCCSynchApplyAfterSubmit(t *testing.T) {
 // results are still matched to tickets and Post/Flush work.
 func TestSHMServerImmediate(t *testing.T) {
 	d, state := seqDispatch()
-	s := NewSHMServer(d, 4)
+	s := NewSHMServer(core.Func(d), 4)
 	defer s.Close()
 	h, err := s.NewHandle()
 	if err != nil {

@@ -19,13 +19,13 @@ import (
 // The package's constructions self-register with the core registry so
 // hybsync.New can build them by name.
 func init() {
-	core.MustRegister("ccsynch", func(d core.Dispatch, o core.Options) (core.Executor, error) {
-		c := NewCCSynch(d, o.MaxOps)
+	core.MustRegister("ccsynch", func(obj core.Object, o core.Options) (core.Executor, error) {
+		c := NewCCSynch(obj, o.MaxOps)
 		c.depth = o.QueueCap
 		return c, nil
 	})
-	core.MustRegister("shmserver", func(d core.Dispatch, o core.Options) (core.Executor, error) {
-		return NewSHMServer(d, o.MaxThreads), nil
+	core.MustRegister("shmserver", func(obj core.Object, o core.Options) (core.Executor, error) {
+		return NewSHMServer(obj, o.MaxThreads), nil
 	})
 }
 
@@ -33,7 +33,11 @@ func init() {
 // algorithm: threads SWAP their spare node onto a shared tail to publish
 // a request, spin locally on their node's wait flag, and the thread
 // whose wait clears with completed unset becomes the combiner, serving
-// up to MaxOps requests along the list.
+// up to MaxOps requests along the list. The combiner walks its chain
+// segment into a reusable request batch and executes each run as one
+// DispatchBatch call against the object (chunked at ccRunCap),
+// releasing the served cells after the run — the dispatch analogue of
+// the message-passing constructions' batched receives.
 //
 // Asynchronous submission publishes the request cell without spinning:
 // each outstanding operation holds its own node (pooled per handle, up
@@ -50,14 +54,15 @@ func init() {
 // concurrently, not sequentially, since one handle's unflushed cell can
 // hold the duty another handle's Flush is spinning on.
 type CCSynch struct {
-	dispatch core.Dispatch
-	tail     atomic.Pointer[ccNode]
-	maxOps   int32
-	depth    int // per-handle in-flight bound (Options.QueueCap)
-	closed   atomic.Bool
+	obj    core.Object
+	tail   atomic.Pointer[ccNode]
+	maxOps int32
+	depth  int // per-handle in-flight bound (Options.QueueCap)
+	closed atomic.Bool
 
 	rounds   atomic.Uint64
 	combined atomic.Uint64
+	ps       core.PipeCounters
 }
 
 // ccNodeHot is a request cell's live fields; every thread spins on its
@@ -80,11 +85,11 @@ type ccNode struct {
 
 // NewCCSynch creates the structure with the given combining bound
 // (<=0 means the paper's 200).
-func NewCCSynch(dispatch core.Dispatch, maxOps int32) *CCSynch {
+func NewCCSynch(obj core.Object, maxOps int32) *CCSynch {
 	if maxOps <= 0 {
 		maxOps = 200
 	}
-	c := &CCSynch{dispatch: dispatch, maxOps: maxOps, depth: 39}
+	c := &CCSynch{obj: obj, maxOps: maxOps, depth: 39}
 	c.tail.Store(&ccNode{}) // initial dummy: wait=false, completed=false
 	return c
 }
@@ -106,9 +111,13 @@ func (c *CCSynch) Close() error {
 }
 
 // Stats returns combining rounds and requests combined for others.
+// Read only at pipeline quiescence (every handle flushed).
 func (c *CCSynch) Stats() (rounds, combined uint64) {
 	return c.rounds.Load(), c.combined.Load()
 }
+
+// Pipeline implements core.PipelineStats.
+func (c *CCSynch) Pipeline() (submitStalls, maxDepth uint64) { return c.ps.Pipeline() }
 
 // ccOp is one outstanding asynchronous operation: the chain cell whose
 // wait flag will clear when the operation is served (or when its owner
@@ -123,11 +132,26 @@ type ccHandle struct {
 	node *ccNode   // thread-local spare node (nil while loaned to the chain)
 	free []*ccNode // reclaimed spares beyond node
 
+	// Combiner-side batch scratch: the chain segment being served, its
+	// requests and their results (chunked at ccRunCap); bcells is the
+	// submission side's published-cell scratch for ApplyBatch.
+	cells  []*ccNode
+	creqs  []core.Req
+	crets  []uint64
+	bcells []*ccNode
+
+	dt   core.DepthTracker
 	seq  uint64          // next ticket sequence number
 	ops  map[uint64]ccOp // outstanding submissions (nil until first Submit)
 	fifo []uint64        // submission order of outstanding seqs (lazily pruned)
 	res  map[uint64]uint64
+	sqs  []uint64 // ApplyBatch sequence scratch
 }
+
+// ccRunCap bounds one DispatchBatch run while combining, matching the
+// message-passing constructions' receive-buffer cap: a chain of up to
+// MaxOps cells is served in runs of at most this many.
+const ccRunCap = 256
 
 // takeSpare hands out a free node for the next swap onto the chain,
 // growing the pool when every node is in flight.
@@ -169,6 +193,31 @@ func (h *ccHandle) publish(op, arg uint64) *ccNode {
 	return cur
 }
 
+// flushRun executes the collected chain segment as one DispatchBatch
+// and releases every served cell; the combiner's own cell cur is not
+// released (its result is returned through myRet instead).
+func (h *ccHandle) flushRun(cur *ccNode, myRet *uint64) {
+	if len(h.cells) == 0 {
+		return
+	}
+	if cap(h.crets) < len(h.cells) {
+		h.crets = make([]uint64, len(h.cells))
+	}
+	rets := h.crets[:len(h.cells)]
+	h.c.obj.DispatchBatch(h.creqs, rets)
+	for i, cell := range h.cells {
+		if cell == cur {
+			*myRet = rets[i]
+			continue
+		}
+		cell.ret = rets[i]
+		cell.completed = true
+		cell.wait.Store(false)
+	}
+	h.cells = h.cells[:0]
+	h.creqs = h.creqs[:0]
+}
+
 // completeCell spins locally on the cell and combines if the round's
 // combiner handed us the duty; the caller owns the cell's reclaim.
 func (h *ccHandle) completeCell(cur *ccNode) uint64 {
@@ -181,7 +230,11 @@ func (h *ccHandle) completeCell(cur *ccNode) uint64 {
 		return cur.ret
 	}
 
-	// Combiner: serve the chain starting at our own request.
+	// Combiner: walk the chain starting at our own request, collecting
+	// each run of published cells into a reusable batch and executing
+	// it as one DispatchBatch (chunked at ccRunCap). Cells release
+	// after their run executes — followers wait for the run, the
+	// flat-combining trade for amortizing the dispatch indirection.
 	tmp := cur
 	var count int32
 	var myRet uint64
@@ -191,16 +244,14 @@ func (h *ccHandle) completeCell(cur *ccNode) uint64 {
 			break
 		}
 		count++
-		ret := c.dispatch(tmp.op, tmp.arg)
-		if tmp == cur {
-			myRet = ret
-		} else {
-			tmp.ret = ret
-			tmp.completed = true
-			tmp.wait.Store(false)
+		h.cells = append(h.cells, tmp)
+		h.creqs = append(h.creqs, core.Req{Op: tmp.op, Arg: tmp.arg})
+		if len(h.cells) == ccRunCap {
+			h.flushRun(cur, &myRet)
 		}
 		tmp = next
 	}
+	h.flushRun(cur, &myRet)
 	// Hand over: the owner of tmp wakes with completed=false and combines.
 	tmp.wait.Store(false)
 	c.rounds.Add(1)
@@ -271,6 +322,7 @@ func (h *ccHandle) settleOldest() {
 // oldest outstanding operation when depth cells are already in flight.
 func (h *ccHandle) submitOp(op, arg uint64, discard bool) uint64 {
 	if len(h.ops) >= h.c.depth {
+		h.c.ps.NoteStall()
 		h.settleOldest()
 	}
 	cell := h.publish(op, arg)
@@ -281,6 +333,7 @@ func (h *ccHandle) submitOp(op, arg uint64, discard bool) uint64 {
 	h.seq++
 	h.ops[seq] = ccOp{cell: cell, discard: discard}
 	h.fifo = append(h.fifo, seq)
+	h.dt.Note(&h.c.ps, len(h.ops))
 	return seq
 }
 
@@ -342,4 +395,67 @@ func (h *ccHandle) Flush() {
 		h.settleOldest()
 	}
 	h.fifo = h.fifo[:0]
+}
+
+// ApplyBatch implements core.Handle: publish a cell per request —
+// submission order, so the cells form a contiguous-per-handle chain
+// segment — then complete them in order. Whichever cell inherits
+// combiner duty serves the chain (our remaining cells included) through
+// single DispatchBatch runs, so the batch typically costs one spin-wait
+// and one dispatch call instead of one per operation.
+//
+// With asynchronous submissions outstanding the batch must compose
+// through the pipeline (submitOp/Wait — an older unwaited cell may
+// hold dormant combiner duty, exactly the Apply hazard); with nothing
+// outstanding it publishes straight cells with none of the pipeline's
+// ticket bookkeeping, chunked at the handle's depth bound.
+func (h *ccHandle) ApplyBatch(reqs []core.Req, results []uint64) {
+	if len(reqs) == 0 {
+		return
+	}
+	if len(reqs) == 1 { // a 1-batch is exactly the scalar critical section
+		v := h.Apply(reqs[0].Op, reqs[0].Arg)
+		if results != nil {
+			results[0] = v
+		}
+		return
+	}
+	if len(h.ops) != 0 {
+		if cap(h.sqs) < len(reqs) {
+			h.sqs = make([]uint64, len(reqs))
+		}
+		sqs := h.sqs[:len(reqs)]
+		for i, r := range reqs {
+			sqs[i] = h.submitOp(r.Op, r.Arg, false)
+		}
+		for i, seq := range sqs {
+			v := h.Wait(core.NewTicket(seq))
+			if results != nil {
+				results[i] = v
+			}
+		}
+		return
+	}
+	depth := h.c.depth
+	for start := 0; start < len(reqs); start += depth {
+		chunk := reqs[start:]
+		if len(chunk) > depth {
+			chunk = chunk[:depth]
+		}
+		if cap(h.bcells) < len(chunk) {
+			h.bcells = make([]*ccNode, len(chunk))
+		}
+		cells := h.bcells[:len(chunk)]
+		for i, r := range chunk {
+			cells[i] = h.publish(r.Op, r.Arg)
+		}
+		// Completing the first cell combines the whole published
+		// segment (one DispatchBatch run); the rest wake completed.
+		for i, cell := range cells {
+			v := h.complete(cell)
+			if results != nil {
+				results[start+i] = v
+			}
+		}
+	}
 }

@@ -15,17 +15,18 @@ import (
 // arg} there and spins until the server writes back the result. A
 // dedicated server goroutine scans the slots round-robin — each sweep
 // is a batched receive in the same sense as MPServer's drain: every
-// pending request found in one pass is served before the server checks
-// for idleness, and an idle server backs off (spin → yield → sleep)
-// instead of burning its core. This is message passing emulated over
-// coherent shared memory — the baseline whose per-request coherence
-// misses MP-SERVER eliminates.
+// run of consecutive occupied slots found in one pass is gathered and
+// executed as ONE DispatchBatch call before the results are written
+// back and the slots released, and an idle server backs off (spin →
+// yield → sleep) instead of burning its core. This is message passing
+// emulated over coherent shared memory — the baseline whose
+// per-request coherence misses MP-SERVER eliminates.
 type SHMServer struct {
-	dispatch core.Dispatch
-	slots    []shmSlot
-	nextID   atomic.Int32
-	stop     atomic.Bool
-	done     chan struct{}
+	obj    core.Object
+	slots  []shmSlot
+	nextID atomic.Int32
+	stop   atomic.Bool
+	done   chan struct{}
 }
 
 // shmSlotHot is one client channel: req holds op+1 (0 = empty). The
@@ -45,14 +46,14 @@ type shmSlot struct {
 
 // NewSHMServer starts the polling server goroutine for up to maxClients
 // clients. Close must be called to stop it.
-func NewSHMServer(dispatch core.Dispatch, maxClients int) *SHMServer {
+func NewSHMServer(obj core.Object, maxClients int) *SHMServer {
 	if maxClients <= 0 {
 		maxClients = 128
 	}
 	s := &SHMServer{
-		dispatch: dispatch,
-		slots:    make([]shmSlot, maxClients),
-		done:     make(chan struct{}),
+		obj:   obj,
+		slots: make([]shmSlot, maxClients),
+		done:  make(chan struct{}),
 	}
 	go s.serve()
 	return s
@@ -63,18 +64,40 @@ func (s *SHMServer) serve() {
 	// Each idle re-check is a full slot sweep, so skip the pure-spin
 	// phase: yield to the clients immediately, then escalate to sleep.
 	idle := backoff.Yielding()
+	// A sweep gathers each run of consecutive occupied slots into one
+	// batch; a gap in the scan (or the end of the sweep) flushes the
+	// run as a single DispatchBatch, then writes the results back and
+	// releases the slots. Contended neighbours thus amortize the
+	// dispatch indirection while a lone client still gets a 1-batch.
+	pend := make([]*shmSlot, 0, len(s.slots))
+	reqs := make([]core.Req, 0, len(s.slots))
+	rets := make([]uint64, len(s.slots))
+	flush := func() {
+		if len(pend) == 0 {
+			return
+		}
+		s.obj.DispatchBatch(reqs, rets[:len(reqs)])
+		for i, slot := range pend {
+			slot.ret = rets[i]
+			slot.req.Store(0) // release: the client observes ret before this
+		}
+		pend = pend[:0]
+		reqs = reqs[:0]
+	}
 	for {
 		served := false
 		for i := range s.slots {
 			slot := &s.slots[i]
 			req := slot.req.Load()
 			if req == 0 {
+				flush() // end of a consecutive occupied run
 				continue
 			}
-			slot.ret = s.dispatch(req-1, slot.arg)
-			slot.req.Store(0) // release: the client observes ret before this
+			pend = append(pend, slot)
+			reqs = append(reqs, core.Req{Op: req - 1, Arg: slot.arg})
 			served = true
 		}
+		flush()
 		if !served {
 			if s.stop.Load() {
 				return
@@ -144,3 +167,16 @@ func (h *shmHandle) Post(op, arg uint64) error {
 // Flush implements core.Handle: every submission completed at Submit
 // time, so there is never anything in flight.
 func (h *shmHandle) Flush() {}
+
+// ApplyBatch implements core.Handle by looping: a client owns exactly
+// one request slot, so its own batch cannot travel together — batches
+// form server-side instead, across clients, when the sweep finds
+// consecutive occupied slots.
+func (h *shmHandle) ApplyBatch(reqs []core.Req, results []uint64) {
+	for i, r := range reqs {
+		v := h.Apply(r.Op, r.Arg)
+		if results != nil {
+			results[i] = v
+		}
+	}
+}

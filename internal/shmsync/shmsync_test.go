@@ -12,11 +12,11 @@ import (
 
 func TestCCSynchSequential(t *testing.T) {
 	var state uint64
-	c := NewCCSynch(func(op, arg uint64) uint64 {
+	c := NewCCSynch(core.Func(func(op, arg uint64) uint64 {
 		old := state
 		state += arg
 		return old
-	}, 200)
+	}), 200)
 	h := core.MustHandle(c)
 	if got := h.Apply(0, 5); got != 0 {
 		t.Fatalf("Apply = %d, want 0", got)
@@ -32,11 +32,11 @@ func TestCCSynchSequential(t *testing.T) {
 func TestCCSynchConcurrent(t *testing.T) {
 	for _, maxOps := range []int32{1, 3, 200} {
 		var state uint64
-		c := NewCCSynch(func(op, arg uint64) uint64 {
+		c := NewCCSynch(core.Func(func(op, arg uint64) uint64 {
 			v := state
 			state = v + 1
 			return v
-		}, maxOps)
+		}), maxOps)
 		const goroutines, per = 12, 3000
 		var wg sync.WaitGroup
 		seen := make([]map[uint64]bool, goroutines)
@@ -73,11 +73,11 @@ func TestCCSynchConcurrent(t *testing.T) {
 
 func TestSHMServerBasic(t *testing.T) {
 	var state uint64
-	s := NewSHMServer(func(op, arg uint64) uint64 {
+	s := NewSHMServer(core.Func(func(op, arg uint64) uint64 {
 		old := state
 		state = old + arg + op
 		return old
-	}, 4)
+	}), 4)
 	defer s.Close()
 	h := core.MustHandle(s)
 	if got := h.Apply(1, 2); got != 0 {
@@ -90,11 +90,11 @@ func TestSHMServerBasic(t *testing.T) {
 
 func TestSHMServerConcurrent(t *testing.T) {
 	var state uint64
-	s := NewSHMServer(func(op, arg uint64) uint64 {
+	s := NewSHMServer(core.Func(func(op, arg uint64) uint64 {
 		v := state
 		state = v + 1
 		return v
-	}, 32)
+	}), 32)
 	defer s.Close()
 	const goroutines, per = 16, 2000
 	var wg sync.WaitGroup
@@ -115,7 +115,7 @@ func TestSHMServerConcurrent(t *testing.T) {
 }
 
 func TestSHMServerTooManyClients(t *testing.T) {
-	s := NewSHMServer(func(op, arg uint64) uint64 { return 0 }, 1)
+	s := NewSHMServer(core.Func(func(op, arg uint64) uint64 { return 0 }), 1)
 	defer s.Close()
 	if _, err := s.NewHandle(); err != nil {
 		t.Fatalf("NewHandle: %v", err)
@@ -126,7 +126,7 @@ func TestSHMServerTooManyClients(t *testing.T) {
 }
 
 func TestLifecycleAfterClose(t *testing.T) {
-	s := NewSHMServer(func(op, arg uint64) uint64 { return 0 }, 2)
+	s := NewSHMServer(core.Func(func(op, arg uint64) uint64 { return 0 }), 2)
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
@@ -137,7 +137,7 @@ func TestLifecycleAfterClose(t *testing.T) {
 		t.Fatalf("NewHandle after Close = %v, want ErrClosed", err)
 	}
 
-	c := NewCCSynch(func(op, arg uint64) uint64 { return 0 }, 200)
+	c := NewCCSynch(core.Func(func(op, arg uint64) uint64 { return 0 }), 200)
 	if err := c.Close(); err != nil {
 		t.Fatalf("ccsynch Close: %v", err)
 	}
@@ -149,7 +149,7 @@ func TestLifecycleAfterClose(t *testing.T) {
 func TestSHMServerZeroResultValues(t *testing.T) {
 	// Results of zero must round-trip correctly (the req flag, not the
 	// result word, signals completion).
-	s := NewSHMServer(func(op, arg uint64) uint64 { return 0 }, 2)
+	s := NewSHMServer(core.Func(func(op, arg uint64) uint64 { return 0 }), 2)
 	defer s.Close()
 	h := core.MustHandle(s)
 	for i := 0; i < 100; i++ {

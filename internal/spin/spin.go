@@ -23,8 +23,8 @@ import (
 // lock; the centralized locks (tas, ttas, ticket) share one instance.
 func init() {
 	register := func(name string, mk func() func() Lock) {
-		core.MustRegister(name, func(d core.Dispatch, o core.Options) (core.Executor, error) {
-			return NewLockExecutor(d, mk()), nil
+		core.MustRegister(name, func(obj core.Object, o core.Options) (core.Executor, error) {
+			return NewLockExecutor(obj, mk()), nil
 		})
 	}
 	register("tas-lock", func() func() Lock { l := &TASLock{}; return func() Lock { return l } })
@@ -214,18 +214,22 @@ func (h *CLHHandle) Unlock() {
 
 // LockExecutor adapts a Lock (or per-handle lock factory) into a
 // core.Executor, so the repository's concurrent objects can run over
-// classic locks as an extra baseline.
+// classic locks as an extra baseline. The batch contract maps directly:
+// an ApplyBatch executes its whole run against the object under ONE
+// lock acquisition — the lock-world equivalent of a combiner round,
+// except the batch must come from a single thread instead of being
+// collected across threads.
 type LockExecutor struct {
-	dispatch core.Dispatch
-	factory  func() Lock
-	closed   atomic.Bool
+	obj     core.Object
+	factory func() Lock
+	closed  atomic.Bool
 }
 
 // NewLockExecutor builds an executor over locks produced by factory (one
 // per handle for handle-based locks; return the same Lock for global
 // ones).
-func NewLockExecutor(dispatch core.Dispatch, factory func() Lock) *LockExecutor {
-	return &LockExecutor{dispatch: dispatch, factory: factory}
+func NewLockExecutor(obj core.Object, factory func() Lock) *LockExecutor {
+	return &LockExecutor{obj: obj, factory: factory}
 }
 
 // NewHandle implements core.Executor. Lock executors have no structural
@@ -234,7 +238,7 @@ func (e *LockExecutor) NewHandle() (core.Handle, error) {
 	if e.closed.Load() {
 		return nil, fmt.Errorf("spin: lock executor: %w", core.ErrClosed)
 	}
-	return &lockHandle{dispatch: e.dispatch, lock: e.factory()}, nil
+	return &lockHandle{obj: e.obj, lock: e.factory()}, nil
 }
 
 // Close implements core.Executor. A lock executor owns no background
@@ -245,17 +249,22 @@ func (e *LockExecutor) Close() error {
 }
 
 type lockHandle struct {
-	dispatch core.Dispatch
-	lock     Lock
-	im       core.Immediate
+	obj  core.Object
+	lock Lock
+	im   core.Immediate
+
+	one    [1]core.Req // scalar batch scratch
+	oneRet [1]uint64
+	drop   []uint64 // discarded-results scratch for ApplyBatch(reqs, nil)
 }
 
-// Apply implements core.Handle.
+// Apply implements core.Handle: a critical section is a 1-batch.
 func (h *lockHandle) Apply(op, arg uint64) uint64 {
+	h.one[0] = core.Req{Op: op, Arg: arg}
 	h.lock.Lock()
-	ret := h.dispatch(op, arg)
+	h.obj.DispatchBatch(h.one[:], h.oneRet[:])
 	h.lock.Unlock()
-	return ret
+	return h.oneRet[0]
 }
 
 // Submit implements core.Handle with immediate completion: a lock
@@ -277,3 +286,29 @@ func (h *lockHandle) Post(op, arg uint64) error {
 // Flush implements core.Handle: every submission completed at Submit
 // time, so there is never anything in flight.
 func (h *lockHandle) Flush() {}
+
+// ApplyBatch implements core.Handle: the whole batch executes as one
+// DispatchBatch under a single lock acquisition, amortizing both the
+// handover and the dispatch indirection across the run.
+func (h *lockHandle) ApplyBatch(reqs []core.Req, results []uint64) {
+	if len(reqs) == 0 {
+		return
+	}
+	if len(reqs) == 1 { // a 1-batch is exactly the scalar critical section
+		v := h.Apply(reqs[0].Op, reqs[0].Arg)
+		if results != nil {
+			results[0] = v
+		}
+		return
+	}
+	res := results
+	if res == nil {
+		if cap(h.drop) < len(reqs) {
+			h.drop = make([]uint64, len(reqs))
+		}
+		res = h.drop[:len(reqs)]
+	}
+	h.lock.Lock()
+	h.obj.DispatchBatch(reqs, res[:len(reqs)])
+	h.lock.Unlock()
+}

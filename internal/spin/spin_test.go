@@ -95,11 +95,11 @@ func TestCLHNodeRecycling(t *testing.T) {
 func TestLockExecutor(t *testing.T) {
 	var state uint64
 	l := &MCSLock{}
-	ex := NewLockExecutor(func(op, arg uint64) uint64 {
+	ex := NewLockExecutor(core.Func(func(op, arg uint64) uint64 {
 		v := state
 		state = v + arg
 		return v
-	}, func() Lock { return l.NewMCSHandle() })
+	}), func() Lock { return l.NewMCSHandle() })
 	var _ core.Executor = ex
 
 	const goroutines, per = 8, 2000

@@ -5,10 +5,14 @@
 // algorithm by name — plus the nonblocking LCRQ queue and Treiber
 // stack, which need no executor at all, and the sharded objects
 // (NewShardedCounter, NewMap) whose state is partitioned across N
-// executors by the hybsync/shard router. Batched operations ride the
-// executors' submission pipeline: CounterHandle.AddN ships a whole
-// batch of increments for one round trip, and MapHandle.GetAll
-// overlaps a multi-key lookup across shards.
+// executors by the hybsync/shard router. Every object is a native
+// batch object (hybsync.Object): each run a construction forms —
+// a drained server batch, a combining round, a lock-held ApplyBatch —
+// executes against it in one DispatchBatch call. Batched operations
+// ride the executors' submission pipeline: CounterHandle.AddN ships a
+// whole batch of increments for one round trip, and MapHandle.GetAll
+// and MapHandle.MultiPut overlap multi-key lookups and stores across
+// shards with same-shard keys grouped into single batch calls.
 //
 //	ctr, err := object.NewCounter("hybcomb", hybsync.WithMaxThreads(16))
 //	h, err := ctr.NewHandle() // one per goroutine
@@ -55,10 +59,13 @@ type (
 const MapFullVal = shard.FullVal
 
 // factory adapts an algorithm name plus options into the executor
-// factory the object layer consumes.
+// factory the object layer consumes. The objects are native batch
+// objects (hybsync.Object), so they go through NewObject — every run a
+// construction forms executes against the object in one DispatchBatch
+// call.
 func factory(algo string, opts []hybsync.Option) conc.ExecutorFactory {
-	return func(d hybsync.Dispatch) (hybsync.Executor, error) {
-		return hybsync.New(algo, d, opts...)
+	return func(obj hybsync.Object) (hybsync.Executor, error) {
+		return hybsync.NewObject(algo, obj, opts...)
 	}
 }
 
@@ -99,8 +106,8 @@ func NewTreiberStack() *TreiberStack { return conc.NewTreiberStack() }
 // shardFactory adapts an algorithm name plus options into the per-shard
 // executor factory the shard router consumes.
 func shardFactory(algo string, opts []hybsync.Option) shard.ExecFactory {
-	return func(_ int, d hybsync.Dispatch) (hybsync.Executor, error) {
-		return hybsync.New(algo, d, opts...)
+	return func(_ int, obj hybsync.Object) (hybsync.Executor, error) {
+		return hybsync.NewObject(algo, obj, opts...)
 	}
 }
 

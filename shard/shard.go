@@ -43,11 +43,19 @@ type (
 	// Ticket identifies one outstanding routed submission; redeem with
 	// the issuing Handle's Wait exactly once.
 	Ticket = ishard.Ticket
-	// KeyedDispatch is the sharded critical-section body.
+	// KeyedDispatch is the legacy scalar sharded critical-section body;
+	// the router wraps it in KeyedFunc.
 	KeyedDispatch = ishard.KeyedDispatch
+	// KeyedObject is the batch-aware sharded execution contract: a
+	// whole run against one shard executes as one DispatchShardBatch
+	// call of that shard's executor.
+	KeyedObject = ishard.KeyedObject
+	// KeyedFunc adapts a KeyedDispatch into a KeyedObject that loops.
+	KeyedFunc = ishard.KeyedFunc
 	// Partitioner maps a key to a shard in [0, nshards).
 	Partitioner = ishard.Partitioner
-	// ExecFactory builds the executor protecting one shard.
+	// ExecFactory builds the executor protecting one shard around that
+	// shard's core.Object view.
 	ExecFactory = ishard.ExecFactory
 )
 
@@ -66,9 +74,18 @@ func HotKeyIsolating(base Partitioner, hot ...uint64) Partitioner {
 // New builds a router whose shards all run the named algorithm, routing
 // with the default Fibonacci partitioner. The shard count comes from
 // hybsync.WithShards (default 1); the remaining options configure each
-// shard's executor independently.
+// shard's executor independently. d is the legacy scalar body;
+// NewObject is the batch-aware primary constructor.
 func New(algo string, d KeyedDispatch, opts ...hybsync.Option) (*Router, error) {
 	return NewPartitioned(algo, d, nil, opts...)
+}
+
+// NewObject is New around a batch-aware KeyedObject: every run a
+// shard's executor forms (a drained server batch, a combining round, a
+// MultiApply group) reaches obj as one DispatchShardBatch call for
+// that shard.
+func NewObject(algo string, obj KeyedObject, opts ...hybsync.Option) (*Router, error) {
+	return NewObjectPartitioned(algo, obj, nil, opts...)
 }
 
 // NewPartitioned is New with an explicit Partitioner (nil selects
@@ -81,6 +98,16 @@ func NewPartitioned(algo string, d KeyedDispatch, part Partitioner, opts ...hybs
 	return ishard.NewRouter(o.Shards, d, part, factoryFor(algo, opts))
 }
 
+// NewObjectPartitioned is NewObject with an explicit Partitioner (nil
+// selects Fibonacci).
+func NewObjectPartitioned(algo string, obj KeyedObject, part Partitioner, opts ...hybsync.Option) (*Router, error) {
+	o, err := core.BuildOptions(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return ishard.NewObjectRouter(o.Shards, obj, part, factoryFor(algo, opts))
+}
+
 // NewMixed builds a router with one shard per listed algorithm — shard
 // i runs algos[i] — for ablating mixed constructions against uniform
 // ones. Any hybsync.WithShards in opts is ignored; the shard count is
@@ -90,8 +117,8 @@ func NewMixed(algos []string, d KeyedDispatch, opts ...hybsync.Option) (*Router,
 		return nil, fmt.Errorf("shard: NewMixed needs at least one algorithm")
 	}
 	return ishard.NewRouter(len(algos), d, nil,
-		func(s int, dd core.Dispatch) (core.Executor, error) {
-			return core.New(algos[s], dd, opts...)
+		func(s int, obj core.Object) (core.Executor, error) {
+			return core.NewObject(algos[s], obj, opts...)
 		})
 }
 
@@ -99,7 +126,7 @@ func NewMixed(algos []string, d KeyedDispatch, opts ...hybsync.Option) (*Router,
 // executor factory the router consumes (hybsync.Option aliases
 // core.Option, so the options pass straight through).
 func factoryFor(algo string, opts []hybsync.Option) ExecFactory {
-	return func(_ int, d core.Dispatch) (core.Executor, error) {
-		return core.New(algo, d, opts...)
+	return func(_ int, obj core.Object) (core.Executor, error) {
+		return core.NewObject(algo, obj, opts...)
 	}
 }
