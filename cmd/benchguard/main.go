@@ -1,64 +1,129 @@
-// Command benchguard compares fresh hybbench -json runs against a
-// committed baseline file and fails loudly when the blocking-path cost
-// regresses beyond a tolerance — the CI guard that keeps the batch and
-// pipeline machinery from taxing the plain Apply round trip.
+// Command benchguard compares fresh benchmark runs against a committed
+// baseline file and fails loudly when cost regresses beyond a
+// tolerance — the CI guard that keeps the batch and pipeline machinery
+// from taxing the measured paths.
 //
-// Usage:
+// It has two modes sharing one comparison engine (median of N runs per
+// point, fractional ns/op tolerance, missing points are failures):
+//
+// Report mode (default) guards the blocking t=1 path of a hybbench
+// -json envelope:
 //
 //	hybbench -bench counter -threads 1 -json > run1.json   (repeat)
 //	benchguard -baseline BENCH_native.json -bench counter -threads 1 \
 //	    -max-regress 0.10 run1.json run2.json run3.json
 //
-// For every algorithm the baseline has a (bench, threads) record for,
-// the candidate ns/op is the MEDIAN across the given run files (run an
-// odd number, three is typical, so one noisy run cannot fail or pass
-// the gate alone). Exit status 1 means at least one algorithm
-// regressed more than -max-regress relative to the baseline; missing
-// algorithms in the candidates are an error, extra ones are ignored.
+// Sweep mode (-sweep) guards cells of a hybsweep JSONL artifact, so CI
+// gates the async (depth>1), batch (batch>1) and GOMAXPROCS>1 legs
+// instead of only the scalar single-thread path. Records are keyed by
+// the full cell identity (bench, algo, threads, shards, dist, depth,
+// batch, path, gomaxprocs); -where clauses select which baseline cells
+// to gate, and every selected cell must appear in the candidates:
+//
+//	GOMAXPROCS=2 hybsweep -grid '...' > run1.jsonl          (repeat)
+//	benchguard -sweep -baseline BENCH_sweep.jsonl -max-regress 0.40 \
+//	    -where 'gomaxprocs=2' -where 'depth>1' -where 'algo=mpserver,hybcomb' \
+//	    run1.jsonl run2.jsonl run3.jsonl
+//
+// A -where clause is `field OP value`: OP one of = != > >= < <=, with
+// numeric fields (threads, shards, depth, batch, gomaxprocs, numcpu)
+// supporting all six and string fields (bench, algo, dist, path, skip)
+// supporting = and != where `=` against a comma-separated list means
+// "is one of". Clauses AND together. Skipped/failed baseline cells are
+// never gated.
+//
+// For every selected point the candidate ns/op is the MEDIAN across
+// the given run files (run an odd number, three is typical, so one
+// noisy run cannot fail or pass the gate alone). Exit status 1 means
+// at least one point regressed more than -max-regress relative to the
+// baseline or went missing; extra candidate points are ignored.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
+
+	"hybsync/internal/benchfmt"
 )
 
-// result mirrors the hybbench jsonResult fields the guard consumes.
-type result struct {
-	Bench   string  `json:"bench"`
-	Algo    string  `json:"algo"`
-	Threads int     `json:"threads"`
-	NsPerOp float64 `json:"ns_per_op"`
+// whereFlags accumulates repeated -where clauses.
+type whereFlags []string
+
+func (w *whereFlags) String() string { return strings.Join(*w, " && ") }
+func (w *whereFlags) Set(s string) error {
+	*w = append(*w, s)
+	return nil
 }
 
-type report struct {
-	Results []result `json:"results"`
-}
-
-// load reads one hybbench -json report.
-func load(path string) (report, error) {
-	var r report
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return r, err
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_native.json", "committed baseline file (hybbench report, or sweep JSONL with -sweep)")
+	sweepMode := flag.Bool("sweep", false, "baseline and candidates are hybsweep JSONL artifacts gated per cell")
+	var where whereFlags
+	flag.Var(&where, "where", "sweep mode: cell selector like 'depth>1' or 'algo=mpserver,hybcomb' (repeatable, ANDed)")
+	bench := flag.String("bench", "counter", "report mode: bench name to compare")
+	threads := flag.Int("threads", 1, "report mode: thread count to compare (1 = the blocking round-trip path)")
+	maxRegress := flag.Float64("max-regress", 0.10, "maximum allowed fractional ns/op regression vs baseline")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: need at least one candidate run file")
+		os.Exit(2)
 	}
-	if err := json.Unmarshal(data, &r); err != nil {
-		return r, fmt.Errorf("%s: %w", path, err)
-	}
-	return r, nil
-}
 
-// pick returns the ns/op of every (bench, threads) record by algorithm.
-func pick(r report, bench string, threads int) map[string]float64 {
-	out := map[string]float64{}
-	for _, res := range r.Results {
-		if res.Bench == bench && res.Threads == threads && res.NsPerOp > 0 {
-			out[res.Algo] = res.NsPerOp
+	var failed bool
+	var err error
+	if *sweepMode {
+		failed, err = guardSweep(*baselinePath, flag.Args(), where, *maxRegress)
+	} else {
+		if len(where) > 0 {
+			err = fmt.Errorf("-where requires -sweep")
+		} else {
+			failed, err = guardReport(*baselinePath, flag.Args(), *bench, *threads, *maxRegress)
 		}
 	}
-	return out
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL — median regressed more than %.0f%% vs %s (or points missing)\n",
+			*maxRegress*100, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: PASS")
+}
+
+// compare runs the shared gate: for every baseline point, the median
+// of the candidate samples vs the tolerance. Returns true when any
+// point failed.
+func compare(baseline map[string]float64, candidates map[string][]float64, maxRegress float64) bool {
+	keys := make([]string, 0, len(baseline))
+	for k := range baseline {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	failed := false
+	for _, key := range keys {
+		runs := candidates[key]
+		if len(runs) == 0 {
+			fmt.Printf("  %-56s baseline %10.1f ns/op  candidate MISSING\n", key, baseline[key])
+			failed = true
+			continue
+		}
+		med := median(runs)
+		delta := (med - baseline[key]) / baseline[key]
+		status := "ok"
+		if delta > maxRegress {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("  %-56s baseline %10.1f ns/op  median %10.1f ns/op  %+6.1f%%  %s\n",
+			key, baseline[key], med, delta*100, status)
+	}
+	return failed
 }
 
 func median(xs []float64) float64 {
@@ -70,70 +135,233 @@ func median(xs []float64) float64 {
 	return (xs[n/2-1] + xs[n/2]) / 2
 }
 
-func main() {
-	baselinePath := flag.String("baseline", "BENCH_native.json", "committed baseline report")
-	bench := flag.String("bench", "counter", "bench name to compare")
-	threads := flag.Int("threads", 1, "thread count to compare (1 = the blocking round-trip path)")
-	maxRegress := flag.Float64("max-regress", 0.10, "maximum allowed fractional ns/op regression vs baseline")
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "benchguard: need at least one candidate run file")
-		os.Exit(2)
-	}
+// ---- report mode ----
 
-	base, err := load(*baselinePath)
+// loadReport reads one hybbench -json report.
+func loadReport(path string) (benchfmt.Report, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchguard: baseline: %v\n", err)
-		os.Exit(2)
+		return benchfmt.Report{}, err
 	}
-	baseline := pick(base, *bench, *threads)
-	if len(baseline) == 0 {
-		fmt.Fprintf(os.Stderr, "benchguard: baseline has no (%s, threads=%d) records\n", *bench, *threads)
-		os.Exit(2)
+	defer f.Close()
+	rep, err := benchfmt.ReadReport(f)
+	if err != nil {
+		return benchfmt.Report{}, fmt.Errorf("%s: %w", path, err)
 	}
+	return rep, nil
+}
 
-	candidates := map[string][]float64{}
-	for _, path := range flag.Args() {
-		r, err := load(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
-			os.Exit(2)
+// pick returns the ns/op of every (bench, threads) record by algorithm.
+func pick(r benchfmt.Report, bench string, threads int) map[string]float64 {
+	out := map[string]float64{}
+	for _, res := range r.Results {
+		if res.Bench == bench && res.Threads == threads && res.NsPerOp > 0 {
+			out[res.Algo] = res.NsPerOp
 		}
-		for algo, ns := range pick(r, *bench, *threads) {
+	}
+	return out
+}
+
+func guardReport(baselinePath string, candidatePaths []string, bench string, threads int, maxRegress float64) (bool, error) {
+	base, err := loadReport(baselinePath)
+	if err != nil {
+		return false, fmt.Errorf("baseline: %w", err)
+	}
+	baseline := pick(base, bench, threads)
+	if len(baseline) == 0 {
+		return false, fmt.Errorf("baseline has no (%s, threads=%d) records", bench, threads)
+	}
+	candidates := map[string][]float64{}
+	for _, path := range candidatePaths {
+		r, err := loadReport(path)
+		if err != nil {
+			return false, err
+		}
+		for algo, ns := range pick(r, bench, threads) {
 			candidates[algo] = append(candidates[algo], ns)
 		}
 	}
-
-	algos := make([]string, 0, len(baseline))
-	for algo := range baseline {
-		algos = append(algos, algo)
-	}
-	sort.Strings(algos)
-
 	fmt.Printf("benchguard: %s threads=%d, median of %d run(s) vs %s (tolerance +%.0f%%)\n",
-		*bench, *threads, flag.NArg(), *baselinePath, *maxRegress*100)
-	failed := false
-	for _, algo := range algos {
-		runs := candidates[algo]
-		if len(runs) == 0 {
-			fmt.Printf("  %-12s baseline %8.1f ns/op  candidate MISSING\n", algo, baseline[algo])
-			failed = true
+		bench, threads, len(candidatePaths), baselinePath, maxRegress*100)
+	return compare(baseline, candidates, maxRegress), nil
+}
+
+// ---- sweep mode ----
+
+// cellKey is the full identity of a sweep cell, so gating never
+// conflates two scenarios that share an algorithm.
+func cellKey(r benchfmt.SweepRecord) string {
+	return fmt.Sprintf("%s/%s t=%d s=%d %s d=%d b=%d %s gmp=%d",
+		r.Bench, r.Algo, r.Threads, r.Shards, r.Dist, r.Depth, r.Batch, r.Path, r.GoMaxProcs)
+}
+
+func loadSweep(path string) ([]benchfmt.SweepRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := benchfmt.ReadSweep(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+func guardSweep(baselinePath string, candidatePaths []string, where whereFlags, maxRegress float64) (bool, error) {
+	sel, err := parseClauses(where)
+	if err != nil {
+		return false, err
+	}
+	base, err := loadSweep(baselinePath)
+	if err != nil {
+		return false, fmt.Errorf("baseline: %w", err)
+	}
+	baseline := map[string]float64{}
+	for _, r := range base {
+		if r.Skip != "" || r.Error != "" || r.NsPerOp <= 0 {
 			continue
 		}
-		med := median(runs)
-		delta := (med - baseline[algo]) / baseline[algo]
-		status := "ok"
-		if delta > *maxRegress {
-			status = "REGRESSED"
-			failed = true
+		if sel.match(r) {
+			baseline[cellKey(r)] = r.NsPerOp
 		}
-		fmt.Printf("  %-12s baseline %8.1f ns/op  median %8.1f ns/op  %+6.1f%%  %s\n",
-			algo, baseline[algo], med, delta*100, status)
 	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchguard: FAIL — blocking-path median regressed more than %.0f%% vs %s\n",
-			*maxRegress*100, *baselinePath)
-		os.Exit(1)
+	if len(baseline) == 0 {
+		return false, fmt.Errorf("baseline %s has no measured cells matching %q", baselinePath, where.String())
 	}
-	fmt.Println("benchguard: PASS")
+	candidates := map[string][]float64{}
+	for _, path := range candidatePaths {
+		recs, err := loadSweep(path)
+		if err != nil {
+			return false, err
+		}
+		for _, r := range recs {
+			if r.Skip != "" || r.Error != "" || r.NsPerOp <= 0 {
+				continue
+			}
+			candidates[cellKey(r)] = append(candidates[cellKey(r)], r.NsPerOp)
+		}
+	}
+	fmt.Printf("benchguard: sweep cells where [%s], median of %d run(s) vs %s (tolerance +%.0f%%)\n",
+		where.String(), len(candidatePaths), baselinePath, maxRegress*100)
+	return compare(baseline, candidates, maxRegress), nil
+}
+
+// ---- -where clause parsing and matching ----
+
+type clause struct {
+	field string
+	op    string
+	value string
+}
+
+type selector []clause
+
+var clauseOps = []string{">=", "<=", "!=", ">", "<", "="} // two-char ops first
+
+func parseClauses(specs []string) (selector, error) {
+	var sel selector
+	for _, spec := range specs {
+		spec = strings.TrimSpace(spec)
+		var c clause
+		found := false
+		for _, op := range clauseOps {
+			if i := strings.Index(spec, op); i > 0 {
+				c = clause{
+					field: strings.TrimSpace(spec[:i]),
+					op:    op,
+					value: strings.TrimSpace(spec[i+len(op):]),
+				}
+				found = true
+				break
+			}
+		}
+		if !found || c.value == "" {
+			return nil, fmt.Errorf("bad -where clause %q (want field OP value, OP in = != > >= < <=)", spec)
+		}
+		if _, _, numeric := fieldOf(benchfmt.SweepRecord{}, c.field); !numeric && c.op != "=" && c.op != "!=" {
+			return nil, fmt.Errorf("-where %q: string field %q supports only = and !=", spec, c.field)
+		}
+		sel = append(sel, c)
+	}
+	return sel, nil
+}
+
+// fieldOf resolves a -where field name against a record, returning its
+// numeric or string value and whether the field is numeric. Unknown
+// fields resolve as non-numeric "" (so a typo fails the = match
+// loudly rather than silently selecting everything).
+func fieldOf(r benchfmt.SweepRecord, name string) (num int, str string, numeric bool) {
+	switch name {
+	case "threads":
+		return r.Threads, "", true
+	case "shards":
+		return r.Shards, "", true
+	case "depth":
+		return r.Depth, "", true
+	case "batch":
+		return r.Batch, "", true
+	case "gomaxprocs":
+		return r.GoMaxProcs, "", true
+	case "numcpu":
+		return r.NumCPU, "", true
+	case "cell":
+		return r.Cell, "", true
+	case "bench":
+		return 0, r.Bench, false
+	case "algo":
+		return 0, r.Algo, false
+	case "dist":
+		return 0, r.Dist, false
+	case "path":
+		return 0, r.Path, false
+	case "skip":
+		return 0, r.Skip, false
+	default:
+		return 0, "", false
+	}
+}
+
+func (s selector) match(r benchfmt.SweepRecord) bool {
+	for _, c := range s {
+		num, str, numeric := fieldOf(r, c.field)
+		if numeric {
+			want, err := strconv.Atoi(c.value)
+			if err != nil {
+				return false
+			}
+			ok := false
+			switch c.op {
+			case "=":
+				ok = num == want
+			case "!=":
+				ok = num != want
+			case ">":
+				ok = num > want
+			case ">=":
+				ok = num >= want
+			case "<":
+				ok = num < want
+			case "<=":
+				ok = num <= want
+			}
+			if !ok {
+				return false
+			}
+			continue
+		}
+		// String field: '=' against a comma-separated list is "is one
+		// of"; '!=' is "is none of".
+		inList := false
+		for _, v := range strings.Split(c.value, ",") {
+			if str == strings.TrimSpace(v) {
+				inList = true
+				break
+			}
+		}
+		if (c.op == "=" && !inList) || (c.op == "!=" && inList) {
+			return false
+		}
+	}
+	return true
 }

@@ -10,6 +10,11 @@
 // memory? Shapes differ from the paper (there is no hardware UDN here);
 // DESIGN.md discusses the comparison.
 //
+// The measurement cores for the counter/sharded/async/batch legs live
+// in internal/measure and the -json record schema in internal/benchfmt
+// — both shared with cmd/hybsweep, so a point benchmark here and a
+// sweep cell there measure the same thing by construction.
+//
 // Usage:
 //
 //	hybbench -list
@@ -22,101 +27,20 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"hybsync"
 	"hybsync/harness"
+	"hybsync/internal/benchfmt"
+	"hybsync/internal/measure"
 	"hybsync/object"
 )
-
-// jsonResult is one measured point in -json mode; the schema is the
-// commit format for BENCH_*.json perf-trajectory files. The shard_*
-// fields appear only on sharded-bench records: shard_ops is the
-// per-shard occupancy profile (how the keyed workload actually landed)
-// and shard_fairness its max/min ratio (1.0 = perfectly balanced).
-type jsonResult struct {
-	Bench    string   `json:"bench"`
-	Algo     string   `json:"algo"`
-	Threads  int      `json:"threads"`
-	Ops      uint64   `json:"ops"`
-	Mops     float64  `json:"mops"`
-	NsPerOp  float64  `json:"ns_per_op"`
-	Fairness float64  `json:"fairness,omitempty"`
-	Rounds   uint64   `json:"rounds,omitempty"`
-	Combined uint64   `json:"combined,omitempty"`
-	Shards   int      `json:"shards,omitempty"`
-	Dist     string   `json:"dist,omitempty"`
-	Depth    int      `json:"depth,omitempty"`
-	Batch    int      `json:"batch,omitempty"`
-	Path     string   `json:"path,omitempty"` // batch bench: "apply" (per-op) vs "batch" (ApplyBatch)
-	ShardOps []uint64 `json:"shard_ops,omitempty"`
-	// A pointer so sharded records keep the meaningful value 0 ("some
-	// shard was never touched") while non-sharded records omit the
-	// field entirely.
-	ShardFairness *float64 `json:"shard_fairness,omitempty"`
-	// Pipe is present when the construction exports PipelineStats
-	// (mpserver/hybcomb/ccsynch and routers over them): backpressure
-	// counters of the submission pipeline for the measured run.
-	Pipe *pipeJSON `json:"pipeline,omitempty"`
-}
-
-// pipeJSON is the PipelineStats payload of a -json record; zero values
-// are meaningful (an unstalled run reports submit_stalls 0), so the
-// whole struct is pointer-omitted rather than field-omitted.
-type pipeJSON struct {
-	SubmitStalls uint64 `json:"submit_stalls"`
-	MaxDepth     uint64 `json:"max_depth"`
-}
-
-// pipeOf extracts the pipeline counters when src implements
-// hybsync.PipelineStats (read after every handle flushed).
-func pipeOf(src any) *pipeJSON {
-	if p, ok := src.(hybsync.PipelineStats); ok {
-		st, d := p.Pipeline()
-		return &pipeJSON{SubmitStalls: st, MaxDepth: d}
-	}
-	return nil
-}
-
-// report accumulates jsonResults; nil means table mode. The host
-// context (gomaxprocs, goversion, numcpu) makes BENCH_*.json
-// trajectories comparable across machines.
-type report struct {
-	GoMaxProcs int          `json:"gomaxprocs"`
-	GoVersion  string       `json:"goversion"`
-	NumCPU     int          `json:"numcpu"`
-	DurationMs int64        `json:"duration_ms_per_point"`
-	Results    []jsonResult `json:"results"`
-}
-
-// add records one point, deriving the scalar metrics from res.
-func (r *report) add(bench, algo string, threads int, res harness.NativeResult, rounds, combined uint64) {
-	jr := jsonResult{
-		Bench: bench, Algo: algo, Threads: threads,
-		Ops: res.Ops, Mops: res.Mops(), Fairness: res.Fairness(),
-		Rounds: rounds, Combined: combined,
-	}
-	if jr.Mops > 0 {
-		jr.NsPerOp = 1e3 / jr.Mops
-	}
-	r.Results = append(r.Results, jr)
-}
-
-func (r *report) render() {
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(r); err != nil {
-		fatalf("encoding JSON: %v", err)
-	}
-}
 
 // defaultAlgos is the paper's four constructions plus one queue-lock
 // baseline; -algos all selects everything in the registry.
@@ -171,20 +95,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hybbench: -batch: %v\n", err)
 		os.Exit(2)
 	}
-	dist, err := parseDist(*distFlag, *keysFlag)
+	dist, err := harness.ParseDist(*distFlag, *keysFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hybbench: -dist: %v\n", err)
 		os.Exit(2)
 	}
 
-	var rep *report
+	var rep *benchfmt.Report
 	if *jsonFlag {
-		rep = &report{
-			GoMaxProcs: runtime.GOMAXPROCS(0),
-			GoVersion:  runtime.Version(),
-			NumCPU:     runtime.NumCPU(),
-			DurationMs: dur.Milliseconds(),
-		}
+		rep = benchfmt.NewReport(dur.Milliseconds())
 	}
 
 	switch *bench {
@@ -215,7 +134,9 @@ func main() {
 		os.Exit(2)
 	}
 	if rep != nil {
-		rep.render()
+		if err := rep.Encode(os.Stdout); err != nil {
+			fatalf("encoding JSON: %v", err)
+		}
 	}
 }
 
@@ -275,42 +196,26 @@ func defaultThreads() []int {
 	return out
 }
 
-// opts sizes every construction generously enough for any thread count
-// hybbench drives.
+// opts sizes the queue/stack constructions generously enough for any
+// thread count hybbench drives (the counter/sharded/async/batch legs
+// size theirs inside internal/measure).
 func opts() []hybsync.Option { return []hybsync.Option{hybsync.WithMaxThreads(256)} }
 
-// runCounter measures one counter-increment point for algo (plus the
-// executor's combining stats, when it keeps them); shared by the
-// throughput and fairness benches.
-func runCounter(algo string, th int, dur time.Duration) (res harness.NativeResult, rounds, combined uint64) {
-	c, err := object.NewCounter(algo, opts()...)
-	if err != nil {
-		fatalf("NewCounter(%s): %v", algo, err)
-	}
-	defer c.Close()
-	res = harness.RunNative(th, dur, 50, func(int) func(uint64) {
-		h, err := c.NewHandle()
-		if err != nil {
-			panic(err)
-		}
-		return func(uint64) { h.Inc() }
-	})
-	rounds, combined, _ = c.Stats()
-	return res, rounds, combined
-}
-
-func benchCounter(algos []string, threads []int, dur time.Duration, rep *report) {
+func benchCounter(algos []string, threads []int, dur time.Duration, rep *benchfmt.Report) {
 	header := append([]string{"threads"}, algos...)
 	t := harness.NewTable("Native counter throughput (Mops/sec)", header...)
 	t.Note = fmt.Sprintf("GOMAXPROCS=%d, local work <=50 iters, %v per point", runtime.GOMAXPROCS(0), dur)
 	for _, th := range threads {
 		row := []any{th}
 		for _, algo := range algos {
-			res, rounds, combined := runCounter(algo, th, dur)
-			if rep != nil {
-				rep.add("counter", algo, th, res, rounds, combined)
+			rec, err := measure.Counter(algo, th, dur)
+			if err != nil {
+				fatalf("%v", err)
 			}
-			row = append(row, res.Mops())
+			if rep != nil {
+				rep.Add(rec)
+			}
+			row = append(row, rec.Mops)
 		}
 		if rep == nil {
 			t.AddRow(row...)
@@ -321,7 +226,7 @@ func benchCounter(algos []string, threads []int, dur time.Duration, rep *report)
 	}
 }
 
-func benchQueue(algos []string, threads []int, dur time.Duration, rep *report) {
+func benchQueue(algos []string, threads []int, dur time.Duration, rep *benchfmt.Report) {
 	header := []string{"threads"}
 	for _, algo := range algos {
 		header = append(header, algo+"-1")
@@ -337,8 +242,9 @@ func benchQueue(algos []string, threads []int, dur time.Duration, rep *report) {
 			}
 			res := runQueue(q.NewHandle, th, dur)
 			if rep != nil {
-				rounds, combined, _ := q.Stats()
-				rep.add("queue", algo+"-1", th, res, rounds, combined)
+				rec := benchfmt.FromNative("queue", algo+"-1", th, res)
+				rec.Rounds, rec.Combined, _ = q.Stats()
+				rep.Add(rec)
 			}
 			row = append(row, res.Mops())
 			q.Close()
@@ -355,7 +261,7 @@ func benchQueue(algos []string, threads []int, dur time.Duration, rep *report) {
 			}
 		})
 		if rep != nil {
-			rep.add("queue", "LCRQ", th, res, 0, 0)
+			rep.Add(benchfmt.FromNative("queue", "LCRQ", th, res))
 		}
 		row = append(row, res.Mops())
 		// Two-lock MS-Queue over two dedicated mpserver goroutines.
@@ -365,7 +271,7 @@ func benchQueue(algos []string, threads []int, dur time.Duration, rep *report) {
 		}
 		res2 := runQueue(q2.NewHandle, th, dur)
 		if rep != nil {
-			rep.add("queue", "mpserver-2", th, res2, 0, 0)
+			rep.Add(benchfmt.FromNative("queue", "mpserver-2", th, res2))
 		}
 		row = append(row, res2.Mops())
 		q2.Close()
@@ -396,7 +302,7 @@ func runQueue(newHandle func() (*object.QueueHandle, error), th int, dur time.Du
 	})
 }
 
-func benchStack(algos []string, threads []int, dur time.Duration, rep *report) {
+func benchStack(algos []string, threads []int, dur time.Duration, rep *benchfmt.Report) {
 	header := append([]string{"threads"}, algos...)
 	header = append(header, "Treiber")
 	t := harness.NewTable("Native stack throughput under balanced load (Mops/sec)", header...)
@@ -421,8 +327,9 @@ func benchStack(algos []string, threads []int, dur time.Duration, rep *report) {
 				}
 			})
 			if rep != nil {
-				rounds, combined, _ := s.Stats()
-				rep.add("stack", algo, th, res, rounds, combined)
+				rec := benchfmt.FromNative("stack", algo, th, res)
+				rec.Rounds, rec.Combined, _ = s.Stats()
+				rep.Add(rec)
 			}
 			s.Close()
 			row = append(row, res.Mops())
@@ -438,7 +345,7 @@ func benchStack(algos []string, threads []int, dur time.Duration, rep *report) {
 			}
 		})
 		if rep != nil {
-			rep.add("stack", "Treiber", th, res, 0, 0)
+			rep.Add(benchfmt.FromNative("stack", "Treiber", th, res))
 		}
 		row = append(row, res.Mops())
 		if rep == nil {
@@ -450,7 +357,7 @@ func benchStack(algos []string, threads []int, dur time.Duration, rep *report) {
 	}
 }
 
-func benchFairness(algos []string, threads []int, dur time.Duration, rep *report) {
+func benchFairness(algos []string, threads []int, dur time.Duration, rep *benchfmt.Report) {
 	header := append([]string{"threads"}, algos...)
 	t := harness.NewTable("Native fairness (max/min per-thread op ratio; 1.0 = ideal)", header...)
 	for _, th := range threads {
@@ -459,11 +366,15 @@ func benchFairness(algos []string, threads []int, dur time.Duration, rep *report
 		}
 		row := []any{th}
 		for _, algo := range algos {
-			res, rounds, combined := runCounter(algo, th, dur)
-			if rep != nil {
-				rep.add("fairness", algo, th, res, rounds, combined)
+			rec, err := measure.Counter(algo, th, dur)
+			if err != nil {
+				fatalf("%v", err)
 			}
-			row = append(row, res.Fairness())
+			if rep != nil {
+				rec.Bench = "fairness"
+				rep.Add(rec)
+			}
+			row = append(row, rec.Fairness)
 		}
 		if rep == nil {
 			t.AddRow(row...)
@@ -474,112 +385,26 @@ func benchFairness(algos []string, threads []int, dur time.Duration, rep *report
 	}
 }
 
-// distSpec is the parsed -dist flag: the keyed workload's popularity
-// distribution over the -keys key space.
-type distSpec struct {
-	label string // as given on the command line, for the JSON records
-	keys  uint64
-	zipf  *harness.Zipf // nil = uniform; otherwise the shared template
-}
-
-// parseDist parses "uniform" or "zipf:theta" (0 < theta < 1). The Zipf
-// zeta table is computed once here and cloned per worker with Reseed.
-func parseDist(s string, keys uint64) (distSpec, error) {
-	if keys == 0 {
-		return distSpec{}, fmt.Errorf("-keys must be positive")
-	}
-	if s == "uniform" {
-		return distSpec{label: s, keys: keys}, nil
-	}
-	if theta, ok := strings.CutPrefix(s, "zipf:"); ok {
-		v, err := strconv.ParseFloat(theta, 64)
-		if err != nil {
-			return distSpec{}, fmt.Errorf("bad zipf theta %q", theta)
-		}
-		z, err := harness.NewZipf(keys, v, 1)
-		if err != nil {
-			return distSpec{}, err
-		}
-		return distSpec{label: s, keys: keys, zipf: z}, nil
-	}
-	return distSpec{}, fmt.Errorf("unknown distribution %q (want uniform or zipf:theta)", s)
-}
-
-// sampler returns thread's key generator (deterministic per thread).
-func (d distSpec) sampler(thread int) func() uint64 {
-	seed := uint64(thread+1) * 0x9E3779B97F4A7C15
-	if d.zipf != nil {
-		z := d.zipf.Reseed(seed)
-		return z.Next
-	}
-	rng := harness.NewXorShift(seed)
-	return func() uint64 { return rng.Next() % d.keys }
-}
-
-// shardFairness is the max/min per-shard occupancy ratio (1.0 = ideal,
-// 0 = some shard was never touched) — the same formula the harness uses
-// for per-thread fairness.
-func shardFairness(occ []uint64) float64 {
-	return harness.NativeResult{PerThread: occ}.Fairness()
-}
-
-// runSharded measures one sharded-counter point: th goroutines drive
-// keyed increments (keys drawn from dist) through a router over nshards
-// executors of algo.
-func runSharded(algo string, nshards int, dist distSpec, th int, dur time.Duration) (res harness.NativeResult, occ []uint64, rounds, combined uint64, pipe *pipeJSON) {
-	c, err := object.NewShardedCounter(algo, nshards, opts()...)
-	if err != nil {
-		fatalf("NewShardedCounter(%s, %d): %v", algo, nshards, err)
-	}
-	defer c.Close()
-	res = harness.RunNative(th, dur, 50, func(t int) func(uint64) {
-		h, err := c.NewHandle()
-		if err != nil {
-			panic(err)
-		}
-		draw := dist.sampler(t)
-		return func(uint64) {
-			if _, err := h.Inc(draw()); err != nil {
-				panic(err)
-			}
-		}
-	})
-	occ = c.Occupancy()
-	rounds, combined, _ = c.Stats()
-	if st, d, ok := c.Pipeline(); ok {
-		pipe = &pipeJSON{SubmitStalls: st, MaxDepth: d}
-	}
-	return res, occ, rounds, combined, pipe
-}
-
 // benchSharded sweeps the sharded counter over every requested shard
 // count: uniform vs. skewed (-dist zipf:theta) keyed access, with
 // per-shard occupancy and its fairness in the JSON records.
-func benchSharded(algos []string, threads, shardCounts []int, dist distSpec, dur time.Duration, rep *report) {
+func benchSharded(algos []string, threads, shardCounts []int, dist harness.Dist, dur time.Duration, rep *benchfmt.Report) {
 	for _, ns := range shardCounts {
 		header := append([]string{"threads"}, algos...)
 		t := harness.NewTable(fmt.Sprintf(
 			"Sharded counter throughput, %d shard(s), %s over %d keys (Mops/sec)",
-			ns, dist.label, dist.keys), header...)
+			ns, dist.Label(), dist.Keys()), header...)
 		for _, th := range threads {
 			row := []any{th}
 			for _, algo := range algos {
-				res, occ, rounds, combined, pipe := runSharded(algo, ns, dist, th, dur)
-				if rep != nil {
-					sf := shardFairness(occ)
-					jr := jsonResult{
-						Bench: "sharded", Algo: algo, Threads: th,
-						Ops: res.Ops, Mops: res.Mops(), Fairness: res.Fairness(),
-						Rounds: rounds, Combined: combined,
-						Shards: ns, Dist: dist.label,
-						ShardOps: occ, ShardFairness: &sf, Pipe: pipe,
-					}
-					if jr.Mops > 0 {
-						jr.NsPerOp = 1e3 / jr.Mops
-					}
-					rep.Results = append(rep.Results, jr)
+				rec, err := measure.Sharded(algo, ns, dist, th, dur)
+				if err != nil {
+					fatalf("%v", err)
 				}
-				row = append(row, res.Mops())
+				if rep != nil {
+					rep.Add(rec)
+				}
+				row = append(row, rec.Mops)
 			}
 			if rep == nil {
 				t.AddRow(row...)
@@ -591,72 +416,12 @@ func benchSharded(algos []string, threads, shardCounts []int, dist distSpec, dur
 	}
 }
 
-// runAsync measures one pipelined point: th goroutines drive the native
-// counter workload keeping up to depth submissions outstanding per
-// handle (a sliding window of Submit with Wait on the oldest once the
-// window fills). depth 1 degenerates to the blocking Apply round trip;
-// deeper windows let a pipelining construction overlap submissions.
-func runAsync(algo string, depth, th int, dur time.Duration) (res harness.NativeResult, rounds, combined uint64, pipe *pipeJSON) {
-	var state uint64
-	ex, err := hybsync.New(algo, func(op, arg uint64) uint64 {
-		v := state
-		state = v + 1
-		return v
-	}, opts()...)
-	if err != nil {
-		fatalf("New(%s): %v", algo, err)
-	}
-	handles := make([]hybsync.Handle, th)
-	res = harness.RunNative(th, dur, 50, func(t int) func(uint64) {
-		h := hybsync.MustHandle(ex)
-		handles[t] = h
-		win := make([]hybsync.Ticket, depth)
-		var head, count int
-		return func(uint64) {
-			if count == depth {
-				h.Wait(win[head])
-				head = (head + 1) % depth
-				count--
-			}
-			tk, err := h.Submit(0, 0)
-			if err != nil {
-				panic(err)
-			}
-			win[(head+count)%depth] = tk
-			count++
-		}
-	})
-	// Drain the windows before closing. Concurrently: with CC-Synch a
-	// handle's unflushed cell can hold the combiner duty another
-	// handle's Flush is spinning on, so a sequential flush could stall.
-	var wg sync.WaitGroup
-	for _, h := range handles {
-		if h == nil {
-			continue
-		}
-		wg.Add(1)
-		go func(h hybsync.Handle) {
-			defer wg.Done()
-			h.Flush()
-		}(h)
-	}
-	wg.Wait()
-	if s, ok := ex.(hybsync.StatsSource); ok {
-		rounds, combined = s.Stats()
-	}
-	pipe = pipeOf(ex)
-	if err := ex.Close(); err != nil {
-		fatalf("Close(%s): %v", algo, err)
-	}
-	return res, rounds, combined, pipe
-}
-
 // benchAsync sweeps submission-window depth: throughput vs. how many
 // operations each handle keeps in flight. The interesting read is the
 // trajectory per algorithm — MP-SERVER should climb with depth
 // (requests pipeline through the server), the immediate-completion
 // constructions should stay flat.
-func benchAsync(algos []string, threads, depths []int, dur time.Duration, rep *report) {
+func benchAsync(algos []string, threads, depths []int, dur time.Duration, rep *benchfmt.Report) {
 	for _, th := range threads {
 		header := append([]string{"depth"}, algos...)
 		t := harness.NewTable(fmt.Sprintf(
@@ -665,19 +430,14 @@ func benchAsync(algos []string, threads, depths []int, dur time.Duration, rep *r
 		for _, depth := range depths {
 			row := []any{depth}
 			for _, algo := range algos {
-				res, rounds, combined, pipe := runAsync(algo, depth, th, dur)
-				if rep != nil {
-					jr := jsonResult{
-						Bench: "async", Algo: algo, Threads: th, Depth: depth,
-						Ops: res.Ops, Mops: res.Mops(), Fairness: res.Fairness(),
-						Rounds: rounds, Combined: combined, Pipe: pipe,
-					}
-					if jr.Mops > 0 {
-						jr.NsPerOp = 1e3 / jr.Mops
-					}
-					rep.Results = append(rep.Results, jr)
+				rec, err := measure.Async(algo, depth, th, dur)
+				if err != nil {
+					fatalf("%v", err)
 				}
-				row = append(row, res.Mops())
+				if rep != nil {
+					rep.Add(rec)
+				}
+				row = append(row, rec.Mops)
 			}
 			if rep == nil {
 				t.AddRow(row...)
@@ -689,93 +449,12 @@ func benchAsync(algos []string, threads, depths []int, dur time.Duration, rep *r
 	}
 }
 
-// batchCounter is the batch bench's native object: a run of increments
-// reads the shared value once, hands out results from a register and
-// writes the sum back — the object-side amortization DispatchBatch
-// exists for.
-type batchCounter struct{ state uint64 }
-
-func (o *batchCounter) DispatchBatch(reqs []hybsync.Req, results []uint64) {
-	v := o.state
-	for i := range reqs {
-		results[i] = v
-		v++
-	}
-	o.state = v
-}
-
-// runBatch measures one batched point: th goroutines each repeatedly
-// issue one ApplyBatch of b increments (reqs/results reused across
-// calls). Ops counts individual operations, so ns_per_op is directly
-// comparable with the per-op Apply path.
-func runBatch(algo string, b, th int, dur time.Duration) (res harness.NativeResult, rounds, combined uint64, pipe *pipeJSON) {
-	obj := &batchCounter{}
-	ex, err := hybsync.NewObject(algo, obj, opts()...)
-	if err != nil {
-		fatalf("NewObject(%s): %v", algo, err)
-	}
-	res = harness.RunNative(th, dur, 50, func(int) func(uint64) {
-		h := hybsync.MustHandle(ex)
-		reqs := make([]hybsync.Req, b)
-		rets := make([]uint64, b)
-		return func(uint64) { h.ApplyBatch(reqs, rets) }
-	})
-	// One iteration is b operations; rescale so Ops/Mops/fairness are
-	// per operation. ApplyBatch blocks until its batch completed, so
-	// nothing is in flight at close.
-	res.Ops *= uint64(b)
-	for i := range res.PerThread {
-		res.PerThread[i] *= uint64(b)
-	}
-	if s, ok := ex.(hybsync.StatsSource); ok {
-		rounds, combined = s.Stats()
-	}
-	pipe = pipeOf(ex)
-	if err := ex.Close(); err != nil {
-		fatalf("Close(%s): %v", algo, err)
-	}
-	return res, rounds, combined, pipe
-}
-
-// runBatchApply is runBatch's per-op baseline: the same counter driven
-// through scalar Apply calls (the legacy path's cost per operation).
-func runBatchApply(algo string, th int, dur time.Duration) (res harness.NativeResult, rounds, combined uint64, pipe *pipeJSON) {
-	obj := &batchCounter{}
-	ex, err := hybsync.NewObject(algo, obj, opts()...)
-	if err != nil {
-		fatalf("NewObject(%s): %v", algo, err)
-	}
-	res = harness.RunNative(th, dur, 50, func(int) func(uint64) {
-		h := hybsync.MustHandle(ex)
-		return func(uint64) { h.Apply(0, 0) }
-	})
-	if s, ok := ex.(hybsync.StatsSource); ok {
-		rounds, combined = s.Stats()
-	}
-	pipe = pipeOf(ex)
-	if err := ex.Close(); err != nil {
-		fatalf("Close(%s): %v", algo, err)
-	}
-	return res, rounds, combined, pipe
-}
-
 // benchBatch sweeps ApplyBatch size against the per-op Apply baseline:
 // the trajectory per algorithm shows how much of the dispatch and
 // transport cost the batch amortizes (mpserver: one round-trip wait per
 // batch; hybcomb: one promotion per combiner-path run; ccsynch: one
 // spin/handover per chain segment; locks: one acquisition per batch).
-func benchBatch(algos []string, threads, batchSizes []int, dur time.Duration, rep *report) {
-	record := func(algo, path string, b, th int, res harness.NativeResult, rounds, combined uint64, pipe *pipeJSON) {
-		jr := jsonResult{
-			Bench: "batch", Algo: algo, Threads: th, Batch: b, Path: path,
-			Ops: res.Ops, Mops: res.Mops(), Fairness: res.Fairness(),
-			Rounds: rounds, Combined: combined, Pipe: pipe,
-		}
-		if jr.Mops > 0 {
-			jr.NsPerOp = 1e3 / jr.Mops
-		}
-		rep.Results = append(rep.Results, jr)
-	}
+func benchBatch(algos []string, threads, batchSizes []int, dur time.Duration, rep *benchfmt.Report) {
 	for _, th := range threads {
 		header := append([]string{"batch"}, algos...)
 		t := harness.NewTable(fmt.Sprintf(
@@ -787,11 +466,14 @@ func benchBatch(algos []string, threads, batchSizes []int, dur time.Duration, re
 		// ApplyBatch measurement (path "batch", batch 1).
 		row := []any{0}
 		for _, algo := range algos {
-			res, rounds, combined, pipe := runBatchApply(algo, th, dur)
-			if rep != nil {
-				record(algo, "apply", 0, th, res, rounds, combined, pipe)
+			rec, err := measure.BatchApply(algo, th, dur)
+			if err != nil {
+				fatalf("%v", err)
 			}
-			row = append(row, res.Mops())
+			if rep != nil {
+				rep.Add(rec)
+			}
+			row = append(row, rec.Mops)
 		}
 		if rep == nil {
 			t.AddRow(row...)
@@ -799,11 +481,14 @@ func benchBatch(algos []string, threads, batchSizes []int, dur time.Duration, re
 		for _, b := range batchSizes {
 			row := []any{b}
 			for _, algo := range algos {
-				res, rounds, combined, pipe := runBatch(algo, b, th, dur)
-				if rep != nil {
-					record(algo, "batch", b, th, res, rounds, combined, pipe)
+				rec, err := measure.Batch(algo, b, th, dur)
+				if err != nil {
+					fatalf("%v", err)
 				}
-				row = append(row, res.Mops())
+				if rep != nil {
+					rep.Add(rec)
+				}
+				row = append(row, rec.Mops)
 			}
 			if rep == nil {
 				t.AddRow(row...)

@@ -1,0 +1,50 @@
+package harness
+
+import "testing"
+
+func TestParseDist(t *testing.T) {
+	d, err := ParseDist("uniform", 100)
+	if err != nil || d.Label() != "uniform" || d.Keys() != 100 {
+		t.Fatalf("uniform: %+v, %v", d, err)
+	}
+	z, err := ParseDist("zipf:0.99", 1000)
+	if err != nil || z.Label() != "zipf:0.99" {
+		t.Fatalf("zipf: %+v, %v", z, err)
+	}
+	for _, bad := range []string{"zipf:", "zipf:abc", "zipf:1.5", "zipf:0", "gauss", ""} {
+		if _, err := ParseDist(bad, 100); err == nil {
+			t.Errorf("ParseDist(%q) accepted", bad)
+		}
+	}
+	if _, err := ParseDist("uniform", 0); err == nil {
+		t.Error("zero key space accepted")
+	}
+}
+
+// Samplers are deterministic per thread and stay inside the key space.
+func TestDistSampler(t *testing.T) {
+	for _, label := range []string{"uniform", "zipf:0.9"} {
+		d, err := ParseDist(label, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := d.Sampler(3), d.Sampler(3)
+		other := d.Sampler(4)
+		var diverged bool
+		for i := 0; i < 1000; i++ {
+			x, y := a(), b()
+			if x != y {
+				t.Fatalf("%s: thread sampler not deterministic at draw %d: %d vs %d", label, i, x, y)
+			}
+			if x >= 64 {
+				t.Fatalf("%s: draw %d out of key space", label, x)
+			}
+			if other() != x {
+				diverged = true
+			}
+		}
+		if !diverged {
+			t.Errorf("%s: different threads produced identical streams", label)
+		}
+	}
+}

@@ -84,6 +84,24 @@ func (x *XorShift) Next() uint64 {
 // concurrent use across threads (each thread should build its own
 // handles inside setup).
 func RunNative(threads int, dur time.Duration, maxLocalWork uint64, setup func(thread int) func(i uint64)) NativeResult {
+	return RunNativeDrain(threads, dur, maxLocalWork, func(t int) (func(i uint64), func()) {
+		return setup(t), nil
+	})
+}
+
+// RunNativeDrain is RunNative for pipelined workloads: setup returns
+// the iteration body plus a drain func (may be nil) that the worker
+// goroutine itself runs after the stop flag fires, while the other
+// workers are still iterating or draining.
+//
+// The drain MUST run inside the worker, concurrently with its peers,
+// whenever a thread can exit the loop with submissions outstanding.
+// With CC-Synch an unwaited cell can hold the round's dormant combiner
+// duty — the duty another thread's in-loop Wait is spinning on — so
+// flushing the handles only after every worker returned deadlocks:
+// the spinner never exits, the flush never starts. (Found by the
+// hybsweep grid at gomaxprocs=2, algo=ccsynch, threads=4, depth=8.)
+func RunNativeDrain(threads int, dur time.Duration, maxLocalWork uint64, setup func(thread int) (body func(i uint64), drain func())) NativeResult {
 	var stop atomic.Bool
 	per := make([]uint64, threads)
 	var wg sync.WaitGroup
@@ -94,7 +112,7 @@ func RunNative(threads int, dur time.Duration, maxLocalWork uint64, setup func(t
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
-			body := setup(t)
+			body, drain := setup(t)
 			rng := NewXorShift(uint64(t + 1))
 			ready.Done()
 			start.Wait()
@@ -111,6 +129,9 @@ func RunNative(threads int, dur time.Duration, maxLocalWork uint64, setup func(t
 				if maxLocalWork > 0 {
 					LocalWork(rng.Next() % (maxLocalWork + 1))
 				}
+			}
+			if drain != nil {
+				drain()
 			}
 			per[t] = n
 		}(t)

@@ -1,0 +1,226 @@
+// Package benchfmt is the one definition of the repo's benchmark
+// record format. cmd/hybbench writes it (as an indented Report
+// envelope, the BENCH_*.json trajectory files), cmd/hybsweep streams
+// it (as self-contained SweepRecord JSONL lines, BENCH_sweep.jsonl),
+// and cmd/benchguard reads both — three binaries, one schema, no
+// parallel struct definitions drifting apart.
+//
+// Schema history:
+//
+//	v1 (unversioned, PRs 2–5): hybbench -json envelope with
+//	    gomaxprocs/goversion/numcpu and per-point results; batch-path
+//	    records carried combiner rounds/combined counters whose unit
+//	    is ill-defined for batched submissions.
+//	v2 (this package): explicit schema_version on the envelope and on
+//	    every JSONL line; ApplyBatch-path records omit rounds/combined
+//	    (see Record.Finish); SweepRecord adds cell index, skip reason,
+//	    error, elapsed time and inline host context.
+//
+// Readers tolerate v1 input: encoding/json leaves the absent fields
+// zero, and nothing below keys off schema_version except validation.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"hybsync/harness"
+)
+
+// SchemaVersion is the version stamped on everything this package
+// writes. Bump it when a field changes meaning, not when one is added:
+// added fields are backward-compatible by construction.
+const SchemaVersion = 2
+
+// Paths of a batch-bench record: the same object driven through scalar
+// Apply calls vs through ApplyBatch. Kept distinct so a consumer
+// keying on the batch field can never conflate the per-op baseline
+// (PathApply, no batch field) with a size-1 ApplyBatch measurement
+// (PathBatch, batch 1).
+const (
+	PathApply = "apply"
+	PathBatch = "batch"
+)
+
+// Host is the measurement context that makes records comparable
+// across machines and runs.
+type Host struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"goversion"`
+	NumCPU     int    `json:"numcpu"`
+}
+
+// CurrentHost captures the running process's context.
+func CurrentHost() Host {
+	return Host{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// Pipeline is the PipelineStats payload of a record; zero values are
+// meaningful (an unstalled run reports submit_stalls 0), so the whole
+// struct is pointer-omitted rather than field-omitted.
+type Pipeline struct {
+	SubmitStalls uint64 `json:"submit_stalls"`
+	MaxDepth     uint64 `json:"max_depth"`
+}
+
+// Record is one measured point. The shard_* fields appear only on
+// sharded-bench records: shard_ops is the per-shard occupancy profile
+// (how the keyed workload actually landed) and shard_fairness its
+// max/min ratio (1.0 = perfectly balanced).
+type Record struct {
+	Bench   string  `json:"bench,omitempty"`
+	Algo    string  `json:"algo"`
+	Threads int     `json:"threads"`
+	Ops     uint64  `json:"ops"`
+	Mops    float64 `json:"mops"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Fairness is the max/min per-thread op-count ratio (1 = ideal).
+	// On batch-path records the per-thread counts are rescaled to
+	// operations before the ratio is taken, so it stays comparable.
+	Fairness float64 `json:"fairness,omitempty"`
+	// Rounds/Combined are the executor's combining counters. They are
+	// meaningful only for scalar submissions (rounds+combined==ops);
+	// Finish strips them from ApplyBatch-path records.
+	Rounds   uint64   `json:"rounds,omitempty"`
+	Combined uint64   `json:"combined,omitempty"`
+	Shards   int      `json:"shards,omitempty"`
+	Dist     string   `json:"dist,omitempty"`
+	Depth    int      `json:"depth,omitempty"`
+	Batch    int      `json:"batch,omitempty"`
+	Path     string   `json:"path,omitempty"`
+	ShardOps []uint64 `json:"shard_ops,omitempty"`
+	// A pointer so sharded records keep the meaningful value 0 ("some
+	// shard was never touched") while non-sharded records omit the
+	// field entirely.
+	ShardFairness *float64  `json:"shard_fairness,omitempty"`
+	Pipe          *Pipeline `json:"pipeline,omitempty"`
+}
+
+// FromNative builds a Record from one harness measurement, deriving
+// the throughput metrics. Callers layer the bench-specific fields on
+// top and call Finish last.
+func FromNative(bench, algo string, threads int, res harness.NativeResult) Record {
+	r := Record{
+		Bench: bench, Algo: algo, Threads: threads,
+		Ops: res.Ops, Mops: res.Mops(), Fairness: res.Fairness(),
+	}
+	return r
+}
+
+// Finish normalizes a record before it is written anywhere:
+//
+//   - derives ns_per_op from mops;
+//   - enforces batch-record stats honesty: an ApplyBatch-path record
+//     drops the combiner rounds/combined counters, because with
+//     batched submissions the counters mix units (combiner rounds
+//     count batches, combined counts operations) and the scalar
+//     invariant rounds+combined==ops does not hold (PR 5 note).
+//
+// Finish is idempotent; every writer calls it as the last step.
+func (r *Record) Finish() {
+	if r.Mops > 0 {
+		r.NsPerOp = 1e3 / r.Mops
+	}
+	if r.Path == PathBatch {
+		r.Rounds, r.Combined = 0, 0
+	}
+}
+
+// Report is the hybbench -json envelope, the commit format of the
+// BENCH_*.json perf-trajectory files.
+type Report struct {
+	SchemaVersion int `json:"schema_version"`
+	Host
+	DurationMs int64    `json:"duration_ms_per_point"`
+	Results    []Record `json:"results"`
+}
+
+// NewReport starts an envelope stamped with the current host context.
+func NewReport(perPoint int64) *Report {
+	return &Report{SchemaVersion: SchemaVersion, Host: CurrentHost(), DurationMs: perPoint}
+}
+
+// Add finishes rec and appends it.
+func (rep *Report) Add(rec Record) {
+	rec.Finish()
+	rep.Results = append(rep.Results, rec)
+}
+
+// Encode writes the envelope, finishing every record first (Finish is
+// idempotent, so records added via Add are unaffected).
+func (rep *Report) Encode(w io.Writer) error {
+	for i := range rep.Results {
+		rep.Results[i].Finish()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadReport parses a hybbench -json envelope (v1 or v2).
+func ReadReport(r io.Reader) (Report, error) {
+	var rep Report
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// SweepRecord is one line of sweep JSONL (BENCH_sweep.jsonl). Unlike
+// Report results, every line is self-contained — it carries the
+// schema version and host context inline — so sweep files from
+// different GOMAXPROCS runs concatenate into one artifact and a
+// consumer never needs an envelope.
+//
+// Exactly one of three states holds per cell:
+//
+//   - measured: Skip and Error empty, the Record fields populated;
+//   - skipped: Skip names why the cell is invalid (e.g.
+//     "batch-and-depth-exclusive"); the axis fields still describe
+//     the cell but ops/mops are zero;
+//   - failed: Error carries the panic or timeout; axis fields as
+//     above.
+type SweepRecord struct {
+	SchemaVersion int `json:"schema_version"`
+	Host
+	Cell      int     `json:"cell"`
+	Skip      string  `json:"skip,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
+	Record
+}
+
+// ReadSweep parses sweep JSONL: one SweepRecord per non-empty line.
+func ReadSweep(r io.Reader) ([]SweepRecord, error) {
+	var out []SweepRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec SweepRecord
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("sweep line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+// Package measure holds the measurement cores shared by cmd/hybbench
+// and cmd/hybsweep: one function per bench leg (counter, sharded,
+// async, batch), each driving the native harness for a fixed duration
+// and returning one benchfmt.Record. Factoring them here means the
+// point benchmark and the grid sweep measure the same thing by
+// construction — a sweep cell at depth 8 runs the exact code
+// `hybbench -bench async -depth 8` runs.
+package measure
+
+import (
+	"fmt"
+	"time"
+
+	"hybsync"
+	"hybsync/harness"
+	"hybsync/internal/benchfmt"
+	"hybsync/object"
+)
+
+// opts sizes every construction generously enough for any thread
+// count the benches drive.
+func opts() []hybsync.Option { return []hybsync.Option{hybsync.WithMaxThreads(256)} }
+
+// pipeOf extracts the pipeline counters when src implements
+// hybsync.PipelineStats (read after every handle flushed).
+func pipeOf(src any) *benchfmt.Pipeline {
+	if p, ok := src.(hybsync.PipelineStats); ok {
+		st, d := p.Pipeline()
+		return &benchfmt.Pipeline{SubmitStalls: st, MaxDepth: d}
+	}
+	return nil
+}
+
+// Counter measures one counter-increment point: th goroutines of
+// blocking Inc round trips through algo (plus the executor's combining
+// stats, when it keeps them).
+func Counter(algo string, th int, dur time.Duration) (benchfmt.Record, error) {
+	c, err := object.NewCounter(algo, opts()...)
+	if err != nil {
+		return benchfmt.Record{}, fmt.Errorf("NewCounter(%s): %w", algo, err)
+	}
+	defer c.Close()
+	res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
+		h, err := c.NewHandle()
+		if err != nil {
+			panic(err)
+		}
+		return func(uint64) { h.Inc() }
+	})
+	rec := benchfmt.FromNative("counter", algo, th, res)
+	rec.Rounds, rec.Combined, _ = c.Stats()
+	rec.Finish()
+	return rec, nil
+}
+
+// Sharded measures one sharded-counter point: th goroutines drive
+// keyed increments (keys drawn from dist) through a router over
+// nshards executors of algo. The record carries the per-shard
+// occupancy profile and its max/min fairness.
+func Sharded(algo string, nshards int, dist harness.Dist, th int, dur time.Duration) (benchfmt.Record, error) {
+	c, err := object.NewShardedCounter(algo, nshards, opts()...)
+	if err != nil {
+		return benchfmt.Record{}, fmt.Errorf("NewShardedCounter(%s, %d): %w", algo, nshards, err)
+	}
+	defer c.Close()
+	res := harness.RunNative(th, dur, 50, func(t int) func(uint64) {
+		h, err := c.NewHandle()
+		if err != nil {
+			panic(err)
+		}
+		draw := dist.Sampler(t)
+		return func(uint64) {
+			if _, err := h.Inc(draw()); err != nil {
+				panic(err)
+			}
+		}
+	})
+	rec := benchfmt.FromNative("sharded", algo, th, res)
+	rec.Shards, rec.Dist = nshards, dist.Label()
+	occ := c.Occupancy()
+	sf := harness.NativeResult{PerThread: occ}.Fairness()
+	rec.ShardOps, rec.ShardFairness = occ, &sf
+	rec.Rounds, rec.Combined, _ = c.Stats()
+	if st, d, ok := c.Pipeline(); ok {
+		rec.Pipe = &benchfmt.Pipeline{SubmitStalls: st, MaxDepth: d}
+	}
+	rec.Finish()
+	return rec, nil
+}
+
+// Async measures one pipelined point: th goroutines drive the native
+// counter workload keeping up to depth submissions outstanding per
+// handle (a sliding window of Submit with Wait on the oldest once the
+// window fills). depth 1 degenerates to the blocking Apply round
+// trip; deeper windows let a pipelining construction overlap
+// submissions.
+func Async(algo string, depth, th int, dur time.Duration) (benchfmt.Record, error) {
+	var state uint64
+	ex, err := hybsync.New(algo, func(op, arg uint64) uint64 {
+		v := state
+		state = v + 1
+		return v
+	}, opts()...)
+	if err != nil {
+		return benchfmt.Record{}, fmt.Errorf("New(%s): %w", algo, err)
+	}
+	// Each worker drains its own window in its own goroutine (the drain
+	// half of RunNativeDrain), while its peers are still running: with
+	// CC-Synch a stopping thread's unwaited cell can hold the combiner
+	// duty another thread's in-loop Wait is spinning on, so deferring
+	// every Flush until all workers exited would deadlock.
+	res := harness.RunNativeDrain(th, dur, 50, func(t int) (func(uint64), func()) {
+		h := hybsync.MustHandle(ex)
+		win := make([]hybsync.Ticket, depth)
+		var head, count int
+		body := func(uint64) {
+			if count == depth {
+				h.Wait(win[head])
+				head = (head + 1) % depth
+				count--
+			}
+			tk, err := h.Submit(0, 0)
+			if err != nil {
+				panic(err)
+			}
+			win[(head+count)%depth] = tk
+			count++
+		}
+		return body, h.Flush
+	})
+	rec := benchfmt.FromNative("async", algo, th, res)
+	rec.Depth = depth
+	if s, ok := ex.(hybsync.StatsSource); ok {
+		rec.Rounds, rec.Combined = s.Stats()
+	}
+	rec.Pipe = pipeOf(ex)
+	if err := ex.Close(); err != nil {
+		return benchfmt.Record{}, fmt.Errorf("Close(%s): %w", algo, err)
+	}
+	rec.Finish()
+	return rec, nil
+}
+
+// batchCounter is the batch bench's native object: a run of increments
+// reads the shared value once, hands out results from a register and
+// writes the sum back — the object-side amortization DispatchBatch
+// exists for.
+type batchCounter struct{ state uint64 }
+
+func (o *batchCounter) DispatchBatch(reqs []hybsync.Req, results []uint64) {
+	v := o.state
+	for i := range reqs {
+		results[i] = v
+		v++
+	}
+	o.state = v
+}
+
+// Batch measures one batched point: th goroutines each repeatedly
+// issue one ApplyBatch of b increments (reqs/results reused across
+// calls). Ops and the per-thread counts are rescaled to individual
+// operations, so ns_per_op and fairness are directly comparable with
+// the per-op Apply path; the combiner rounds/combined counters are NOT
+// attached — their unit is ill-defined for batched submissions
+// (benchfmt.Record.Finish strips them anyway).
+func Batch(algo string, b, th int, dur time.Duration) (benchfmt.Record, error) {
+	obj := &batchCounter{}
+	ex, err := hybsync.NewObject(algo, obj, opts()...)
+	if err != nil {
+		return benchfmt.Record{}, fmt.Errorf("NewObject(%s): %w", algo, err)
+	}
+	res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
+		h := hybsync.MustHandle(ex)
+		reqs := make([]hybsync.Req, b)
+		rets := make([]uint64, b)
+		return func(uint64) { h.ApplyBatch(reqs, rets) }
+	})
+	// One iteration is b operations; rescale so Ops/Mops/fairness are
+	// per operation. ApplyBatch blocks until its batch completed, so
+	// nothing is in flight at close.
+	res.Ops *= uint64(b)
+	for i := range res.PerThread {
+		res.PerThread[i] *= uint64(b)
+	}
+	rec := benchfmt.FromNative("batch", algo, th, res)
+	rec.Batch, rec.Path = b, benchfmt.PathBatch
+	rec.Pipe = pipeOf(ex)
+	if err := ex.Close(); err != nil {
+		return benchfmt.Record{}, fmt.Errorf("Close(%s): %w", algo, err)
+	}
+	rec.Finish()
+	return rec, nil
+}
+
+// BatchApply is Batch's per-op baseline: the same counter object
+// driven through scalar Apply calls (the legacy path's cost per
+// operation). Records carry path "apply" and no batch field.
+func BatchApply(algo string, th int, dur time.Duration) (benchfmt.Record, error) {
+	obj := &batchCounter{}
+	ex, err := hybsync.NewObject(algo, obj, opts()...)
+	if err != nil {
+		return benchfmt.Record{}, fmt.Errorf("NewObject(%s): %w", algo, err)
+	}
+	res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
+		h := hybsync.MustHandle(ex)
+		return func(uint64) { h.Apply(0, 0) }
+	})
+	rec := benchfmt.FromNative("batch", algo, th, res)
+	rec.Path = benchfmt.PathApply
+	if s, ok := ex.(hybsync.StatsSource); ok {
+		rec.Rounds, rec.Combined = s.Stats()
+	}
+	rec.Pipe = pipeOf(ex)
+	if err := ex.Close(); err != nil {
+		return benchfmt.Record{}, fmt.Errorf("Close(%s): %w", algo, err)
+	}
+	rec.Finish()
+	return rec, nil
+}

@@ -1,0 +1,140 @@
+package sweep
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustGrid(t *testing.T, axes ...Axis) *Grid {
+	t.Helper()
+	g, err := New(axes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func baseGrid(t *testing.T) *Grid {
+	return mustGrid(t,
+		Axis{Name: "algo", Values: []string{"mpserver", "hybcomb"}},
+		Axis{Name: "threads", Values: []string{"1"}},
+		Axis{Name: "depth", Values: []string{"1"}},
+	)
+}
+
+func TestNewRejectsBadAxes(t *testing.T) {
+	if _, err := New(Axis{Name: "", Values: []string{"x"}}); err == nil {
+		t.Error("unnamed axis accepted")
+	}
+	if _, err := New(Axis{Name: "a", Values: nil}); err == nil {
+		t.Error("empty axis accepted")
+	}
+	if _, err := New(Axis{Name: "a", Values: []string{"1"}}, Axis{Name: "a", Values: []string{"2"}}); err == nil {
+		t.Error("duplicate axis accepted")
+	}
+}
+
+func TestParseOverrides(t *testing.T) {
+	g := baseGrid(t)
+	if err := g.ParseOverrides("threads= 1, 2 ,4 ; depth=8;"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := g.Values("threads"); !reflect.DeepEqual(got, []string{"1", "2", "4"}) {
+		t.Errorf("threads = %v", got)
+	}
+	if got, _ := g.Values("depth"); !reflect.DeepEqual(got, []string{"8"}) {
+		t.Errorf("depth = %v", got)
+	}
+	// Unnamed axes keep their defaults.
+	if got, _ := g.Values("algo"); !reflect.DeepEqual(got, []string{"mpserver", "hybcomb"}) {
+		t.Errorf("algo = %v", got)
+	}
+}
+
+func TestParseOverridesErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus=1",     // unknown axis
+		"threads",     // no '='
+		"threads=",    // empty value list
+		"threads= , ", // only blanks
+	} {
+		g := baseGrid(t)
+		if err := g.ParseOverrides(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	// The unknown-axis error names the known axes.
+	g := baseGrid(t)
+	err := g.ParseOverrides("bogus=1")
+	if err == nil || !strings.Contains(err.Error(), "algo") {
+		t.Errorf("unknown-axis error does not name known axes: %v", err)
+	}
+}
+
+func TestIntAxis(t *testing.T) {
+	g := baseGrid(t)
+	if err := g.ParseOverrides("threads=1,2,4"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.IntAxis("threads")
+	if err != nil || !reflect.DeepEqual(got, []int{1, 2, 4}) {
+		t.Fatalf("IntAxis = %v, %v", got, err)
+	}
+	if _, err := g.IntAxis("algo"); err == nil {
+		t.Error("non-integer axis accepted")
+	}
+	g2 := baseGrid(t)
+	_ = g2.ParseOverrides("threads=0")
+	if _, err := g2.IntAxis("threads"); err == nil {
+		t.Error("non-positive value accepted")
+	}
+}
+
+// TestCellsDeterministic pins the enumeration contract: contiguous
+// indices from 0, last axis fastest, identical across calls.
+func TestCellsDeterministic(t *testing.T) {
+	g := mustGrid(t,
+		Axis{Name: "a", Values: []string{"x", "y"}},
+		Axis{Name: "b", Values: []string{"1", "2", "3"}},
+	)
+	cells := g.Cells()
+	if len(cells) != 6 {
+		t.Fatalf("got %d cells, want 6", len(cells))
+	}
+	expect := [][2]string{
+		{"x", "1"}, {"x", "2"}, {"x", "3"},
+		{"y", "1"}, {"y", "2"}, {"y", "3"},
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d has Index %d", i, c.Index)
+		}
+		if c.Get("a") != expect[i][0] || c.Get("b") != expect[i][1] {
+			t.Errorf("cell %d = %s, want a=%s b=%s", i, c, expect[i][0], expect[i][1])
+		}
+	}
+	again := g.Cells()
+	for i := range cells {
+		if cells[i].String() != again[i].String() {
+			t.Fatalf("enumeration not deterministic at %d: %s vs %s", i, cells[i], again[i])
+		}
+	}
+}
+
+func TestCellAccessors(t *testing.T) {
+	g := mustGrid(t, Axis{Name: "threads", Values: []string{"4"}}, Axis{Name: "algo", Values: []string{"mpserver"}})
+	c := g.Cells()[0]
+	if n, err := c.Int("threads"); err != nil || n != 4 {
+		t.Errorf("Int(threads) = %d, %v", n, err)
+	}
+	if _, err := c.Int("algo"); err == nil {
+		t.Error("Int over symbolic value accepted")
+	}
+	if _, err := c.Int("missing"); err == nil {
+		t.Error("Int over missing axis accepted")
+	}
+	if s := c.String(); s != "algo=mpserver threads=4" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,36 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// JSONLWriter streams values as JSON Lines: one compact JSON document
+// per line, buffered, flushed on demand. Lines are self-contained, so
+// files produced by separate runs (e.g. GOMAXPROCS=1 and =2 sweeps)
+// concatenate into one valid artifact.
+type JSONLWriter struct {
+	buf *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLWriter wraps w. Call Flush before closing the underlying
+// writer.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	buf := bufio.NewWriter(w)
+	return &JSONLWriter{buf: buf, enc: json.NewEncoder(buf)}
+}
+
+// Write emits v as one line and flushes it, so a consumer tailing the
+// file sees each cell as soon as it is recorded (json.Encoder.Encode
+// appends the newline).
+func (w *JSONLWriter) Write(v any) error {
+	if err := w.enc.Encode(v); err != nil {
+		return err
+	}
+	return w.buf.Flush()
+}
+
+// Flush drains the buffer.
+func (w *JSONLWriter) Flush() error { return w.buf.Flush() }

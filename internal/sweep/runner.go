@@ -1,0 +1,155 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Result is the outcome of one cell. Exactly one of the three states
+// holds: skipped (Skip non-empty, never run), failed (Err non-nil:
+// the cell panicked or timed out), or measured (Value as returned by
+// the runner's Run).
+type Result struct {
+	Cell    Cell
+	Skip    string
+	Err     error
+	Value   any
+	Elapsed time.Duration
+}
+
+// Runner fans grid cells across a worker pool.
+//
+// Workers is the pool size. For perf sweeps it should be 1 — cells
+// measured concurrently contend for the same cores and distort each
+// other — but the pool exists so exploratory sweeps over cheap cells
+// can trade accuracy for wall-clock.
+//
+// Check, if set, vets a cell before it runs; a non-empty return is
+// the skip-reason and Run is never called for that cell (e.g.
+// "batch-and-depth-exclusive" for grid corners the execution model
+// does not define).
+//
+// Timeout, if positive, bounds each Run call. A cell that exceeds it
+// fails with a timeout error and its goroutine is abandoned —
+// goroutines cannot be killed, so a truly wedged measurement leaks
+// until process exit. That is the accepted cost of turning a
+// deadlocked construction into a red sweep record instead of a hung
+// harness.
+//
+// Run performs the measurement. It may panic: panics are recovered
+// into Result.Err with a stack, and the sweep continues.
+type Runner struct {
+	Workers int
+	Timeout time.Duration
+	Check   func(Cell) string
+	Run     func(Cell) (any, error)
+}
+
+// Sweep runs every cell and calls emit exactly once per cell, from a
+// single goroutine, in the order the cells were given (results are
+// reordered internally, so emit can stream JSONL straight to a file
+// and the output order is deterministic regardless of worker
+// scheduling). It returns the counts of measured, skipped and failed
+// cells.
+func (r *Runner) Sweep(cells []Cell, emit func(Result)) (measured, skipped, failed int) {
+	workers := r.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	type job struct {
+		pos  int
+		cell Cell
+	}
+	type done struct {
+		pos int
+		res Result
+	}
+	jobs := make(chan job)
+	results := make(chan done, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				results <- done{j.pos, r.runCell(j.cell)}
+			}
+		}()
+	}
+	go func() {
+		for pos, cell := range cells {
+			jobs <- job{pos, cell}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	// Reorder completions back into submission order so emit streams
+	// deterministically.
+	pending := make(map[int]Result)
+	next := 0
+	count := func(res Result) {
+		switch {
+		case res.Skip != "":
+			skipped++
+		case res.Err != nil:
+			failed++
+		default:
+			measured++
+		}
+	}
+	for d := range results {
+		pending[d.pos] = d.res
+		for {
+			res, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			count(res)
+			emit(res)
+		}
+	}
+	return measured, skipped, failed
+}
+
+// runCell executes one cell with skip vetting, panic recovery and the
+// per-cell timeout.
+func (r *Runner) runCell(cell Cell) Result {
+	if r.Check != nil {
+		if reason := r.Check(cell); reason != "" {
+			return Result{Cell: cell, Skip: reason}
+		}
+	}
+	type outcome struct {
+		value any
+		err   error
+	}
+	ch := make(chan outcome, 1) // buffered: a timed-out cell's goroutine must not block forever on send
+	start := time.Now()
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{err: fmt.Errorf("panic: %v\n%s", p, debug.Stack())}
+			}
+		}()
+		v, err := r.Run(cell)
+		ch <- outcome{value: v, err: err}
+	}()
+	if r.Timeout > 0 {
+		timer := time.NewTimer(r.Timeout)
+		defer timer.Stop()
+		select {
+		case o := <-ch:
+			return Result{Cell: cell, Value: o.value, Err: o.err, Elapsed: time.Since(start)}
+		case <-timer.C:
+			return Result{Cell: cell, Err: fmt.Errorf("timed out after %v (goroutine abandoned)", r.Timeout), Elapsed: time.Since(start)}
+		}
+	}
+	o := <-ch
+	return Result{Cell: cell, Value: o.value, Err: o.err, Elapsed: time.Since(start)}
+}
