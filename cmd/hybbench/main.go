@@ -47,7 +47,7 @@ import (
 var defaultAlgos = []string{"mpserver", "hybcomb", "shmserver", "ccsynch", "mcs-lock"}
 
 func main() {
-	bench := flag.String("bench", "all", "benchmark: counter, queue, stack, fairness, sharded, async, batch, all")
+	bench := flag.String("bench", "all", "benchmark: counter, queue, stack, fairness, sharded, async, batch, chaos, all")
 	dur := flag.Duration("dur", 200*time.Millisecond, "measurement duration per point")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default scales to GOMAXPROCS)")
 	algosFlag := flag.String("algos", "", "comma-separated algorithm names from the registry (default a representative five; 'all' for every registered algorithm)")
@@ -55,6 +55,7 @@ func main() {
 	depthFlag := flag.String("depth", "1,2,4,8", "comma-separated outstanding-window depths for the async bench")
 	batchFlag := flag.String("batch", "1,2,4,8,16,32", "comma-separated ApplyBatch sizes for the batch bench")
 	distFlag := flag.String("dist", "uniform", "keyed-workload distribution for the sharded bench: uniform or zipf:theta (0<theta<1, e.g. zipf:0.99)")
+	seedFlag := flag.Uint64("seed", 1, "chaos-bench seed for the schedule perturber and delay injector")
 	keysFlag := flag.Uint64("keys", 1<<16, "key-space size for the sharded bench")
 	list := flag.Bool("list", false, "print the registered algorithm names and exit")
 	jsonFlag := flag.Bool("json", false, "emit machine-readable JSON instead of tables (for BENCH_*.json files)")
@@ -121,6 +122,8 @@ func main() {
 		benchAsync(algos, threads, depths, *dur, rep)
 	case "batch":
 		benchBatch(algos, threads, batchSizes, *dur, rep)
+	case "chaos":
+		benchChaos(algos, threads, *seedFlag, *dur, rep)
 	case "all":
 		benchCounter(algos, threads, *dur, rep)
 		benchQueue(algos, threads, *dur, rep)
@@ -497,6 +500,36 @@ func benchBatch(algos []string, threads, batchSizes []int, dur time.Duration, re
 		if rep == nil {
 			t.Render(os.Stdout)
 		}
+	}
+}
+
+// benchChaos measures the chaos leg: throughput under a seeded
+// schedule perturber and delay-injected dispatch, bracketed by
+// fault-containment and conservation checks (see measure.Chaos). The
+// chaos leg is deliberately NOT part of -bench all — its perturber is
+// process-global and would distort the clean legs' numbers.
+func benchChaos(algos []string, threads []int, seed uint64, dur time.Duration, rep *benchfmt.Report) {
+	header := append([]string{"threads"}, algos...)
+	t := harness.NewTable(fmt.Sprintf(
+		"Chaos counter throughput under perturbed scheduling, seed %d (Mops/sec)", seed), header...)
+	for _, th := range threads {
+		row := []any{th}
+		for _, algo := range algos {
+			rec, err := measure.Chaos(algo, seed, th, dur)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if rep != nil {
+				rep.Add(rec)
+			}
+			row = append(row, rec.Mops)
+		}
+		if rep == nil {
+			t.AddRow(row...)
+		}
+	}
+	if rep == nil {
+		t.Render(os.Stdout)
 	}
 }
 

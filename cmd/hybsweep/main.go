@@ -180,6 +180,17 @@ func main() {
 	runner := &sweep.Runner{
 		Workers: *workers,
 		Timeout: *cellTimeout,
+		// A timed-out cell's goroutine is abandoned, but the executor it
+		// was driving must not wedge forever: poisoning every live
+		// tracked executor completes the abandoned cell's waiters with
+		// ErrPoisoned and lets its server goroutines drain and exit.
+		// (With Workers > 1 this also condemns concurrently-running
+		// cells — their records fail loudly rather than silently skew.)
+		OnTimeout: func(c sweep.Cell) {
+			if n := measure.PoisonLive(fmt.Sprintf("hybsweep: cell %s exceeded -cell-timeout", c)); n > 0 {
+				fmt.Fprintf(os.Stderr, "hybsweep: cell %s timed out; poisoned %d live executor(s)\n", c, n)
+			}
+		},
 		Check: func(c sweep.Cell) string {
 			a, err := decode(c)
 			if err != nil {

@@ -1,6 +1,8 @@
 package hybsync
 
 import (
+	"time"
+
 	"hybsync/internal/core"
 
 	// The construction packages self-register with the algorithm
@@ -99,6 +101,30 @@ var (
 	ErrBadOption          = core.ErrBadOption
 )
 
+// Fault-model sentinels; test with errors.Is. ErrPoisoned marks a
+// terminal executor fault (every error an executor reports after a
+// fault wraps it — see the Executor contract's Close-vs-Poison note
+// and DESIGN.md "Fault model"); ErrNotReady and ErrWaitTimeout are the
+// non-fatal outcomes of TryWait and WaitTimeout (the ticket stays
+// redeemable).
+var (
+	ErrPoisoned    = core.ErrPoisoned
+	ErrNotReady    = core.ErrNotReady
+	ErrWaitTimeout = core.ErrWaitTimeout
+)
+
+// PoisonError is the concrete error a poisoned executor reports: the
+// recovered panic value and the stack of the dispatch that raised it,
+// wrapping ErrPoisoned. Retrieve it with errors.As.
+type PoisonError = core.PoisonError
+
+// Poisonable is implemented by every built-in executor (and the shard
+// router): Poison(v) transitions it to the terminal poisoned state
+// exactly as an object panic would, for callers that detect a fault
+// out-of-band (a failed invariant check, a watchdog) and want the
+// executor condemned rather than half-trusted.
+type Poisonable = core.Poisonable
+
 // WithMaxThreads bounds how many handles an executor hands out
 // (default 128).
 func WithMaxThreads(n int) Option { return core.WithMaxThreads(n) }
@@ -119,6 +145,14 @@ func WithShards(n int) Option { return core.WithShards(n) }
 // WithChanQueues selects the Go-channel queue backend of "mpserver" and
 // "hybcomb" instead of the default lock-free ring (ablation).
 func WithChanQueues(on bool) Option { return core.WithChanQueues(on) }
+
+// WithStallTimeout arms the stall watchdog: any blocking wait inside
+// the construction (a client awaiting its response, a combiner
+// awaiting its predecessor) that makes no progress for d reports once
+// to the backoff package's stall handler — by default a goroutine dump
+// on stderr — without affecting the wait itself. 0 (the default)
+// disables the watchdog and keeps the hot path free of clock reads.
+func WithStallTimeout(d time.Duration) Option { return core.WithStallTimeout(d) }
 
 // New constructs the named algorithm around a legacy scalar dispatch
 // function (wrapped in Func); NewObject is the batch-aware primary

@@ -83,8 +83,22 @@ func (c *Counter) NewHandle() (*CounterHandle, error) {
 	return &CounterHandle{h: h}, nil
 }
 
-// Close shuts down the underlying executor; idempotent.
+// Close shuts down the underlying executor; idempotent. On a poisoned
+// executor it still shuts down and reports the *PoisonError.
 func (c *Counter) Close() error { return c.exec.Close() }
+
+// Err reports the underlying executor's terminal fault (a *PoisonError
+// wrapping core.ErrPoisoned), or nil while it is healthy.
+func (c *Counter) Err() error { return c.exec.Err() }
+
+// Poison condemns the underlying executor as if its object had
+// panicked — for callers that detect a counter invariant violation
+// out-of-band. No-op when the executor does not accept faults.
+func (c *Counter) Poison(v any) {
+	if p, ok := c.exec.(core.Poisonable); ok {
+		p.Poison(v)
+	}
+}
 
 // Value reads the counter; call only while no increments are in flight.
 func (c *Counter) Value() uint64 { return c.value }

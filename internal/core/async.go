@@ -1,5 +1,7 @@
 package core
 
+import "time"
+
 // Ticket identifies one outstanding asynchronous operation. A Ticket is
 // meaningful only to the Handle that issued it and must be redeemed
 // with that Handle's Wait exactly once (or settled by Flush, which
@@ -68,6 +70,19 @@ func (h *syncHandle) Submit(op, arg uint64) (Ticket, error) {
 }
 
 func (h *syncHandle) Wait(t Ticket) uint64 { return h.im.Take(t) }
+
+// TryWait and WaitTimeout are trivially Wait: every submission
+// completed at Submit time, so an outstanding ticket is always ready.
+func (h *syncHandle) TryWait(t Ticket) (uint64, error) { return h.im.Take(t), nil }
+
+func (h *syncHandle) WaitTimeout(t Ticket, d time.Duration) (uint64, error) {
+	return h.im.Take(t), nil
+}
+
+// Err implements Handle. An adapted bare function has no servicing
+// path of its own and therefore no poison latch; the adapting
+// application owns its fault handling.
+func (h *syncHandle) Err() error { return nil }
 
 func (h *syncHandle) Post(op, arg uint64) error {
 	h.apply(op, arg)

@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"hybsync/internal/mpq"
 )
@@ -56,17 +57,38 @@ type Dispatch func(op, arg uint64) uint64
 // MaxThreads is exhausted or the executor is closed, and Close is
 // idempotent and safe to call exactly like any other — even on
 // constructions that own no background resources.
+//
+// Close versus Poison: Close is the orderly exit — it drains or
+// completes whatever is still in flight (every construction guarantees
+// that a ticket submitted before Close remains redeemable with Wait
+// after it), stops background goroutines, and seals the executor
+// against new handles. Poison (see Poisonable) is the fault exit — a
+// terminal latch, tripped by a panic escaping Object.DispatchBatch on
+// the servicing path or set explicitly, after which the object is
+// never invoked again and all machinery keeps running with zero
+// results so no waiter is left hanging. The two compose: Close on a
+// poisoned executor still performs its shutdown and reports the
+// *PoisonError.
 type Executor interface {
 	// NewHandle returns a per-goroutine handle. Each goroutine that
 	// submits operations must use its own Handle. It fails with
-	// ErrTooManyHandles once MaxThreads handles exist and with ErrClosed
-	// after Close.
+	// ErrTooManyHandles once MaxThreads handles exist, with ErrClosed
+	// after Close, and with the *PoisonError once poisoned.
 	NewHandle() (Handle, error)
 
 	// Close releases any background resources (server goroutines) and
-	// fails subsequent NewHandle calls. It is idempotent; no Apply may
-	// be in flight or issued afterwards.
+	// fails subsequent NewHandle calls. It is idempotent. Operations
+	// submitted before Close stay redeemable: their results are drained
+	// into the completion streams (or were banked at submission), so
+	// Wait and Flush still work afterwards; no new operation may be
+	// issued. On a poisoned executor Close still shuts down and returns
+	// the *PoisonError.
 	Close() error
+
+	// Err reports the executor's fault state: nil while healthy, the
+	// *PoisonError (wrapping ErrPoisoned) once a servicing-path panic
+	// or an explicit Poison latched the terminal poisoned state.
+	Err() error
 }
 
 // Handle submits operations on behalf of one goroutine. The contract
@@ -135,6 +157,34 @@ type Handle interface {
 	// combiner-path remainder as one round's own run, and CC-SYNCH's
 	// combiner serves the published cells as one chain segment.
 	ApplyBatch(reqs []Req, results []uint64)
+
+	// TryWait is the non-blocking Wait: if t's operation has completed,
+	// it redeems the ticket and returns the result exactly like Wait;
+	// otherwise it returns ErrNotReady and the ticket remains
+	// outstanding and redeemable. TryWait never waits for another
+	// thread, but on the combining constructions it may perform work
+	// this handle already owes (an inherited CC-SYNCH combining round
+	// whose hand-off has arrived). Like Wait, calling it with a
+	// redeemed or foreign ticket panics. On a poisoned executor a
+	// completed ticket redeems with the *PoisonError alongside the
+	// value — results produced after the fault are zeros.
+	TryWait(t Ticket) (uint64, error)
+
+	// WaitTimeout is Wait bounded by d: it blocks until t's operation
+	// completes and redeems the ticket, or returns ErrWaitTimeout after
+	// d with the ticket still outstanding and redeemable (retry, or
+	// fall back to Wait). The bound covers waiting on other threads; a
+	// dispatch this handle itself must execute (immediate-completion
+	// constructions, an inherited combining round) is not interrupted.
+	// The poison semantics are TryWait's.
+	WaitTimeout(t Ticket, d time.Duration) (uint64, error)
+
+	// Err reports the executor's fault state, exactly as Executor.Err:
+	// nil while healthy, the *PoisonError once poisoned. After
+	// poisoning, Apply returns zeros, Submit and Post fail fast with
+	// the *PoisonError, and already-submitted tickets remain waitable
+	// (completing with zeros for operations the object never executed).
+	Err() error
 }
 
 // StatsSource is implemented by the combining constructions (HybComb,
@@ -209,6 +259,14 @@ type Options struct {
 	// Shards is the shard count consumed by the shard router (default
 	// 1). The single-executor constructions ignore it.
 	Shards int
+	// StallTimeout arms the stall watchdog on the construction's wait
+	// loops (a client awaiting its response or cell service, a HybComb
+	// successor awaiting its predecessor's round): a wait that reaches
+	// the backoff sleep phase and makes no progress for this long
+	// reports once through internal/backoff's stall handler — by
+	// default a goroutine dump to stderr. 0 (the default) disables the
+	// watchdog; disabled waits never read a clock.
+	StallTimeout time.Duration
 	// UseChanQueues selects the channel backend instead of the lock-free
 	// ring (ablation).
 	UseChanQueues bool
@@ -275,6 +333,22 @@ func WithShards(n int) Option {
 			return
 		}
 		o.Shards = n
+	}
+}
+
+// WithStallTimeout arms the stall watchdog: a construction wait loop
+// that makes no progress for d reports once (by default a goroutine
+// dump to stderr — see backoff.SetStallHandler). Pick d well above any
+// legitimate service time; the watchdog is a diagnostic, not a
+// timeout — the wait continues after reporting. A negative d is
+// rejected with ErrBadOption; 0 (the default) disables the watchdog.
+func WithStallTimeout(d time.Duration) Option {
+	return func(o *Options) {
+		if d < 0 {
+			o.reject("WithStallTimeout", int(d))
+			return
+		}
+		o.StallTimeout = d
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"hybsync/internal/backoff"
@@ -48,6 +49,7 @@ import (
 // successor, so responses from earlier rounds always precede those
 // from later ones.
 type HybComb struct {
+	PoisonLatch
 	opts Options
 	obj  Object
 
@@ -86,6 +88,7 @@ type hcNode struct {
 func NewHybComb(obj Object, opts Options) *HybComb {
 	opts.fill()
 	h := &HybComb{opts: opts, obj: obj}
+	h.Algo = "hybcomb"
 	h.inbox = make([]mpq.Queue, opts.MaxThreads)
 	h.resp = make([]mpq.Queue, opts.MaxThreads)
 	for i := range h.inbox {
@@ -109,6 +112,9 @@ func NewHybComb(obj Object, opts Options) *HybComb {
 
 // NewHandle implements Executor.
 func (h *HybComb) NewHandle() (Handle, error) {
+	if err := h.Err(); err != nil {
+		return nil, fmt.Errorf("core: hybcomb: %w", err)
+	}
 	if h.closed.Load() {
 		return nil, fmt.Errorf("core: hybcomb: %w", ErrClosed)
 	}
@@ -120,6 +126,8 @@ func (h *HybComb) NewHandle() (Handle, error) {
 	n.threadID.Store(id)
 	n.nOps.Store(h.opts.MaxOps) // parked: nobody can register with it
 	bl := h.opts.batchLen()
+	tk := mpq.NewTicketed(h.resp[id])
+	tk.Arm(h.opts.StallTimeout, "hybcomb: client awaiting combiner response")
 	return &hcHandle{
 		h:       h,
 		id:      id,
@@ -127,15 +135,21 @@ func (h *HybComb) NewHandle() (Handle, error) {
 		batch:   make([]mpq.Msg, bl),
 		runReqs: make([]Req, bl),
 		runRets: make([]uint64, bl),
-		tk:      mpq.NewTicketed(h.resp[id]),
+		tk:      tk,
+		wb:      backoff.Armed(h.opts.StallTimeout, "hybcomb: combiner awaiting predecessor round"),
 	}, nil
 }
 
-// Close implements Executor. HybComb owns no background goroutine, so
-// closing only fails future NewHandle calls; it is idempotent.
+// Close implements Executor. HybComb owns no background goroutine —
+// every in-flight registered request is served by its round's combiner
+// (a thread inside an older Apply/Submit call) before that call
+// returns, so at Close time outstanding results already sit on their
+// response rings and tickets stay redeemable with Wait. Closing only
+// fails future NewHandle calls; it is idempotent and reports the
+// *PoisonError when poisoned.
 func (h *HybComb) Close() error {
 	h.closed.Store(true)
-	return nil
+	return h.Err()
 }
 
 // Stats returns the number of completed combining rounds and the total
@@ -174,6 +188,12 @@ type hcHandle struct {
 	dt    DepthTracker
 	seq   uint64            // next ticket sequence number
 	slots map[uint64]hcSlot // outstanding Submit tickets (nil until first Submit)
+
+	// wb is the watched waiter for the combiner's wait on its
+	// predecessor round, constructed once per handle and Reset per
+	// promotion so the per-operation path never zeroes the watchdog
+	// state.
+	wb backoff.Watched
 }
 
 // Apply is apply_op of Algorithm 1 (lines 6-43): register or combine,
@@ -182,6 +202,9 @@ type hcHandle struct {
 // directly, a registered Apply waits for the next response stream
 // position.
 func (hd *hcHandle) Apply(op, arg uint64) uint64 {
+	if hd.h.Poisoned() {
+		return 0
+	}
 	registered, ret := hd.submitOrCombine(op, arg)
 	if !registered {
 		return ret
@@ -208,10 +231,12 @@ func (hd *hcHandle) acquire(op, arg uint64) bool {
 		}
 		// Line 17: promote ourselves to combiner.
 		if h.lastReg.CompareAndSwap(lastReg, hd.myNode) {
-			hd.myNode.nOps.Store(0) // line 18
-			var b backoff.Backoff
-			for !lastReg.done.Load() { // lines 19-20
-				b.Wait()
+			hd.myNode.nOps.Store(0)   // line 18
+			if !lastReg.done.Load() { // lines 19-20
+				hd.wb.Reset()
+				for !lastReg.done.Load() {
+					hd.wb.Wait()
+				}
 			}
 			return false
 		}
@@ -239,7 +264,7 @@ func (hd *hcHandle) serveRun(run []mpq.Msg) {
 		reqs[i] = Req{Op: m.W[1], Arg: m.W[2]}
 	}
 	rets := hd.runRets[:len(run)]
-	h.obj.DispatchBatch(reqs, rets)
+	h.PoisonLatch.Dispatch(h.obj, reqs, rets)
 	for i, m := range run {
 		h.resp[m.W[0]].Send(mpq.Word(rets[i]))
 	}
@@ -255,8 +280,10 @@ func (hd *hcHandle) combineBatch(own []Req, results []uint64) {
 	var opsCompleted int32
 
 	// Line 23 generalized: the combiner's own run executes first, in one
-	// mutual-exclusion call.
-	h.obj.DispatchBatch(own, results)
+	// mutual-exclusion call. A panic in the object poisons the latch
+	// and the round carries on — the drains below still run, the round
+	// still closes and hands over, so no registered thread is stranded.
+	h.PoisonLatch.Dispatch(h.obj, own, results)
 
 	// Lines 25-28: eagerly drain the queue while requests keep arriving;
 	// postponing the closing SWAP increases the combining potential.
@@ -323,6 +350,9 @@ func (hd *hcHandle) makeRoom() {
 // collected by Wait); the combiner path completes on the spot and banks
 // the result.
 func (hd *hcHandle) Submit(op, arg uint64) (Ticket, error) {
+	if err := hd.h.Err(); err != nil {
+		return Ticket{}, err
+	}
 	hd.makeRoom()
 	registered, ret := hd.submitOrCombine(op, arg)
 	if hd.slots == nil {
@@ -352,10 +382,54 @@ func (hd *hcHandle) Wait(t Ticket) uint64 {
 	return hd.tk.WaitFor(s.pos).W[0]
 }
 
+// TryWait implements Handle: a combiner-path ticket is always ready
+// (its result was banked at Submit); a registered ticket is ready once
+// its response arrived on the stream.
+func (hd *hcHandle) TryWait(t Ticket) (uint64, error) {
+	s, ok := hd.slots[t.seq]
+	if !ok {
+		panic("core: hybcomb: Wait on a ticket that is not outstanding (already waited, or issued by another handle)")
+	}
+	if s.local {
+		delete(hd.slots, t.seq)
+		return s.val, hd.h.Err()
+	}
+	m, ready := hd.tk.TryWaitFor(s.pos)
+	if !ready {
+		return 0, ErrNotReady
+	}
+	delete(hd.slots, t.seq)
+	return m.W[0], hd.h.Err()
+}
+
+// WaitTimeout implements Handle.
+func (hd *hcHandle) WaitTimeout(t Ticket, d time.Duration) (uint64, error) {
+	s, ok := hd.slots[t.seq]
+	if !ok {
+		panic("core: hybcomb: Wait on a ticket that is not outstanding (already waited, or issued by another handle)")
+	}
+	if s.local {
+		delete(hd.slots, t.seq)
+		return s.val, hd.h.Err()
+	}
+	m, ready := hd.tk.WaitForTimeout(s.pos, d)
+	if !ready {
+		return 0, ErrWaitTimeout
+	}
+	delete(hd.slots, t.seq)
+	return m.W[0], hd.h.Err()
+}
+
+// Err implements Handle.
+func (hd *hcHandle) Err() error { return hd.h.Err() }
+
 // Post implements Handle: fire-and-forget. A registered request's
 // response is marked discarded on the completion stream; a
 // combiner-path Post completed already and needs no bookkeeping.
 func (hd *hcHandle) Post(op, arg uint64) error {
+	if err := hd.h.Err(); err != nil {
+		return err
+	}
 	hd.makeRoom()
 	registered, _ := hd.submitOrCombine(op, arg)
 	if registered {
@@ -384,6 +458,12 @@ const posLocal = ^uint64(0)
 // the dispatch indirection amortized across the whole remainder.
 func (hd *hcHandle) ApplyBatch(reqs []Req, results []uint64) {
 	if len(reqs) == 0 {
+		return
+	}
+	if hd.h.Poisoned() {
+		if results != nil {
+			zeroResults(results[:len(reqs)])
+		}
 		return
 	}
 	if len(reqs) == 1 { // a 1-batch is exactly the scalar critical section

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"hybsync/internal/mpq"
 )
@@ -37,6 +38,7 @@ import (
 // FIFO completion. A handle bounds its in-flight count by the response
 // ring's capacity, so the server's response send never blocks.
 type MPServer struct {
+	PoisonLatch
 	opts    Options
 	obj     Object
 	reqs    mpq.Queue   // MPSC: any client sends, only serve receives
@@ -61,6 +63,7 @@ func NewMPServer(obj Object, opts Options) *MPServer {
 		resp: make([]mpq.Queue, opts.MaxThreads),
 		done: make(chan struct{}),
 	}
+	s.Algo = "mpserver"
 	for i := range s.resp {
 		// QueueCap deep (not 1): the response ring is the completion
 		// stream of the handle's submission pipeline, and must hold one
@@ -78,36 +81,62 @@ func NewMPServer(obj Object, opts Options) *MPServer {
 // first client of a run now waits for the whole run before its
 // response goes out — the flat-combining trade the paper's combiners
 // make on every round.
+//
+// Dispatch runs through the poison latch: a panic escaping the object
+// poisons the executor, and the loop carries on replying (zeros from
+// then on) so every in-flight and future request still completes —
+// the server never dies silently with waiters blocked on its rings.
 func (s *MPServer) serve() {
 	defer close(s.done)
 	buf := make([]mpq.Msg, s.opts.batchLen())
+	ids := make([]uint64, len(buf))
 	run := make([]Req, 0, len(buf))
 	rets := make([]uint64, len(buf))
-	for {
-		n := s.reqs.RecvBatch(buf)
-		quit := false
+	// serveBatch executes one drained batch, skipping (but remembering)
+	// the quit marker: requests that landed behind opQuit in the ring
+	// still get served and answered, so a draining Close completes them
+	// instead of dropping them on the floor.
+	serveBatch := func(msgs []mpq.Msg) (quit bool) {
 		run = run[:0]
-		for _, m := range buf[:n] {
+		for _, m := range msgs {
 			if m.W[1] == opQuit {
-				quit = true // Close guarantees no requests after opQuit
-				break
+				quit = true
+				continue
 			}
+			ids[len(run)] = m.W[0]
 			run = append(run, Req{Op: m.W[1], Arg: m.W[2]})
 		}
 		if len(run) > 0 {
-			s.obj.DispatchBatch(run, rets[:len(run)])
-			for i, m := range buf[:len(run)] {
-				s.resp[m.W[0]].Send(mpq.Word(rets[i]))
+			s.PoisonLatch.Dispatch(s.obj, run, rets[:len(run)])
+			for i := range run {
+				s.resp[ids[i]].Send(mpq.Word(rets[i]))
 			}
 		}
-		if quit {
-			return
+		return quit
+	}
+	for {
+		if serveBatch(buf[:s.reqs.RecvBatch(buf)]) {
+			// Draining close: serve everything already published on the
+			// request ring, then exit. Requests submitted before Close
+			// claimed their ring slots before opQuit's send, so after
+			// this drain every outstanding ticket has its response
+			// banked on its client's ring.
+			for {
+				n := s.reqs.TryRecvBatch(buf)
+				if n == 0 {
+					return
+				}
+				serveBatch(buf[:n])
+			}
 		}
 	}
 }
 
 // NewHandle implements Executor.
 func (s *MPServer) NewHandle() (Handle, error) {
+	if err := s.Err(); err != nil {
+		return nil, fmt.Errorf("core: mpserver: %w", err)
+	}
 	if s.stopped.Load() {
 		return nil, fmt.Errorf("core: mpserver: %w", ErrClosed)
 	}
@@ -115,21 +144,27 @@ func (s *MPServer) NewHandle() (Handle, error) {
 	if int(id) >= s.opts.MaxThreads {
 		return nil, errTooManyHandles(s.opts.MaxThreads)
 	}
+	tk := mpq.NewTicketed(s.resp[id])
+	tk.Arm(s.opts.StallTimeout, "mpserver: client awaiting response")
 	return &mpHandle{
 		s:  s,
 		id: uint64(id),
-		tk: mpq.NewTicketed(s.resp[id]),
+		tk: tk,
 	}, nil
 }
 
-// Close stops the server goroutine. It is idempotent; no operation may
-// be in flight or issued afterwards (Flush every handle first).
+// Close stops the server goroutine, draining the request ring first so
+// every operation submitted before Close has its response banked on
+// its client's ring — outstanding tickets stay redeemable with Wait.
+// It is idempotent; no operation may be issued afterwards. On a
+// poisoned executor Close still stops the server and reports the
+// *PoisonError.
 func (s *MPServer) Close() error {
 	if s.stopped.CompareAndSwap(false, true) {
 		s.reqs.Send(mpq.Words3(0, opQuit, 0))
 		<-s.done
 	}
-	return nil
+	return s.Err()
 }
 
 // Pipeline implements PipelineStats.
@@ -164,13 +199,22 @@ func (h *mpHandle) submit(op, arg uint64) uint64 {
 }
 
 // Apply implements Handle: ship the request, block on the response —
-// literally Submit followed by Wait.
+// literally Submit followed by Wait. On a poisoned executor it
+// short-circuits to the poisoned zero without touching the transport.
 func (h *mpHandle) Apply(op, arg uint64) uint64 {
+	if h.s.Poisoned() {
+		return 0
+	}
 	return h.tk.WaitFor(h.submit(op, arg)).W[0]
 }
 
-// Submit implements Handle: ship the request, don't wait for the reply.
+// Submit implements Handle: ship the request, don't wait for the
+// reply. On a poisoned executor it fails fast with the *PoisonError
+// and no ticket is issued.
 func (h *mpHandle) Submit(op, arg uint64) (Ticket, error) {
+	if err := h.s.Err(); err != nil {
+		return Ticket{}, err
+	}
 	return Ticket{seq: h.submit(op, arg)}, nil
 }
 
@@ -179,10 +223,34 @@ func (h *mpHandle) Wait(t Ticket) uint64 {
 	return h.tk.WaitFor(t.seq).W[0]
 }
 
+// TryWait implements Handle.
+func (h *mpHandle) TryWait(t Ticket) (uint64, error) {
+	m, ok := h.tk.TryWaitFor(t.seq)
+	if !ok {
+		return 0, ErrNotReady
+	}
+	return m.W[0], h.s.Err()
+}
+
+// WaitTimeout implements Handle.
+func (h *mpHandle) WaitTimeout(t Ticket, d time.Duration) (uint64, error) {
+	m, ok := h.tk.WaitForTimeout(t.seq, d)
+	if !ok {
+		return 0, ErrWaitTimeout
+	}
+	return m.W[0], h.s.Err()
+}
+
+// Err implements Handle.
+func (h *mpHandle) Err() error { return h.s.Err() }
+
 // Post implements Handle: fire-and-forget. The server still replies (it
 // cannot know the client does not care), so the reply's stream position
 // is marked discarded and dropped on arrival.
 func (h *mpHandle) Post(op, arg uint64) error {
+	if err := h.s.Err(); err != nil {
+		return err
+	}
 	if h.tk.InFlight() >= h.s.opts.QueueCap {
 		h.s.ps.NoteStall()
 		h.tk.Absorb()
@@ -204,6 +272,12 @@ func (h *mpHandle) Flush() { h.tk.Flush() }
 // through single DispatchBatch calls; the client pays one round-trip
 // wait for the whole batch instead of one per operation.
 func (h *mpHandle) ApplyBatch(reqs []Req, results []uint64) {
+	if h.s.Poisoned() {
+		if results != nil {
+			zeroResults(results[:len(reqs)])
+		}
+		return
+	}
 	if cap(h.pos) < len(reqs) {
 		h.pos = make([]uint64, len(reqs))
 	}

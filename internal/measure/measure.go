@@ -9,17 +9,64 @@ package measure
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"hybsync"
 	"hybsync/harness"
 	"hybsync/internal/benchfmt"
+	"hybsync/internal/chaos"
 	"hybsync/object"
 )
 
 // opts sizes every construction generously enough for any thread
 // count the benches drive.
 func opts() []hybsync.Option { return []hybsync.Option{hybsync.WithMaxThreads(256)} }
+
+// The live-executor registry: every measurement core tracks the
+// executor (or executor-backed object) it is driving for the duration
+// of the run. A sweep harness whose per-cell timeout fires can then
+// call PoisonLive to condemn whatever the abandoned cell leaked — its
+// waiters unblock with ErrPoisoned and its server goroutines drain and
+// exit — instead of leaking a wedged construction until process exit.
+var (
+	liveMu sync.Mutex
+	live   = make(map[any]struct{})
+)
+
+// poisonable matches hybsync.Poisonable and the object wrappers'
+// Poison passthroughs.
+type poisonable interface{ Poison(v any) }
+
+// track registers x as live and returns its untrack function (defer
+// it at the start of a measurement core).
+func track(x any) func() {
+	liveMu.Lock()
+	live[x] = struct{}{}
+	liveMu.Unlock()
+	return func() {
+		liveMu.Lock()
+		delete(live, x)
+		liveMu.Unlock()
+	}
+}
+
+// PoisonLive condemns every live tracked executor with reason and
+// returns how many accepted the fault. It is safe from any goroutine —
+// the sweep runner's OnTimeout hook calls it while the abandoned cell
+// is still running.
+func PoisonLive(reason any) int {
+	liveMu.Lock()
+	defer liveMu.Unlock()
+	n := 0
+	for x := range live {
+		if p, ok := x.(poisonable); ok {
+			p.Poison(reason)
+			n++
+		}
+	}
+	return n
+}
 
 // pipeOf extracts the pipeline counters when src implements
 // hybsync.PipelineStats (read after every handle flushed).
@@ -40,6 +87,7 @@ func Counter(algo string, th int, dur time.Duration) (benchfmt.Record, error) {
 		return benchfmt.Record{}, fmt.Errorf("NewCounter(%s): %w", algo, err)
 	}
 	defer c.Close()
+	defer track(c)()
 	res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
 		h, err := c.NewHandle()
 		if err != nil {
@@ -63,6 +111,7 @@ func Sharded(algo string, nshards int, dist harness.Dist, th int, dur time.Durat
 		return benchfmt.Record{}, fmt.Errorf("NewShardedCounter(%s, %d): %w", algo, nshards, err)
 	}
 	defer c.Close()
+	defer track(c)()
 	res := harness.RunNative(th, dur, 50, func(t int) func(uint64) {
 		h, err := c.NewHandle()
 		if err != nil {
@@ -104,6 +153,7 @@ func Async(algo string, depth, th int, dur time.Duration) (benchfmt.Record, erro
 	if err != nil {
 		return benchfmt.Record{}, fmt.Errorf("New(%s): %w", algo, err)
 	}
+	defer track(ex)()
 	// Each worker drains its own window in its own goroutine (the drain
 	// half of RunNativeDrain), while its peers are still running: with
 	// CC-Synch a stopping thread's unwaited cell can hold the combiner
@@ -169,6 +219,7 @@ func Batch(algo string, b, th int, dur time.Duration) (benchfmt.Record, error) {
 	if err != nil {
 		return benchfmt.Record{}, fmt.Errorf("NewObject(%s): %w", algo, err)
 	}
+	defer track(ex)()
 	res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
 		h := hybsync.MustHandle(ex)
 		reqs := make([]hybsync.Req, b)
@@ -192,6 +243,57 @@ func Batch(algo string, b, th int, dur time.Duration) (benchfmt.Record, error) {
 	return rec, nil
 }
 
+// Chaos measures one fault-tolerance point: th goroutines drive the
+// batch counter through algo while a seeded schedule perturber shakes
+// every backoff wait and the object injects periodic delays — the
+// throughput cost of running under adversarial scheduling. The run is
+// bracketed by two checks that fail the measurement loudly rather than
+// record garbage: a containment probe (a second executor of the same
+// construction over a panic-injected object must poison cleanly while
+// the measured one keeps running) and a conservation check (the
+// counter's final state must equal the operations the harness
+// counted).
+func Chaos(algo string, seed uint64, th int, dur time.Duration) (benchfmt.Record, error) {
+	restore := chaos.NewPerturber(seed).Install()
+	defer restore()
+
+	// Containment probe: an injected panic in this construction must
+	// poison that executor without taking the process (or the measured
+	// executor below) with it.
+	probe, err := hybsync.NewObject(algo, chaos.PanicOnNth(&batchCounter{}, 1), opts()...)
+	if err != nil {
+		return benchfmt.Record{}, fmt.Errorf("NewObject(%s): %w", algo, err)
+	}
+	hybsync.MustHandle(probe).Apply(0, 0)
+	if probe.Err() == nil {
+		probe.Close()
+		return benchfmt.Record{}, fmt.Errorf("chaos(%s): injected panic did not poison the probe executor", algo)
+	}
+	probe.Close() // reports the probe's PoisonError; expected
+
+	base := &batchCounter{}
+	obj := chaos.Delay(base, seed, 256, 50*time.Microsecond)
+	ex, err := hybsync.NewObject(algo, obj, opts()...)
+	if err != nil {
+		return benchfmt.Record{}, fmt.Errorf("NewObject(%s): %w", algo, err)
+	}
+	defer track(ex)()
+	res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
+		h := hybsync.MustHandle(ex)
+		return func(uint64) { h.Apply(0, 0) }
+	})
+	if err := ex.Close(); err != nil {
+		return benchfmt.Record{}, fmt.Errorf("Close(%s): %w", algo, err)
+	}
+	if base.state != res.Ops {
+		return benchfmt.Record{}, fmt.Errorf("chaos(%s): conservation violated: object executed %d ops, harness counted %d",
+			algo, base.state, res.Ops)
+	}
+	rec := benchfmt.FromNative("chaos", algo, th, res)
+	rec.Finish()
+	return rec, nil
+}
+
 // BatchApply is Batch's per-op baseline: the same counter object
 // driven through scalar Apply calls (the legacy path's cost per
 // operation). Records carry path "apply" and no batch field.
@@ -201,6 +303,7 @@ func BatchApply(algo string, th int, dur time.Duration) (benchfmt.Record, error)
 	if err != nil {
 		return benchfmt.Record{}, fmt.Errorf("NewObject(%s): %w", algo, err)
 	}
+	defer track(ex)()
 	res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
 		h := hybsync.MustHandle(ex)
 		return func(uint64) { h.Apply(0, 0) }

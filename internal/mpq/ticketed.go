@@ -1,5 +1,11 @@
 package mpq
 
+import (
+	"time"
+
+	"hybsync/internal/backoff"
+)
+
 // Ticketed adapts the consumer side of a Queue into a ticketed
 // completion stream, the receive half of an asynchronous submission
 // pipeline: the submitter reserves stream positions with Issue (one per
@@ -21,10 +27,24 @@ type Ticketed struct {
 	// arrival (fire-and-forget requests). Both are nil until first used.
 	ahead map[uint64]Msg
 	skip  map[uint64]bool
+
+	// wb is the watched waiter behind every blocking receive,
+	// configured by Arm (zero stall leaves the watchdog disabled). It
+	// lives on the adapter — constructed once, Reset per wait loop — so
+	// the per-operation receive path never zeroes the watchdog state.
+	wb backoff.Watched
 }
 
 // NewTicketed wraps the consumer side of q.
 func NewTicketed(q Queue) *Ticketed { return &Ticketed{q: q} }
+
+// Arm configures the stall watchdog on the adapter's blocking receives
+// (WaitFor, Absorb, Flush): a receive that makes no progress for stall
+// reports once through internal/backoff's stall handler, labelled with
+// label. Call it before the first receive; stall 0 disables.
+func (t *Ticketed) Arm(stall time.Duration, label string) {
+	t.wb = backoff.Armed(stall, label)
+}
 
 // Issue reserves the next stream position, to be called once per
 // submitted request immediately around its send. The n'th Issue returns
@@ -55,8 +75,42 @@ func (t *Ticketed) InFlight() int { return int(t.issued - t.recvd) }
 
 // pull blocks for the next message and returns it with its position,
 // dropping it instead when the position was discarded (ok=false).
+// With the stall watchdog armed the blocking loop is driven here
+// rather than by q.Recv, so the watchdog can observe a response that
+// never comes; disarmed, the queue's own (cheaper) blocking receive
+// does the waiting.
 func (t *Ticketed) pull() (pos uint64, m Msg, ok bool) {
-	m = t.q.Recv()
+	m, got := t.q.TryRecv()
+	if !got {
+		if !t.wb.Active() {
+			m = t.q.Recv()
+		} else {
+			t.wb.Reset()
+			for {
+				t.wb.Wait()
+				if m, got = t.q.TryRecv(); got {
+					break
+				}
+			}
+		}
+	}
+	return t.book(m)
+}
+
+// tryPull is pull without the blocking: pulled is false when nothing
+// is currently receivable.
+func (t *Ticketed) tryPull() (pos uint64, m Msg, ok, pulled bool) {
+	m, got := t.q.TryRecv()
+	if !got {
+		return 0, Msg{}, false, false
+	}
+	pos, m, ok = t.book(m)
+	return pos, m, ok, true
+}
+
+// book assigns the next stream position to a pulled message, dropping
+// discarded positions (ok=false).
+func (t *Ticketed) book(m Msg) (pos uint64, _ Msg, ok bool) {
 	pos = t.recvd
 	t.recvd++
 	if t.skip[pos] {
@@ -92,6 +146,59 @@ func (t *Ticketed) WaitFor(pos uint64) Msg {
 			t.ahead = make(map[uint64]Msg)
 		}
 		t.ahead[p] = m
+	}
+}
+
+// TryWaitFor is WaitFor without the blocking: it returns pos's message
+// if it is already buffered or can be pulled without waiting, and
+// (Msg{}, false) otherwise — the position stays awaitable. Messages
+// pulled while draining toward pos are buffered exactly as in WaitFor.
+// Asking for an already-delivered position panics, like WaitFor.
+func (t *Ticketed) TryWaitFor(pos uint64) (Msg, bool) {
+	if len(t.ahead) > 0 {
+		if m, ok := t.ahead[pos]; ok {
+			delete(t.ahead, pos)
+			return m, true
+		}
+	}
+	if pos < t.recvd {
+		panic("mpq: WaitFor on an already-delivered stream position")
+	}
+	for {
+		p, m, ok, pulled := t.tryPull()
+		if !pulled {
+			return Msg{}, false
+		}
+		if !ok {
+			continue
+		}
+		if p == pos {
+			return m, true
+		}
+		if t.ahead == nil {
+			t.ahead = make(map[uint64]Msg)
+		}
+		t.ahead[p] = m
+	}
+}
+
+// WaitForTimeout is WaitFor bounded by d: ok is false when the
+// position's message did not arrive in time — the position stays
+// awaitable (retry, or fall back to WaitFor).
+func (t *Ticketed) WaitForTimeout(pos uint64, d time.Duration) (Msg, bool) {
+	if m, ok := t.TryWaitFor(pos); ok {
+		return m, true
+	}
+	deadline := time.Now().Add(d)
+	t.wb.Reset()
+	for {
+		t.wb.Wait()
+		if m, ok := t.TryWaitFor(pos); ok {
+			return m, true
+		}
+		if !time.Now().Before(deadline) {
+			return Msg{}, false
+		}
 	}
 }
 

@@ -77,8 +77,18 @@ func (c *Counter) NewHandle() (*CounterHandle, error) {
 	return &CounterHandle{h: h}, nil
 }
 
-// Close shuts down every shard's executor; idempotent.
+// Close shuts down every shard's executor; idempotent. Per-shard
+// errors (including *PoisonError from poisoned shards) aggregate with
+// errors.Join.
 func (c *Counter) Close() error { return c.r.Close() }
+
+// Err reports the first poisoned shard's *PoisonError, or nil while
+// every shard is healthy.
+func (c *Counter) Err() error { return c.r.Err() }
+
+// Poison condemns every shard's executor, as if each object partition
+// had panicked — the out-of-band fault hook (see Router.Poison).
+func (c *Counter) Poison(v any) { c.r.Poison(v) }
 
 // Value reads the global counter; call only while no operations are in
 // flight (use a handle's Sum for a concurrent read).

@@ -15,6 +15,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"unsafe"
@@ -161,17 +162,44 @@ func (r *Router) NewHandle() (*Handle, error) {
 
 // Close shuts every shard's executor down (fan-out). It is idempotent —
 // each underlying Close is idempotent, including shards whose executor
-// was already closed directly — and returns the first error any shard
-// reports. No Apply may be in flight or issued afterwards.
+// was already closed directly — and every shard is closed even when an
+// earlier one fails: the per-shard errors are aggregated with
+// errors.Join (each wrapped with its shard index), so errors.Is still
+// finds the sentinels. No Apply may be in flight or issued afterwards.
 func (r *Router) Close() error {
 	r.closed.Store(true)
-	var first error
-	for _, e := range r.execs {
-		if err := e.Close(); err != nil && first == nil {
-			first = err
+	var errs []error
+	for s, e := range r.execs {
+		if err := e.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", s, err))
 		}
 	}
-	return first
+	return errors.Join(errs...)
+}
+
+// Err implements the Executor contract's fault probe across the fan-out:
+// it reports the first poisoned shard's *PoisonError (wrapped with its
+// shard index), or nil when every shard is healthy. One shard's fault
+// does not poison its siblings — unrelated keys keep executing — but
+// the router surfaces it so callers can tear the whole object down.
+func (r *Router) Err() error {
+	for s, e := range r.execs {
+		if err := e.Err(); err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// Poison implements core.Poisonable by fanning the fault out to every
+// shard whose executor accepts it, so a caller-detected fault (or a
+// sweep-runner timeout) condemns the whole sharded object at once.
+func (r *Router) Poison(v any) {
+	for _, e := range r.execs {
+		if p, ok := e.(core.Poisonable); ok {
+			p.Poison(v)
+		}
+	}
 }
 
 // Stats implements core.StatsSource by summing the combining statistics
@@ -296,16 +324,25 @@ func (h *Handle) Apply(key, op, arg uint64) (uint64, error) {
 }
 
 // ApplyShard is Apply with an explicit shard index, for callers that
-// route themselves.
+// route themselves. A poisoned shard surfaces as its *PoisonError
+// (errors.Is(err, ErrPoisoned)) instead of silently returning the
+// poisoned zero.
 func (h *Handle) ApplyShard(shard int, op, arg uint64) (uint64, error) {
 	eh, err := h.shardHandle(shard)
 	if err != nil {
 		return 0, err
 	}
 	v := eh.Apply(op, arg)
+	if err := eh.Err(); err != nil {
+		return 0, fmt.Errorf("shard %d: %w", shard, err)
+	}
 	h.r.occ[shard].ops.Add(1)
 	return v, nil
 }
+
+// Err reports the first poisoned shard's *PoisonError across the whole
+// router (not just shards this handle has touched), or nil.
+func (h *Handle) Err() error { return h.r.Err() }
 
 // Submit routes (op, arg) to key's shard and submits it there without
 // waiting for the result; redeem the ticket with Wait. Errors are
@@ -440,6 +477,11 @@ func (h *Handle) MultiApply(op uint64, keys, args []uint64) ([]uint64, error) {
 	out := make([]uint64, len(keys))
 	for _, i := range order {
 		out[i] = h.Wait(tickets[i])
+	}
+	// A shard poisoned mid-flight completed its submissions with zeros;
+	// surface the fault rather than hand back silently-wrong results.
+	if err := h.r.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -7,8 +7,10 @@
 package shmsync
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"hybsync/internal/backoff"
@@ -22,10 +24,13 @@ func init() {
 	core.MustRegister("ccsynch", func(obj core.Object, o core.Options) (core.Executor, error) {
 		c := NewCCSynch(obj, o.MaxOps)
 		c.depth = o.QueueCap
+		c.stall = o.StallTimeout
 		return c, nil
 	})
 	core.MustRegister("shmserver", func(obj core.Object, o core.Options) (core.Executor, error) {
-		return NewSHMServer(obj, o.MaxThreads), nil
+		s := NewSHMServer(obj, o.MaxThreads)
+		s.stall = o.StallTimeout
+		return s, nil
 	})
 }
 
@@ -54,10 +59,12 @@ func init() {
 // concurrently, not sequentially, since one handle's unflushed cell can
 // hold the duty another handle's Flush is spinning on.
 type CCSynch struct {
+	core.PoisonLatch
 	obj    core.Object
 	tail   atomic.Pointer[ccNode]
 	maxOps int32
-	depth  int // per-handle in-flight bound (Options.QueueCap)
+	depth  int           // per-handle in-flight bound (Options.QueueCap)
+	stall  time.Duration // stall watchdog budget (Options.StallTimeout)
 	closed atomic.Bool
 
 	rounds   atomic.Uint64
@@ -90,6 +97,7 @@ func NewCCSynch(obj core.Object, maxOps int32) *CCSynch {
 		maxOps = 200
 	}
 	c := &CCSynch{obj: obj, maxOps: maxOps, depth: 39}
+	c.Algo = "ccsynch"
 	c.tail.Store(&ccNode{}) // initial dummy: wait=false, completed=false
 	return c
 }
@@ -97,17 +105,28 @@ func NewCCSynch(obj core.Object, maxOps int32) *CCSynch {
 // NewHandle implements core.Executor. CC-Synch has no structural bound
 // on participants, so handles are unlimited until Close.
 func (c *CCSynch) NewHandle() (core.Handle, error) {
+	if err := c.Err(); err != nil {
+		return nil, fmt.Errorf("shmsync: ccsynch: %w", err)
+	}
 	if c.closed.Load() {
 		return nil, fmt.Errorf("shmsync: ccsynch: %w", core.ErrClosed)
 	}
-	return &ccHandle{c: c, node: &ccNode{}}, nil
+	return &ccHandle{
+		c:    c,
+		node: &ccNode{},
+		wb:   backoff.Armed(c.stall, "ccsynch: waiting for cell service"),
+	}, nil
 }
 
 // Close implements core.Executor. CC-Synch owns no background
-// goroutine; closing only fails future NewHandle calls. Idempotent.
+// goroutine — outstanding cells live on the shared chain and are
+// settled by their handle's Wait/Flush (which also discharges dormant
+// combiner duty), so tickets stay redeemable after Close. Closing only
+// fails future NewHandle calls; it is idempotent and reports the
+// *PoisonError when poisoned.
 func (c *CCSynch) Close() error {
 	c.closed.Store(true)
-	return nil
+	return c.Err()
 }
 
 // Stats returns combining rounds and requests combined for others.
@@ -146,6 +165,11 @@ type ccHandle struct {
 	fifo []uint64        // submission order of outstanding seqs (lazily pruned)
 	res  map[uint64]uint64
 	sqs  []uint64 // ApplyBatch sequence scratch
+
+	// wb is the watched waiter for cell-service spins, constructed once
+	// per handle and Reset per wait loop so the per-operation path never
+	// zeroes the watchdog state.
+	wb backoff.Watched
 }
 
 // ccRunCap bounds one DispatchBatch run while combining, matching the
@@ -204,7 +228,10 @@ func (h *ccHandle) flushRun(cur *ccNode, myRet *uint64) {
 		h.crets = make([]uint64, len(h.cells))
 	}
 	rets := h.crets[:len(h.cells)]
-	h.c.obj.DispatchBatch(h.creqs, rets)
+	// Dispatch through the poison latch: a panicking object poisons the
+	// executor and the run completes with zeros, so every cell in the
+	// segment is still released and no follower spins forever.
+	h.c.PoisonLatch.Dispatch(h.c.obj, h.creqs, rets)
 	for i, cell := range h.cells {
 		if cell == cur {
 			*myRet = rets[i]
@@ -222,9 +249,11 @@ func (h *ccHandle) flushRun(cur *ccNode, myRet *uint64) {
 // combiner handed us the duty; the caller owns the cell's reclaim.
 func (h *ccHandle) completeCell(cur *ccNode) uint64 {
 	c := h.c
-	var b backoff.Backoff
-	for cur.wait.Load() {
-		b.Wait()
+	if cur.wait.Load() {
+		h.wb.Reset()
+		for cur.wait.Load() {
+			h.wb.Wait()
+		}
 	}
 	if cur.completed {
 		return cur.ret
@@ -276,6 +305,9 @@ func (h *ccHandle) complete(cur *ccNode) uint64 {
 // exactly as in the synchronous algorithm (the classic node
 // exchange), skipping the pool bookkeeping.
 func (h *ccHandle) Apply(op, arg uint64) uint64 {
+	if h.c.Poisoned() {
+		return 0
+	}
 	if len(h.ops) != 0 {
 		t, _ := h.Submit(op, arg)
 		return h.Wait(t)
@@ -338,8 +370,12 @@ func (h *ccHandle) submitOp(op, arg uint64, discard bool) uint64 {
 }
 
 // Submit implements core.Handle: publish the cell, defer the spin (and
-// any inherited combiner duty) to Wait.
+// any inherited combiner duty) to Wait. On a poisoned executor it
+// fails fast with the *PoisonError and no cell is published.
 func (h *ccHandle) Submit(op, arg uint64) (core.Ticket, error) {
+	if err := h.c.Err(); err != nil {
+		return core.Ticket{}, err
+	}
 	return core.NewTicket(h.submitOp(op, arg, false)), nil
 }
 
@@ -381,9 +417,68 @@ func (h *ccHandle) Wait(t core.Ticket) uint64 {
 	return h.complete(op.cell)
 }
 
+// TryWait implements core.Handle. A not-ready ticket's cell stays on
+// the chain and the ticket stays redeemable. Like Wait, TryWait may
+// settle OLDER same-handle cells first — but only cells whose wait
+// flag has already cleared, so it never blocks; settling one may
+// perform inherited combining duty, which serves our cell as part of
+// the round.
+func (h *ccHandle) TryWait(t core.Ticket) (uint64, error) {
+	seq := t.Seq()
+	if v, ok := h.res[seq]; ok {
+		delete(h.res, seq)
+		return v, h.c.Err()
+	}
+	op, ok := h.ops[seq]
+	if !ok {
+		panic("shmsync: ccsynch: Wait on a ticket that is not outstanding (already waited, or issued by another handle)")
+	}
+	for op.cell.wait.Load() {
+		oldest, any := h.oldestSeq()
+		if !any || oldest == seq {
+			return 0, core.ErrNotReady
+		}
+		if h.ops[oldest].cell.wait.Load() {
+			return 0, core.ErrNotReady
+		}
+		h.settleOldest()
+	}
+	delete(h.ops, seq)
+	return h.complete(op.cell), h.c.Err()
+}
+
+// WaitTimeout implements core.Handle: TryWait in a deadline loop. The
+// bound covers waiting on OTHER threads' progress; once the cell is
+// servable the call runs to completion (including inherited combining
+// duty) regardless of d.
+func (h *ccHandle) WaitTimeout(t core.Ticket, d time.Duration) (uint64, error) {
+	v, err := h.TryWait(t)
+	if !errors.Is(err, core.ErrNotReady) {
+		return v, err
+	}
+	deadline := time.Now().Add(d)
+	h.wb.Reset()
+	for {
+		h.wb.Wait()
+		v, err = h.TryWait(t)
+		if !errors.Is(err, core.ErrNotReady) {
+			return v, err
+		}
+		if !time.Now().Before(deadline) {
+			return 0, core.ErrWaitTimeout
+		}
+	}
+}
+
+// Err implements core.Handle.
+func (h *ccHandle) Err() error { return h.c.Err() }
+
 // Post implements core.Handle: fire-and-forget; the cell is settled by
 // a later same-handle submission, Wait or Flush.
 func (h *ccHandle) Post(op, arg uint64) error {
+	if err := h.c.Err(); err != nil {
+		return err
+	}
 	h.submitOp(op, arg, true)
 	return nil
 }
@@ -411,6 +506,14 @@ func (h *ccHandle) Flush() {
 // ticket bookkeeping, chunked at the handle's depth bound.
 func (h *ccHandle) ApplyBatch(reqs []core.Req, results []uint64) {
 	if len(reqs) == 0 {
+		return
+	}
+	if h.c.Poisoned() {
+		if results != nil {
+			for i := range reqs {
+				results[i] = 0
+			}
+		}
 		return
 	}
 	if len(reqs) == 1 { // a 1-batch is exactly the scalar critical section

@@ -3,6 +3,7 @@ package shmsync
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"hybsync/internal/backoff"
@@ -22,8 +23,10 @@ import (
 // emulated over coherent shared memory — the baseline whose
 // per-request coherence misses MP-SERVER eliminates.
 type SHMServer struct {
+	core.PoisonLatch
 	obj    core.Object
 	slots  []shmSlot
+	stall  time.Duration // stall watchdog budget (Options.StallTimeout)
 	nextID atomic.Int32
 	stop   atomic.Bool
 	done   chan struct{}
@@ -55,6 +58,7 @@ func NewSHMServer(obj core.Object, maxClients int) *SHMServer {
 		slots: make([]shmSlot, maxClients),
 		done:  make(chan struct{}),
 	}
+	s.Algo = "shmserver"
 	go s.serve()
 	return s
 }
@@ -76,7 +80,10 @@ func (s *SHMServer) serve() {
 		if len(pend) == 0 {
 			return
 		}
-		s.obj.DispatchBatch(reqs, rets[:len(reqs)])
+		// Dispatch through the poison latch: a panicking object poisons
+		// the server and the run completes with zeros, so every occupied
+		// slot is still released — clients never spin on a dead server.
+		s.PoisonLatch.Dispatch(s.obj, reqs, rets[:len(reqs)])
 		for i, slot := range pend {
 			slot.ret = rets[i]
 			slot.req.Store(0) // release: the client observes ret before this
@@ -84,8 +91,7 @@ func (s *SHMServer) serve() {
 		pend = pend[:0]
 		reqs = reqs[:0]
 	}
-	for {
-		served := false
+	sweep := func() (served bool) {
 		for i := range s.slots {
 			slot := &s.slots[i]
 			req := slot.req.Load()
@@ -98,19 +104,32 @@ func (s *SHMServer) serve() {
 			served = true
 		}
 		flush()
-		if !served {
-			if s.stop.Load() {
+		return served
+	}
+	for {
+		if sweep() {
+			idle.Reset()
+			continue
+		}
+		if s.stop.Load() {
+			// Draining close: one more full sweep after observing stop.
+			// A request published before Close happened-before the stop
+			// flag's store, so this sweep sees it — the empty sweep above
+			// may have scanned that slot before the publish landed.
+			if !sweep() {
 				return
 			}
-			idle.Wait()
-		} else {
-			idle.Reset()
+			continue
 		}
+		idle.Wait()
 	}
 }
 
 // NewHandle implements core.Executor.
 func (s *SHMServer) NewHandle() (core.Handle, error) {
+	if err := s.Err(); err != nil {
+		return nil, fmt.Errorf("shmsync: shmserver: %w", err)
+	}
 	if s.stop.Load() {
 		return nil, fmt.Errorf("shmsync: shmserver: %w", core.ErrClosed)
 	}
@@ -119,47 +138,87 @@ func (s *SHMServer) NewHandle() (core.Handle, error) {
 		return nil, fmt.Errorf("shmsync: more than %d clients (raise MaxThreads): %w",
 			len(s.slots), core.ErrTooManyHandles)
 	}
-	return &shmHandle{slot: &s.slots[id]}, nil
+	return &shmHandle{
+		s:    s,
+		slot: &s.slots[id],
+		wb:   backoff.Armed(s.stall, "shmserver: waiting for server sweep"),
+	}, nil
 }
 
-// Close stops the server once all in-flight requests are served. It is
-// idempotent.
+// Close stops the server once all in-flight requests are served (the
+// server drains occupied slots before exiting, so a concurrent Apply
+// that published before Close still completes). It is idempotent; on
+// a poisoned executor it still stops the server and reports the
+// *PoisonError.
 func (s *SHMServer) Close() error {
 	if s.stop.CompareAndSwap(false, true) {
 		<-s.done
 	}
-	return nil
+	return s.Err()
 }
 
 type shmHandle struct {
+	s    *SHMServer
 	slot *shmSlot
 	im   core.Immediate
+
+	// wb is the watched waiter for the slot spin, constructed once per
+	// handle and Reset per Apply so the per-operation path never zeroes
+	// the watchdog state.
+	wb backoff.Watched
 }
 
 // Apply publishes the request in the client's slot and spins locally
-// until the server clears it.
+// until the server clears it. On a poisoned executor it short-circuits
+// to the poisoned zero without touching the slot.
 func (h *shmHandle) Apply(op, arg uint64) uint64 {
+	if h.s.Poisoned() {
+		return 0
+	}
 	h.slot.arg = arg
 	h.slot.req.Store(op + 1)
-	var b backoff.Backoff
-	for h.slot.req.Load() != 0 {
-		b.Wait()
+	if h.slot.req.Load() != 0 {
+		h.wb.Reset()
+		for h.slot.req.Load() != 0 {
+			h.wb.Wait()
+		}
 	}
 	return h.slot.ret
 }
 
 // Submit implements core.Handle with immediate completion: a client
 // owns exactly one request slot, so there is nothing to pipeline — the
-// operation executes on the spot and the result is banked for Wait.
+// operation executes on the spot and the result is banked for Wait. On
+// a poisoned executor it fails fast with the *PoisonError.
 func (h *shmHandle) Submit(op, arg uint64) (core.Ticket, error) {
+	if err := h.s.Err(); err != nil {
+		return core.Ticket{}, err
+	}
 	return h.im.Complete(h.Apply(op, arg)), nil
 }
 
 // Wait implements core.Handle.
 func (h *shmHandle) Wait(t core.Ticket) uint64 { return h.im.Take(t) }
 
+// TryWait and WaitTimeout are trivially Wait: every submission
+// completed at Submit time, so an outstanding ticket is always ready.
+func (h *shmHandle) TryWait(t core.Ticket) (uint64, error) {
+	return h.im.Take(t), h.s.Err()
+}
+
+// WaitTimeout implements core.Handle.
+func (h *shmHandle) WaitTimeout(t core.Ticket, d time.Duration) (uint64, error) {
+	return h.im.Take(t), h.s.Err()
+}
+
+// Err implements core.Handle.
+func (h *shmHandle) Err() error { return h.s.Err() }
+
 // Post implements core.Handle: execute now, drop the result.
 func (h *shmHandle) Post(op, arg uint64) error {
+	if err := h.s.Err(); err != nil {
+		return err
+	}
 	h.Apply(op, arg)
 	return nil
 }

@@ -10,6 +10,7 @@ package spin
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"hybsync/internal/backoff"
@@ -24,7 +25,9 @@ import (
 func init() {
 	register := func(name string, mk func() func() Lock) {
 		core.MustRegister(name, func(obj core.Object, o core.Options) (core.Executor, error) {
-			return NewLockExecutor(obj, mk()), nil
+			e := NewLockExecutor(obj, mk())
+			e.Algo = name
+			return e, nil
 		})
 	}
 	register("tas-lock", func() func() Lock { l := &TASLock{}; return func() Lock { return l } })
@@ -220,6 +223,7 @@ func (h *CLHHandle) Unlock() {
 // except the batch must come from a single thread instead of being
 // collected across threads.
 type LockExecutor struct {
+	core.PoisonLatch
 	obj     core.Object
 	factory func() Lock
 	closed  atomic.Bool
@@ -229,26 +233,33 @@ type LockExecutor struct {
 // per handle for handle-based locks; return the same Lock for global
 // ones).
 func NewLockExecutor(obj core.Object, factory func() Lock) *LockExecutor {
-	return &LockExecutor{obj: obj, factory: factory}
+	e := &LockExecutor{obj: obj, factory: factory}
+	e.Algo = "lock"
+	return e
 }
 
 // NewHandle implements core.Executor. Lock executors have no structural
 // bound on participants, so handles are unlimited until Close.
 func (e *LockExecutor) NewHandle() (core.Handle, error) {
+	if err := e.Err(); err != nil {
+		return nil, fmt.Errorf("spin: lock executor: %w", err)
+	}
 	if e.closed.Load() {
 		return nil, fmt.Errorf("spin: lock executor: %w", core.ErrClosed)
 	}
-	return &lockHandle{obj: e.obj, lock: e.factory()}, nil
+	return &lockHandle{e: e, obj: e.obj, lock: e.factory()}, nil
 }
 
 // Close implements core.Executor. A lock executor owns no background
-// resources; closing only fails future NewHandle calls. Idempotent.
+// resources; closing only fails future NewHandle calls. Idempotent; on
+// a poisoned executor it reports the *PoisonError.
 func (e *LockExecutor) Close() error {
 	e.closed.Store(true)
-	return nil
+	return e.Err()
 }
 
 type lockHandle struct {
+	e    *LockExecutor
 	obj  core.Object
 	lock Lock
 	im   core.Immediate
@@ -258,27 +269,54 @@ type lockHandle struct {
 	drop   []uint64 // discarded-results scratch for ApplyBatch(reqs, nil)
 }
 
-// Apply implements core.Handle: a critical section is a 1-batch.
+// Apply implements core.Handle: a critical section is a 1-batch. The
+// dispatch runs through the poison latch — recovery happens inside it,
+// so a panicking object still releases the lock and later holders are
+// never wedged; they observe the poisoned zero instead.
 func (h *lockHandle) Apply(op, arg uint64) uint64 {
+	if h.e.Poisoned() {
+		return 0
+	}
 	h.one[0] = core.Req{Op: op, Arg: arg}
 	h.lock.Lock()
-	h.obj.DispatchBatch(h.one[:], h.oneRet[:])
+	h.e.PoisonLatch.Dispatch(h.obj, h.one[:], h.oneRet[:])
 	h.lock.Unlock()
 	return h.oneRet[0]
 }
 
 // Submit implements core.Handle with immediate completion: a lock
 // acquisition cannot be deferred or overlapped, so the operation
-// executes on the spot and the result is banked for Wait.
+// executes on the spot and the result is banked for Wait. On a
+// poisoned executor it fails fast with the *PoisonError.
 func (h *lockHandle) Submit(op, arg uint64) (core.Ticket, error) {
+	if err := h.e.Err(); err != nil {
+		return core.Ticket{}, err
+	}
 	return h.im.Complete(h.Apply(op, arg)), nil
 }
 
 // Wait implements core.Handle.
 func (h *lockHandle) Wait(t core.Ticket) uint64 { return h.im.Take(t) }
 
+// TryWait and WaitTimeout are trivially Wait: every submission
+// completed at Submit time, so an outstanding ticket is always ready.
+func (h *lockHandle) TryWait(t core.Ticket) (uint64, error) {
+	return h.im.Take(t), h.e.Err()
+}
+
+// WaitTimeout implements core.Handle.
+func (h *lockHandle) WaitTimeout(t core.Ticket, d time.Duration) (uint64, error) {
+	return h.im.Take(t), h.e.Err()
+}
+
+// Err implements core.Handle.
+func (h *lockHandle) Err() error { return h.e.Err() }
+
 // Post implements core.Handle: execute now, drop the result.
 func (h *lockHandle) Post(op, arg uint64) error {
+	if err := h.e.Err(); err != nil {
+		return err
+	}
 	h.Apply(op, arg)
 	return nil
 }
@@ -292,6 +330,14 @@ func (h *lockHandle) Flush() {}
 // handover and the dispatch indirection across the run.
 func (h *lockHandle) ApplyBatch(reqs []core.Req, results []uint64) {
 	if len(reqs) == 0 {
+		return
+	}
+	if h.e.Poisoned() {
+		if results != nil {
+			for i := range reqs {
+				results[i] = 0
+			}
+		}
 		return
 	}
 	if len(reqs) == 1 { // a 1-batch is exactly the scalar critical section
@@ -309,6 +355,6 @@ func (h *lockHandle) ApplyBatch(reqs []core.Req, results []uint64) {
 		res = h.drop[:len(reqs)]
 	}
 	h.lock.Lock()
-	h.obj.DispatchBatch(reqs, res[:len(reqs)])
+	h.e.PoisonLatch.Dispatch(h.obj, reqs, res[:len(reqs)])
 	h.lock.Unlock()
 }

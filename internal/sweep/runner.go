@@ -38,13 +38,22 @@ type Result struct {
 // deadlocked construction into a red sweep record instead of a hung
 // harness.
 //
+// OnTimeout, if set, is called (from the sweep's worker goroutine,
+// after the deadline fires but before the Result is emitted) for each
+// abandoned cell. It is the finalizer for whatever the cell leaked: a
+// harness that tracks live executors per cell should poison and close
+// them here so the wedged cell's waiters unblock and its server
+// goroutines exit, instead of leaking until process exit. It must not
+// block — the abandoned Run goroutine may still be using the cell.
+//
 // Run performs the measurement. It may panic: panics are recovered
 // into Result.Err with a stack, and the sweep continues.
 type Runner struct {
-	Workers int
-	Timeout time.Duration
-	Check   func(Cell) string
-	Run     func(Cell) (any, error)
+	Workers   int
+	Timeout   time.Duration
+	Check     func(Cell) string
+	Run       func(Cell) (any, error)
+	OnTimeout func(Cell)
 }
 
 // Sweep runs every cell and calls emit exactly once per cell, from a
@@ -147,6 +156,9 @@ func (r *Runner) runCell(cell Cell) Result {
 		case o := <-ch:
 			return Result{Cell: cell, Value: o.value, Err: o.err, Elapsed: time.Since(start)}
 		case <-timer.C:
+			if r.OnTimeout != nil {
+				r.OnTimeout(cell)
+			}
 			return Result{Cell: cell, Err: fmt.Errorf("timed out after %v (goroutine abandoned)", r.Timeout), Elapsed: time.Since(start)}
 		}
 	}
