@@ -39,6 +39,7 @@ import (
 	"hybsync/harness"
 	"hybsync/internal/benchfmt"
 	"hybsync/internal/measure"
+	"hybsync/internal/telemetry/export"
 	"hybsync/object"
 )
 
@@ -59,7 +60,19 @@ func main() {
 	keysFlag := flag.Uint64("keys", 1<<16, "key-space size for the sharded bench")
 	list := flag.Bool("list", false, "print the registered algorithm names and exit")
 	jsonFlag := flag.Bool("json", false, "emit machine-readable JSON instead of tables (for BENCH_*.json files)")
+	telFlag := flag.Bool("telemetry", true, "arm per-executor telemetry: records carry latency_ns/run_len fields (false = disarmed hot path, for overhead-sensitive gating)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/hybsync and /debug/vars on this address (e.g. localhost:6060) for the run's duration")
 	flag.Parse()
+
+	measure.SetTelemetry(*telFlag)
+	if *debugAddr != "" {
+		addr, err := export.Start(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybbench: -debug-addr: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "hybbench: telemetry at http://%s/debug/hybsync\n", addr)
+	}
 
 	if *list {
 		for _, name := range hybsync.Algorithms() {

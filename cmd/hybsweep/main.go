@@ -42,6 +42,7 @@ import (
 	"hybsync/internal/benchfmt"
 	"hybsync/internal/measure"
 	"hybsync/internal/sweep"
+	"hybsync/internal/telemetry/export"
 )
 
 // The grid axes in enumeration order. Defaults keep the product small
@@ -125,7 +126,18 @@ func main() {
 	workers := flag.Int("workers", 1, "worker-pool size; >1 runs cells concurrently, which distorts throughput numbers — use for exploratory sweeps only")
 	cellTimeout := flag.Duration("cell-timeout", 60*time.Second, "hard per-cell timeout; a cell exceeding it is recorded as failed and its goroutine abandoned")
 	out := flag.String("out", "-", "JSONL destination ('-' = stdout)")
+	telFlag := flag.Bool("telemetry", true, "arm per-executor telemetry: cell records carry latency_ns/run_len fields (false = disarmed hot path, for overhead-sensitive gating)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/hybsync and /debug/vars on this address (e.g. localhost:6060) for the sweep's duration")
 	flag.Parse()
+
+	measure.SetTelemetry(*telFlag)
+	if *debugAddr != "" {
+		addr, err := export.Start(*debugAddr)
+		if err != nil {
+			fatalf("-debug-addr: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "hybsweep: telemetry at http://%s/debug/hybsync\n", addr)
+	}
 
 	grid, err := defaultGrid()
 	if err != nil {

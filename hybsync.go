@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"hybsync/internal/core"
+	"hybsync/internal/telemetry"
 
 	// The construction packages self-register with the algorithm
 	// registry from their init functions; linking them here makes every
@@ -77,6 +78,34 @@ type StatsSource = core.StatsSource
 // in-flight window any handle reached). Read at pipeline quiescence,
 // like StatsSource.
 type PipelineStats = core.PipelineStats
+
+// Telemetry is an executor's metric core: lock-free latency and
+// run-length histograms plus fault/backpressure counters. Create one
+// with NewTelemetry, attach it with WithTelemetry, read it with
+// Snapshot (any time — merge-on-read, monotonic). A nil *Telemetry is
+// the disarmed state: every method is nil-safe and the constructions'
+// hot paths pay one nil-check branch.
+type Telemetry = telemetry.Telemetry
+
+// TelemetrySnapshot is one merged read of a Telemetry: latency and
+// run-length histograms (TelemetryHist) plus poison / stall-report /
+// submit-stall counters. Subtract snapshots with Delta, sum them with
+// Merge.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// TelemetryHist is one merged log₂-bucketed histogram; Quantile
+// extracts upper-bound percentiles (within 2× of the true value) and
+// Mean the exact average.
+type TelemetryHist = telemetry.Hist
+
+// TelemetrySource is implemented by every built-in construction:
+// Telemetry returns the metric core attached with WithTelemetry (nil
+// when disarmed).
+type TelemetrySource = core.TelemetrySource
+
+// NewTelemetry returns an armed metric core with the default latency
+// sampling interval (one in 16 blocking calls per handle).
+func NewTelemetry() *Telemetry { return telemetry.New() }
 
 // Option configures a construction; see WithMaxThreads and friends.
 type Option = core.Option
@@ -153,6 +182,14 @@ func WithChanQueues(on bool) Option { return core.WithChanQueues(on) }
 // on stderr — without affecting the wait itself. 0 (the default)
 // disables the watchdog and keeps the hot path free of clock reads.
 func WithStallTimeout(d time.Duration) Option { return core.WithStallTimeout(d) }
+
+// WithTelemetry attaches t as the executor's metric core: blocking
+// calls record sampled latency, every dispatch run records its length,
+// and poison/stall/submit-stall events are counted. One Telemetry may
+// be shared across executors (a sharded router's shards aggregate into
+// one core). nil leaves telemetry disarmed — the default, costing one
+// nil-check branch per operation.
+func WithTelemetry(t *Telemetry) Option { return core.WithTelemetry(t) }
 
 // New constructs the named algorithm around a legacy scalar dispatch
 // function (wrapped in Func); NewObject is the batch-aware primary

@@ -118,6 +118,7 @@ type Watched struct {
 	label    string
 	start    time.Time // first sleep-phase entry since the last Reset
 	reported bool
+	onStall  func()
 }
 
 // Armed returns a Watched backoff that reports a stall — once, through
@@ -129,6 +130,13 @@ type Watched struct {
 func Armed(stall time.Duration, label string) Watched {
 	return Watched{stall: stall, label: label}
 }
+
+// SetOnStall attaches f as a per-waiter stall observer: it runs right
+// before each stall report (telemetry counts watchdog firings this
+// way), on the waiting goroutine. nil detaches. Set it on the stored
+// Watched value — Armed returns by value, so a hook set on a copy is
+// lost.
+func (w *Watched) SetOnStall(f func()) { w.onStall = f }
 
 // Active reports whether the watchdog is armed. Wait loops that have a
 // cheaper disarmed equivalent (e.g. a queue's own blocking receive)
@@ -146,6 +154,9 @@ func (w *Watched) Wait() {
 			w.start = time.Now()
 		} else if waited := time.Since(w.start); waited >= w.stall {
 			w.reported = true
+			if w.onStall != nil {
+				w.onStall()
+			}
 			reportStall(w.label, waited)
 		}
 	}

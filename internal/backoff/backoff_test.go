@@ -49,6 +49,62 @@ func TestReset(t *testing.T) {
 	}
 }
 
+// TestSetOnStall checks the telemetry hook: a watched waiter that
+// trips its stall budget runs the per-waiter observer exactly once
+// (the report is once-per-stall), right before the process-wide
+// handler.
+func TestSetOnStall(t *testing.T) {
+	var reports atomic.Uint64
+	SetStallHandler(func(string, time.Duration) { reports.Add(1) })
+	defer SetStallHandler(nil)
+
+	w := Armed(time.Millisecond, "backoff-test")
+	var hookFired atomic.Uint64
+	w.SetOnStall(func() { hookFired.Add(1) })
+
+	deadline := time.Now().Add(5 * time.Second)
+	for reports.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never fired")
+		}
+		w.Wait()
+	}
+	// Keep waiting: neither the hook nor the handler may fire again
+	// before a Reset.
+	for i := 0; i < 100; i++ {
+		w.Wait()
+	}
+	if got := hookFired.Load(); got != 1 {
+		t.Errorf("onStall hook fired %d times, want exactly 1", got)
+	}
+	if got := reports.Load(); got != 1 {
+		t.Errorf("stall handler fired %d times, want exactly 1", got)
+	}
+
+	// Progress re-arms: after Reset the next stall fires the hook again.
+	w.Reset()
+	for hookFired.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog did not re-arm after Reset")
+		}
+		w.Wait()
+	}
+
+	// nil detaches without disturbing the watchdog itself.
+	w.Reset()
+	w.SetOnStall(nil)
+	before := reports.Load()
+	for reports.Load() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never fired after detach")
+		}
+		w.Wait()
+	}
+	if got := hookFired.Load(); got != 2 {
+		t.Errorf("detached hook fired: %d, want 2", got)
+	}
+}
+
 // TestWaitUnblocksPeer checks the property the package exists for: a
 // goroutine waiting with Backoff lets a runnable peer make progress
 // even at GOMAXPROCS=1 (the yield phase hands over the processor).

@@ -70,6 +70,44 @@ type Pipeline struct {
 	MaxDepth     uint64 `json:"max_depth"`
 }
 
+// Latency is the telemetry latency payload of a record: sampled
+// blocking-call latency in nanoseconds. Percentiles are log₂-bucket
+// upper bounds (within 2× of the true value — see internal/telemetry);
+// Samples is the sample count, not the op count. Present only on runs
+// measured with telemetry armed (pointer-omitted, like Pipeline).
+type Latency struct {
+	P50     uint64 `json:"p50"`
+	P90     uint64 `json:"p90"`
+	P99     uint64 `json:"p99"`
+	P999    uint64 `json:"p999"`
+	Max     uint64 `json:"max"`
+	Samples uint64 `json:"samples"`
+}
+
+// RunLength is the telemetry run-length payload of a record: requests
+// per DispatchBatch run the construction formed (a combining round's
+// serve, a server drain, a lock-path batch). Unsampled — Dispatches
+// counts every run. Percentiles are log₂-bucket upper bounds; Mean is
+// exact.
+type RunLength struct {
+	P50        uint64  `json:"p50"`
+	P99        uint64  `json:"p99"`
+	Max        uint64  `json:"max"`
+	Mean       float64 `json:"mean"`
+	Dispatches uint64  `json:"dispatches"`
+}
+
+// Faults is the fault-containment payload of a record: poison-latch
+// trips, stall-watchdog reports and timeout condemnations observed
+// during the run. Emitted by the chaos bench (where faults are
+// injected on purpose) so containment is visible in JSON instead of
+// pass/fail only; zero values are meaningful there.
+type Faults struct {
+	Poisons         uint64 `json:"poisons"`
+	StallReports    uint64 `json:"stall_reports"`
+	TimeoutCondemns uint64 `json:"timeout_condemns"`
+}
+
 // Record is one measured point. The shard_* fields appear only on
 // sharded-bench records: shard_ops is the per-shard occupancy profile
 // (how the keyed workload actually landed) and shard_fairness its
@@ -85,9 +123,10 @@ type Record struct {
 	// On batch-path records the per-thread counts are rescaled to
 	// operations before the ratio is taken, so it stays comparable.
 	Fairness float64 `json:"fairness,omitempty"`
-	// Rounds/Combined are the executor's combining counters. They are
-	// meaningful only for scalar submissions (rounds+combined==ops);
-	// Finish strips them from ApplyBatch-path records.
+	// Rounds/Combined are the executor's combining counters; see the
+	// core.StatsSource godoc for the canonical semantics (including why
+	// the scalar identity rounds+combined==ops fails on batch paths —
+	// Finish strips both from ApplyBatch-path records for that reason).
 	Rounds   uint64   `json:"rounds,omitempty"`
 	Combined uint64   `json:"combined,omitempty"`
 	Shards   int      `json:"shards,omitempty"`
@@ -99,8 +138,11 @@ type Record struct {
 	// A pointer so sharded records keep the meaningful value 0 ("some
 	// shard was never touched") while non-sharded records omit the
 	// field entirely.
-	ShardFairness *float64  `json:"shard_fairness,omitempty"`
-	Pipe          *Pipeline `json:"pipeline,omitempty"`
+	ShardFairness *float64   `json:"shard_fairness,omitempty"`
+	Pipe          *Pipeline  `json:"pipeline,omitempty"`
+	Lat           *Latency   `json:"latency_ns,omitempty"`
+	RunLen        *RunLength `json:"run_len,omitempty"`
+	Faults        *Faults    `json:"faults,omitempty"`
 }
 
 // FromNative builds a Record from one harness measurement, deriving
@@ -118,10 +160,11 @@ func FromNative(bench, algo string, threads int, res harness.NativeResult) Recor
 //
 //   - derives ns_per_op from mops;
 //   - enforces batch-record stats honesty: an ApplyBatch-path record
-//     drops the combiner rounds/combined counters, because with
-//     batched submissions the counters mix units (combiner rounds
-//     count batches, combined counts operations) and the scalar
-//     invariant rounds+combined==ops does not hold (PR 5 note).
+//     drops the combiner rounds/combined counters, whose scalar
+//     identity fails on batch paths — the core.StatsSource godoc is
+//     the canonical statement of why. The telemetry run-length
+//     histogram stays: it counts requests per dispatch run uniformly
+//     on every path.
 //
 // Finish is idempotent; every writer calls it as the last step.
 func (r *Record) Finish() {

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"hybsync/internal/mpq"
+	"hybsync/internal/telemetry"
 )
 
 // Dispatch executes opcode op with argument arg against the protected
@@ -194,8 +195,35 @@ type Handle interface {
 // "While no Apply is in flight" is no longer sufficient wording —
 // submissions are asynchronous, so an unflushed Submit or Post keeps
 // the pipeline live long after the submitting call returned.
+//
+// Counter semantics (the canonical statement — DESIGN.md and benchfmt
+// comments defer here): rounds counts combining rounds, i.e.
+// mutual-exclusion acquisitions that serviced at least one operation;
+// combined counts operations completed inside a round owned by another
+// thread. With purely scalar submissions every operation is either a
+// round owner's single own op or combined by someone else, so
+//
+//	rounds + combined == total ops   (scalar submissions only)
+//
+// Batched submissions break that identity by design: an ApplyBatch (or
+// router MultiApply) executes its whole batch as one round's own run —
+// n operations against a single rounds increment — and a drained
+// remote batch adds n to combined for the same one round. The counters
+// then mix units (rounds count batches, combined counts operations),
+// which is why benchfmt.Record.Finish strips both from batch-path
+// records instead of publishing numbers that invite the scalar
+// reading.
 type StatsSource interface {
 	Stats() (rounds, combined uint64)
+}
+
+// TelemetrySource is implemented by every construction: Telemetry
+// returns the metric core attached with WithTelemetry, or nil when
+// disarmed. Unlike Stats, a telemetry Snapshot may be taken at any
+// time — it is merge-on-read and monotonic, drifting only by records
+// still in flight.
+type TelemetrySource interface {
+	Telemetry() *telemetry.Telemetry
 }
 
 // PipelineStats is implemented by the pipelining constructions
@@ -270,6 +298,11 @@ type Options struct {
 	// UseChanQueues selects the channel backend instead of the lock-free
 	// ring (ablation).
 	UseChanQueues bool
+	// Telemetry attaches a metric core (sampled blocking-call latency,
+	// per-dispatch run length, poison/stall/submit-stall counters — see
+	// internal/telemetry). nil, the default, disarms recording: the
+	// disarmed hot path is one nil-receiver check per site.
+	Telemetry *telemetry.Telemetry
 
 	// err records the first invalid With* value; BuildOptions reports it.
 	err error
@@ -350,6 +383,18 @@ func WithStallTimeout(d time.Duration) Option {
 		}
 		o.StallTimeout = d
 	}
+}
+
+// WithTelemetry attaches t as the executor's metric core: blocking
+// calls (Apply, Wait, ApplyBatch) record sampled latency, every
+// DispatchBatch run records its length, and poison-latch trips,
+// stall-watchdog firings and full-pipeline submit stalls are counted.
+// One Telemetry may serve several executors — the shard router builds
+// every shard from the same Options, so all shards aggregate into one
+// core. A nil t is allowed and leaves telemetry disarmed (the
+// default).
+func WithTelemetry(t *telemetry.Telemetry) Option {
+	return func(o *Options) { o.Telemetry = t }
 }
 
 // WithChanQueues toggles the Go-channel queue backend (ablation

@@ -9,6 +9,7 @@ import (
 	"hybsync/internal/backoff"
 	"hybsync/internal/mpq"
 	"hybsync/internal/pad"
+	"hybsync/internal/telemetry"
 )
 
 // HybComb is the paper's Algorithm 1 as a native Go construction.
@@ -89,6 +90,7 @@ func NewHybComb(obj Object, opts Options) *HybComb {
 	opts.fill()
 	h := &HybComb{opts: opts, obj: obj}
 	h.Algo = "hybcomb"
+	h.Tel = opts.Telemetry
 	h.inbox = make([]mpq.Queue, opts.MaxThreads)
 	h.resp = make([]mpq.Queue, opts.MaxThreads)
 	for i := range h.inbox {
@@ -128,7 +130,8 @@ func (h *HybComb) NewHandle() (Handle, error) {
 	bl := h.opts.batchLen()
 	tk := mpq.NewTicketed(h.resp[id])
 	tk.Arm(h.opts.StallTimeout, "hybcomb: client awaiting combiner response")
-	return &hcHandle{
+	tk.OnStall(h.opts.Telemetry.StallHook())
+	hd := &hcHandle{
 		h:       h,
 		id:      id,
 		myNode:  n,
@@ -136,8 +139,13 @@ func (h *HybComb) NewHandle() (Handle, error) {
 		runReqs: make([]Req, bl),
 		runRets: make([]uint64, bl),
 		tk:      tk,
+		rec:     h.opts.Telemetry.Recorder(),
 		wb:      backoff.Armed(h.opts.StallTimeout, "hybcomb: combiner awaiting predecessor round"),
-	}, nil
+	}
+	// Set on the stored waiter: Armed returns by value, so a hook set
+	// on the temporary would be lost.
+	hd.wb.SetOnStall(h.opts.Telemetry.StallHook())
+	return hd, nil
 }
 
 // Close implements Executor. HybComb owns no background goroutine —
@@ -161,6 +169,9 @@ func (h *HybComb) Stats() (rounds, combined uint64) {
 
 // Pipeline implements PipelineStats.
 func (h *HybComb) Pipeline() (submitStalls, maxDepth uint64) { return h.ps.Pipeline() }
+
+// Telemetry implements TelemetrySource.
+func (h *HybComb) Telemetry() *telemetry.Telemetry { return h.opts.Telemetry }
 
 // hcSlot records where an outstanding Submit's result will come from:
 // the response stream position of a registered request, or the value a
@@ -186,6 +197,7 @@ type hcHandle struct {
 
 	tk    *mpq.Ticketed // ticketed receive over h.resp[id]
 	dt    DepthTracker
+	rec   *telemetry.Recorder
 	seq   uint64            // next ticket sequence number
 	slots map[uint64]hcSlot // outstanding Submit tickets (nil until first Submit)
 
@@ -205,11 +217,21 @@ func (hd *hcHandle) Apply(op, arg uint64) uint64 {
 	if hd.h.Poisoned() {
 		return 0
 	}
-	registered, ret := hd.submitOrCombine(op, arg)
-	if !registered {
-		return ret
+	// One latency sample = one blocking call, whichever path it takes
+	// (registered round-trip or a served round as the combiner).
+	sampled := hd.rec.Sample()
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
 	}
-	return hd.tk.WaitFor(hd.tk.Issue()).W[0]
+	registered, ret := hd.submitOrCombine(op, arg)
+	if registered {
+		ret = hd.tk.WaitFor(hd.tk.Issue()).W[0]
+	}
+	if sampled {
+		hd.rec.Latency(t0)
+	}
+	return ret
 }
 
 // acquire is lines 8-20 of Algorithm 1: try to register (op, arg) with
@@ -265,6 +287,7 @@ func (hd *hcHandle) serveRun(run []mpq.Msg) {
 	}
 	rets := hd.runRets[:len(run)]
 	h.PoisonLatch.Dispatch(h.obj, reqs, rets)
+	hd.rec.RunLen(len(run))
 	for i, m := range run {
 		h.resp[m.W[0]].Send(mpq.Word(rets[i]))
 	}
@@ -284,6 +307,7 @@ func (hd *hcHandle) combineBatch(own []Req, results []uint64) {
 	// and the round carries on — the drains below still run, the round
 	// still closes and hands over, so no registered thread is stranded.
 	h.PoisonLatch.Dispatch(h.obj, own, results)
+	hd.rec.RunLen(len(own))
 
 	// Lines 25-28: eagerly drain the queue while requests keep arriving;
 	// postponing the closing SWAP increases the combining potential.
@@ -341,6 +365,7 @@ func (hd *hcHandle) combineBatch(own []Req, results []uint64) {
 func (hd *hcHandle) makeRoom() {
 	if hd.tk.InFlight() >= hd.h.opts.QueueCap {
 		hd.h.ps.NoteStall()
+		hd.h.opts.Telemetry.NoteSubmitStall()
 		hd.tk.Absorb()
 	}
 }
@@ -371,15 +396,27 @@ func (hd *hcHandle) Submit(op, arg uint64) (Ticket, error) {
 
 // Wait implements Handle.
 func (hd *hcHandle) Wait(t Ticket) uint64 {
+	// Sample both completion paths: a banked combiner-path result is a
+	// near-zero Wait, but it is the latency the client observed — the
+	// async leg's distribution must show it, not silently omit it.
+	sampled := hd.rec.Sample()
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
 	s, ok := hd.slots[t.seq]
 	if !ok {
 		panic("core: hybcomb: Wait on a ticket that is not outstanding (already waited, or issued by another handle)")
 	}
 	delete(hd.slots, t.seq)
-	if s.local {
-		return s.val
+	v := s.val
+	if !s.local {
+		v = hd.tk.WaitFor(s.pos).W[0]
 	}
-	return hd.tk.WaitFor(s.pos).W[0]
+	if sampled {
+		hd.rec.Latency(t0)
+	}
+	return v
 }
 
 // TryWait implements Handle: a combiner-path ticket is always ready
@@ -476,6 +513,12 @@ func (hd *hcHandle) ApplyBatch(reqs []Req, results []uint64) {
 	if cap(hd.posBuf) < len(reqs) {
 		hd.posBuf = make([]uint64, len(reqs))
 	}
+	// One latency sample covers the whole batch call.
+	sampled := hd.rec.Sample()
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
 	pos := hd.posBuf[:len(reqs)]
 	res := results
 	if res == nil {
@@ -513,5 +556,8 @@ func (hd *hcHandle) ApplyBatch(reqs []Req, results []uint64) {
 		if results != nil {
 			results[j] = v
 		}
+	}
+	if sampled {
+		hd.rec.Latency(t0)
 	}
 }

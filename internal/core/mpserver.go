@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hybsync/internal/mpq"
+	"hybsync/internal/telemetry"
 )
 
 // MPServer is the paper's MP-SERVER: a dedicated server goroutine owns
@@ -64,6 +65,7 @@ func NewMPServer(obj Object, opts Options) *MPServer {
 		done: make(chan struct{}),
 	}
 	s.Algo = "mpserver"
+	s.Tel = opts.Telemetry
 	for i := range s.resp {
 		// QueueCap deep (not 1): the response ring is the completion
 		// stream of the handle's submission pipeline, and must hold one
@@ -88,6 +90,7 @@ func NewMPServer(obj Object, opts Options) *MPServer {
 // the server never dies silently with waiters blocked on its rings.
 func (s *MPServer) serve() {
 	defer close(s.done)
+	rec := s.opts.Telemetry.Recorder() // server-goroutine owned
 	buf := make([]mpq.Msg, s.opts.batchLen())
 	ids := make([]uint64, len(buf))
 	run := make([]Req, 0, len(buf))
@@ -108,6 +111,7 @@ func (s *MPServer) serve() {
 		}
 		if len(run) > 0 {
 			s.PoisonLatch.Dispatch(s.obj, run, rets[:len(run)])
+			rec.RunLen(len(run))
 			for i := range run {
 				s.resp[ids[i]].Send(mpq.Word(rets[i]))
 			}
@@ -146,10 +150,12 @@ func (s *MPServer) NewHandle() (Handle, error) {
 	}
 	tk := mpq.NewTicketed(s.resp[id])
 	tk.Arm(s.opts.StallTimeout, "mpserver: client awaiting response")
+	tk.OnStall(s.opts.Telemetry.StallHook())
 	return &mpHandle{
-		s:  s,
-		id: uint64(id),
-		tk: tk,
+		s:   s,
+		id:  uint64(id),
+		tk:  tk,
+		rec: s.opts.Telemetry.Recorder(),
 	}, nil
 }
 
@@ -170,6 +176,9 @@ func (s *MPServer) Close() error {
 // Pipeline implements PipelineStats.
 func (s *MPServer) Pipeline() (submitStalls, maxDepth uint64) { return s.ps.Pipeline() }
 
+// Telemetry implements TelemetrySource.
+func (s *MPServer) Telemetry() *telemetry.Telemetry { return s.opts.Telemetry }
+
 // mpHandle is one client's pipeline over the server: requests go out on
 // the shared MPSC ring, replies come back on the client's own SPSC ring
 // as a ticketed completion stream. Every submission is ring-bound and
@@ -181,6 +190,7 @@ type mpHandle struct {
 	id  uint64
 	tk  *mpq.Ticketed
 	dt  DepthTracker
+	rec *telemetry.Recorder
 	pos []uint64 // ApplyBatch stream-position scratch
 }
 
@@ -190,6 +200,7 @@ type mpHandle struct {
 func (h *mpHandle) submit(op, arg uint64) uint64 {
 	if h.tk.InFlight() >= h.s.opts.QueueCap {
 		h.s.ps.NoteStall()
+		h.s.opts.Telemetry.NoteSubmitStall()
 		h.tk.Absorb()
 	}
 	pos := h.tk.Issue()
@@ -205,7 +216,19 @@ func (h *mpHandle) Apply(op, arg uint64) uint64 {
 	if h.s.Poisoned() {
 		return 0
 	}
-	return h.tk.WaitFor(h.submit(op, arg)).W[0]
+	// One latency sample = one blocking call, submission to reply. The
+	// disarmed cost is the Sample nil check; the clock is only read on
+	// sampled calls.
+	sampled := h.rec.Sample()
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
+	v := h.tk.WaitFor(h.submit(op, arg)).W[0]
+	if sampled {
+		h.rec.Latency(t0)
+	}
+	return v
 }
 
 // Submit implements Handle: ship the request, don't wait for the
@@ -220,7 +243,16 @@ func (h *mpHandle) Submit(op, arg uint64) (Ticket, error) {
 
 // Wait implements Handle: collect t's reply from the completion stream.
 func (h *mpHandle) Wait(t Ticket) uint64 {
-	return h.tk.WaitFor(t.seq).W[0]
+	sampled := h.rec.Sample()
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
+	v := h.tk.WaitFor(t.seq).W[0]
+	if sampled {
+		h.rec.Latency(t0)
+	}
+	return v
 }
 
 // TryWait implements Handle.
@@ -253,6 +285,7 @@ func (h *mpHandle) Post(op, arg uint64) error {
 	}
 	if h.tk.InFlight() >= h.s.opts.QueueCap {
 		h.s.ps.NoteStall()
+		h.s.opts.Telemetry.NoteSubmitStall()
 		h.tk.Absorb()
 	}
 	h.tk.Discard(h.tk.Issue())
@@ -281,6 +314,13 @@ func (h *mpHandle) ApplyBatch(reqs []Req, results []uint64) {
 	if cap(h.pos) < len(reqs) {
 		h.pos = make([]uint64, len(reqs))
 	}
+	// One latency sample covers the whole batch call — submission of
+	// the first request to collection of the last reply.
+	sampled := h.rec.Sample()
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
 	pos := h.pos[:len(reqs)]
 	for i, r := range reqs {
 		pos[i] = h.submit(r.Op, r.Arg)
@@ -290,5 +330,8 @@ func (h *mpHandle) ApplyBatch(reqs []Req, results []uint64) {
 		if results != nil {
 			results[i] = v
 		}
+	}
+	if sampled {
+		h.rec.Latency(t0)
 	}
 }

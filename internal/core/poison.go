@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync/atomic"
+
+	"hybsync/internal/telemetry"
 )
 
 // Fault-state errors. ErrPoisoned is wrapped by the *PoisonError every
@@ -79,7 +81,10 @@ type PoisonLatch struct {
 	// Algo names the construction in the PoisonError (set once at
 	// construction time, before any dispatch).
 	Algo string
-	p    atomic.Pointer[PoisonError]
+	// Tel, when armed, counts the latch trip as a telemetry poison
+	// event (set once at construction time, like Algo). Nil-safe.
+	Tel *telemetry.Telemetry
+	p   atomic.Pointer[PoisonError]
 }
 
 // Poison implements Poisonable: latch the terminal fault state with v
@@ -87,7 +92,11 @@ type PoisonLatch struct {
 func (l *PoisonLatch) Poison(v any) { l.poison(v, debug.Stack()) }
 
 func (l *PoisonLatch) poison(v any, stack []byte) {
-	l.p.CompareAndSwap(nil, &PoisonError{Algo: l.Algo, Value: v, Stack: stack})
+	if l.p.CompareAndSwap(nil, &PoisonError{Algo: l.Algo, Value: v, Stack: stack}) {
+		// Count only the winning trip, so the counter equals the number
+		// of executors that entered the terminal fault state.
+		l.Tel.NotePoison()
+	}
 }
 
 // Poisoned reports whether the latch has tripped.

@@ -10,18 +10,72 @@ package measure
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hybsync"
 	"hybsync/harness"
 	"hybsync/internal/benchfmt"
 	"hybsync/internal/chaos"
+	"hybsync/internal/telemetry"
 	"hybsync/object"
 )
 
+// telemetryOff inverts the default: measurement cores arm telemetry
+// unless SetTelemetry(false) disarmed it, so records carry latency and
+// run-length fields out of the box and the overhead-sensitive CI gates
+// opt out explicitly (hybbench/hybsweep -telemetry=false).
+var telemetryOff atomic.Bool
+
+// SetTelemetry arms (true, the default) or disarms (false) telemetry
+// for every subsequently started measurement core.
+func SetTelemetry(on bool) { telemetryOff.Store(!on) }
+
+// newTel returns a fresh armed metric core, or nil when SetTelemetry
+// disarmed measurement telemetry — nil flows through WithTelemetry and
+// every record hook as the zero-cost disarmed state.
+func newTel() *telemetry.Telemetry {
+	if telemetryOff.Load() {
+		return nil
+	}
+	return telemetry.New()
+}
+
 // opts sizes every construction generously enough for any thread
-// count the benches drive.
-func opts() []hybsync.Option { return []hybsync.Option{hybsync.WithMaxThreads(256)} }
+// count the benches drive, and attaches tel as its metric core.
+func opts(tel *telemetry.Telemetry) []hybsync.Option {
+	return []hybsync.Option{hybsync.WithMaxThreads(256), hybsync.WithTelemetry(tel)}
+}
+
+// telFields copies tel's merged histograms onto rec: the sampled
+// blocking-latency percentiles and the unsampled run-length profile.
+// A nil tel (telemetry disarmed) or an empty histogram leaves the
+// corresponding field absent, matching the pointer-omitted schema.
+func telFields(rec *benchfmt.Record, tel *telemetry.Telemetry) {
+	if tel == nil {
+		return
+	}
+	snap := tel.Snapshot()
+	if l := snap.Latency; l.Count > 0 {
+		rec.Lat = &benchfmt.Latency{
+			P50:     l.Quantile(0.50),
+			P90:     l.Quantile(0.90),
+			P99:     l.Quantile(0.99),
+			P999:    l.Quantile(0.999),
+			Max:     l.Max,
+			Samples: l.Count,
+		}
+	}
+	if r := snap.RunLen; r.Count > 0 {
+		rec.RunLen = &benchfmt.RunLength{
+			P50:        r.Quantile(0.50),
+			P99:        r.Quantile(0.99),
+			Max:        r.Max,
+			Mean:       r.Mean(),
+			Dispatches: r.Count,
+		}
+	}
+}
 
 // The live-executor registry: every measurement core tracks the
 // executor (or executor-backed object) it is driving for the duration
@@ -38,13 +92,17 @@ var (
 // Poison passthroughs.
 type poisonable interface{ Poison(v any) }
 
-// track registers x as live and returns its untrack function (defer
-// it at the start of a measurement core).
-func track(x any) func() {
+// track registers x as live under label (and, when tel is armed, in
+// the telemetry registry the /debug/hybsync endpoint walks) and
+// returns the combined untrack function (defer it at the start of a
+// measurement core).
+func track(x any, label string, tel *telemetry.Telemetry) func() {
 	liveMu.Lock()
 	live[x] = struct{}{}
 	liveMu.Unlock()
+	unreg := telemetry.Register(label, tel)
 	return func() {
+		unreg()
 		liveMu.Lock()
 		delete(live, x)
 		liveMu.Unlock()
@@ -54,7 +112,8 @@ func track(x any) func() {
 // PoisonLive condemns every live tracked executor with reason and
 // returns how many accepted the fault. It is safe from any goroutine —
 // the sweep runner's OnTimeout hook calls it while the abandoned cell
-// is still running.
+// is still running. Each condemnation is counted in the telemetry
+// registry's timeout-condemns counter.
 func PoisonLive(reason any) int {
 	liveMu.Lock()
 	defer liveMu.Unlock()
@@ -62,6 +121,7 @@ func PoisonLive(reason any) int {
 	for x := range live {
 		if p, ok := x.(poisonable); ok {
 			p.Poison(reason)
+			telemetry.NoteCondemned()
 			n++
 		}
 	}
@@ -82,12 +142,13 @@ func pipeOf(src any) *benchfmt.Pipeline {
 // blocking Inc round trips through algo (plus the executor's combining
 // stats, when it keeps them).
 func Counter(algo string, th int, dur time.Duration) (benchfmt.Record, error) {
-	c, err := object.NewCounter(algo, opts()...)
+	tel := newTel()
+	c, err := object.NewCounter(algo, opts(tel)...)
 	if err != nil {
 		return benchfmt.Record{}, fmt.Errorf("NewCounter(%s): %w", algo, err)
 	}
 	defer c.Close()
-	defer track(c)()
+	defer track(c, "counter/"+algo, tel)()
 	res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
 		h, err := c.NewHandle()
 		if err != nil {
@@ -97,6 +158,7 @@ func Counter(algo string, th int, dur time.Duration) (benchfmt.Record, error) {
 	})
 	rec := benchfmt.FromNative("counter", algo, th, res)
 	rec.Rounds, rec.Combined, _ = c.Stats()
+	telFields(&rec, tel)
 	rec.Finish()
 	return rec, nil
 }
@@ -106,12 +168,13 @@ func Counter(algo string, th int, dur time.Duration) (benchfmt.Record, error) {
 // nshards executors of algo. The record carries the per-shard
 // occupancy profile and its max/min fairness.
 func Sharded(algo string, nshards int, dist harness.Dist, th int, dur time.Duration) (benchfmt.Record, error) {
-	c, err := object.NewShardedCounter(algo, nshards, opts()...)
+	tel := newTel()
+	c, err := object.NewShardedCounter(algo, nshards, opts(tel)...)
 	if err != nil {
 		return benchfmt.Record{}, fmt.Errorf("NewShardedCounter(%s, %d): %w", algo, nshards, err)
 	}
 	defer c.Close()
-	defer track(c)()
+	defer track(c, "sharded/"+algo, tel)()
 	res := harness.RunNative(th, dur, 50, func(t int) func(uint64) {
 		h, err := c.NewHandle()
 		if err != nil {
@@ -133,6 +196,7 @@ func Sharded(algo string, nshards int, dist harness.Dist, th int, dur time.Durat
 	if st, d, ok := c.Pipeline(); ok {
 		rec.Pipe = &benchfmt.Pipeline{SubmitStalls: st, MaxDepth: d}
 	}
+	telFields(&rec, tel)
 	rec.Finish()
 	return rec, nil
 }
@@ -145,15 +209,16 @@ func Sharded(algo string, nshards int, dist harness.Dist, th int, dur time.Durat
 // submissions.
 func Async(algo string, depth, th int, dur time.Duration) (benchfmt.Record, error) {
 	var state uint64
+	tel := newTel()
 	ex, err := hybsync.New(algo, func(op, arg uint64) uint64 {
 		v := state
 		state = v + 1
 		return v
-	}, opts()...)
+	}, opts(tel)...)
 	if err != nil {
 		return benchfmt.Record{}, fmt.Errorf("New(%s): %w", algo, err)
 	}
-	defer track(ex)()
+	defer track(ex, "async/"+algo, tel)()
 	// Each worker drains its own window in its own goroutine (the drain
 	// half of RunNativeDrain), while its peers are still running: with
 	// CC-Synch a stopping thread's unwaited cell can hold the combiner
@@ -187,6 +252,7 @@ func Async(algo string, depth, th int, dur time.Duration) (benchfmt.Record, erro
 	if err := ex.Close(); err != nil {
 		return benchfmt.Record{}, fmt.Errorf("Close(%s): %w", algo, err)
 	}
+	telFields(&rec, tel)
 	rec.Finish()
 	return rec, nil
 }
@@ -215,11 +281,12 @@ func (o *batchCounter) DispatchBatch(reqs []hybsync.Req, results []uint64) {
 // (benchfmt.Record.Finish strips them anyway).
 func Batch(algo string, b, th int, dur time.Duration) (benchfmt.Record, error) {
 	obj := &batchCounter{}
-	ex, err := hybsync.NewObject(algo, obj, opts()...)
+	tel := newTel()
+	ex, err := hybsync.NewObject(algo, obj, opts(tel)...)
 	if err != nil {
 		return benchfmt.Record{}, fmt.Errorf("NewObject(%s): %w", algo, err)
 	}
-	defer track(ex)()
+	defer track(ex, "batch/"+algo, tel)()
 	res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
 		h := hybsync.MustHandle(ex)
 		reqs := make([]hybsync.Req, b)
@@ -239,6 +306,7 @@ func Batch(algo string, b, th int, dur time.Duration) (benchfmt.Record, error) {
 	if err := ex.Close(); err != nil {
 		return benchfmt.Record{}, fmt.Errorf("Close(%s): %w", algo, err)
 	}
+	telFields(&rec, tel)
 	rec.Finish()
 	return rec, nil
 }
@@ -257,10 +325,17 @@ func Chaos(algo string, seed uint64, th int, dur time.Duration) (benchfmt.Record
 	restore := chaos.NewPerturber(seed).Install()
 	defer restore()
 
+	// One metric core spans the probe and the measured run, so the
+	// record's fault counters include the probe's deliberate poison —
+	// chaos output proves containment happened, not just that nothing
+	// crashed.
+	tel := newTel()
+	condemned0 := telemetry.CondemnedCount()
+
 	// Containment probe: an injected panic in this construction must
 	// poison that executor without taking the process (or the measured
 	// executor below) with it.
-	probe, err := hybsync.NewObject(algo, chaos.PanicOnNth(&batchCounter{}, 1), opts()...)
+	probe, err := hybsync.NewObject(algo, chaos.PanicOnNth(&batchCounter{}, 1), opts(tel)...)
 	if err != nil {
 		return benchfmt.Record{}, fmt.Errorf("NewObject(%s): %w", algo, err)
 	}
@@ -273,11 +348,11 @@ func Chaos(algo string, seed uint64, th int, dur time.Duration) (benchfmt.Record
 
 	base := &batchCounter{}
 	obj := chaos.Delay(base, seed, 256, 50*time.Microsecond)
-	ex, err := hybsync.NewObject(algo, obj, opts()...)
+	ex, err := hybsync.NewObject(algo, obj, opts(tel)...)
 	if err != nil {
 		return benchfmt.Record{}, fmt.Errorf("NewObject(%s): %w", algo, err)
 	}
-	defer track(ex)()
+	defer track(ex, "chaos/"+algo, tel)()
 	res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
 		h := hybsync.MustHandle(ex)
 		return func(uint64) { h.Apply(0, 0) }
@@ -290,6 +365,15 @@ func Chaos(algo string, seed uint64, th int, dur time.Duration) (benchfmt.Record
 			algo, base.state, res.Ops)
 	}
 	rec := benchfmt.FromNative("chaos", algo, th, res)
+	telFields(&rec, tel)
+	if tel != nil {
+		snap := tel.Snapshot()
+		rec.Faults = &benchfmt.Faults{
+			Poisons:         snap.Poisons,
+			StallReports:    snap.Stalls,
+			TimeoutCondemns: telemetry.CondemnedCount() - condemned0,
+		}
+	}
 	rec.Finish()
 	return rec, nil
 }
@@ -299,11 +383,12 @@ func Chaos(algo string, seed uint64, th int, dur time.Duration) (benchfmt.Record
 // operation). Records carry path "apply" and no batch field.
 func BatchApply(algo string, th int, dur time.Duration) (benchfmt.Record, error) {
 	obj := &batchCounter{}
-	ex, err := hybsync.NewObject(algo, obj, opts()...)
+	tel := newTel()
+	ex, err := hybsync.NewObject(algo, obj, opts(tel)...)
 	if err != nil {
 		return benchfmt.Record{}, fmt.Errorf("NewObject(%s): %w", algo, err)
 	}
-	defer track(ex)()
+	defer track(ex, "batch-apply/"+algo, tel)()
 	res := harness.RunNative(th, dur, 50, func(int) func(uint64) {
 		h := hybsync.MustHandle(ex)
 		return func(uint64) { h.Apply(0, 0) }
@@ -317,6 +402,7 @@ func BatchApply(algo string, th int, dur time.Duration) (benchfmt.Record, error)
 	if err := ex.Close(); err != nil {
 		return benchfmt.Record{}, fmt.Errorf("Close(%s): %w", algo, err)
 	}
+	telFields(&rec, tel)
 	rec.Finish()
 	return rec, nil
 }

@@ -46,6 +46,11 @@ func (t *Ticketed) Arm(stall time.Duration, label string) {
 	t.wb = backoff.Armed(stall, label)
 }
 
+// OnStall attaches f as the armed watchdog's firing observer (see
+// backoff.Watched.SetOnStall); telemetry counts stall reports this
+// way. Call it after Arm — Arm replaces the watcher wholesale.
+func (t *Ticketed) OnStall(f func()) { t.wb.SetOnStall(f) }
+
 // Issue reserves the next stream position, to be called once per
 // submitted request immediately around its send. The n'th Issue returns
 // n-1: positions count from zero in submission order.

@@ -5,6 +5,7 @@ import (
 
 	"hybsync/internal/core"
 	"hybsync/internal/pad"
+	"hybsync/internal/telemetry"
 )
 
 // Counter opcodes.
@@ -114,6 +115,11 @@ func (c *Counter) Stats() (rounds, combined uint64, ok bool) { return c.r.Combin
 func (c *Counter) Pipeline() (submitStalls, maxDepth uint64, ok bool) {
 	return c.r.PipelineCounters()
 }
+
+// Telemetry reports the merged telemetry snapshot of the shard
+// executors when any carries an armed metric core (ok false
+// otherwise); may be read at any time.
+func (c *Counter) Telemetry() (telemetry.Snapshot, bool) { return c.r.TelemetrySnapshot() }
 
 // CounterHandle is a goroutine's capability to use the sharded counter.
 type CounterHandle struct {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hybsync/internal/core"
+	"hybsync/internal/telemetry"
 )
 
 // Map opcodes.
@@ -222,6 +223,11 @@ func (m *Map) Stats() (rounds, combined uint64, ok bool) { return m.r.CombiningS
 func (m *Map) Pipeline() (submitStalls, maxDepth uint64, ok bool) {
 	return m.r.PipelineCounters()
 }
+
+// Telemetry reports the merged telemetry snapshot of the shard
+// executors when any carries an armed metric core (ok false
+// otherwise); may be read at any time.
+func (m *Map) Telemetry() (telemetry.Snapshot, bool) { return m.r.TelemetrySnapshot() }
 
 // Len reads the live-entry count; call only at quiescence (use a
 // handle's Len for a concurrent per-shard-linearizable read).

@@ -22,6 +22,7 @@ import (
 
 	"hybsync/internal/core"
 	"hybsync/internal/pad"
+	"hybsync/internal/telemetry"
 )
 
 // KeyedDispatch executes opcode op with argument arg against shard's
@@ -249,6 +250,38 @@ func (r *Router) PipelineCounters() (submitStalls, maxDepth uint64, ok bool) {
 		}
 	}
 	return submitStalls, maxDepth, ok
+}
+
+// TelemetrySnapshot aggregates the shards' telemetry into one merged
+// snapshot; ok is false when no shard carries an armed metric core.
+// Shards built from one Options share a single *Telemetry, so the
+// merge dedups by pointer identity — without that, an N-shard router
+// would count every sample N times. Unlike the combining counters a
+// telemetry snapshot may be taken at any time (merge-on-read,
+// monotonic).
+func (r *Router) TelemetrySnapshot() (telemetry.Snapshot, bool) {
+	var (
+		snap telemetry.Snapshot
+		ok   bool
+		seen map[*telemetry.Telemetry]bool
+	)
+	for _, e := range r.execs {
+		src, isSource := e.(core.TelemetrySource)
+		if !isSource {
+			continue
+		}
+		t := src.Telemetry()
+		if t == nil || seen[t] {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[*telemetry.Telemetry]bool, len(r.execs))
+		}
+		seen[t] = true
+		snap = snap.Merge(t.Snapshot())
+		ok = true
+	}
+	return snap, ok
 }
 
 // Occupancy returns a snapshot of how many operations each shard has

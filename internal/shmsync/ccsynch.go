@@ -16,6 +16,7 @@ import (
 	"hybsync/internal/backoff"
 	"hybsync/internal/core"
 	"hybsync/internal/pad"
+	"hybsync/internal/telemetry"
 )
 
 // The package's constructions self-register with the core registry so
@@ -25,11 +26,16 @@ func init() {
 		c := NewCCSynch(obj, o.MaxOps)
 		c.depth = o.QueueCap
 		c.stall = o.StallTimeout
+		c.tel = o.Telemetry
+		c.Tel = o.Telemetry
 		return c, nil
 	})
 	core.MustRegister("shmserver", func(obj core.Object, o core.Options) (core.Executor, error) {
 		s := NewSHMServer(obj, o.MaxThreads)
 		s.stall = o.StallTimeout
+		// The server goroutine is already polling: publish the metric
+		// core through an atomic so its sweep recorder can attach late.
+		s.setTelemetry(o.Telemetry)
 		return s, nil
 	})
 }
@@ -63,8 +69,9 @@ type CCSynch struct {
 	obj    core.Object
 	tail   atomic.Pointer[ccNode]
 	maxOps int32
-	depth  int           // per-handle in-flight bound (Options.QueueCap)
-	stall  time.Duration // stall watchdog budget (Options.StallTimeout)
+	depth  int                  // per-handle in-flight bound (Options.QueueCap)
+	stall  time.Duration        // stall watchdog budget (Options.StallTimeout)
+	tel    *telemetry.Telemetry // metric core (Options.Telemetry; nil = disarmed)
 	closed atomic.Bool
 
 	rounds   atomic.Uint64
@@ -111,11 +118,16 @@ func (c *CCSynch) NewHandle() (core.Handle, error) {
 	if c.closed.Load() {
 		return nil, fmt.Errorf("shmsync: ccsynch: %w", core.ErrClosed)
 	}
-	return &ccHandle{
+	h := &ccHandle{
 		c:    c,
 		node: &ccNode{},
+		rec:  c.tel.Recorder(),
 		wb:   backoff.Armed(c.stall, "ccsynch: waiting for cell service"),
-	}, nil
+	}
+	// Set on the stored waiter: Armed returns by value, so a hook set
+	// on the temporary would be lost.
+	h.wb.SetOnStall(c.tel.StallHook())
+	return h, nil
 }
 
 // Close implements core.Executor. CC-Synch owns no background
@@ -137,6 +149,9 @@ func (c *CCSynch) Stats() (rounds, combined uint64) {
 
 // Pipeline implements core.PipelineStats.
 func (c *CCSynch) Pipeline() (submitStalls, maxDepth uint64) { return c.ps.Pipeline() }
+
+// Telemetry implements core.TelemetrySource.
+func (c *CCSynch) Telemetry() *telemetry.Telemetry { return c.tel }
 
 // ccOp is one outstanding asynchronous operation: the chain cell whose
 // wait flag will clear when the operation is served (or when its owner
@@ -160,6 +175,7 @@ type ccHandle struct {
 	bcells []*ccNode
 
 	dt   core.DepthTracker
+	rec  *telemetry.Recorder
 	seq  uint64          // next ticket sequence number
 	ops  map[uint64]ccOp // outstanding submissions (nil until first Submit)
 	fifo []uint64        // submission order of outstanding seqs (lazily pruned)
@@ -232,6 +248,7 @@ func (h *ccHandle) flushRun(cur *ccNode, myRet *uint64) {
 	// executor and the run completes with zeros, so every cell in the
 	// segment is still released and no follower spins forever.
 	h.c.PoisonLatch.Dispatch(h.c.obj, h.creqs, rets)
+	h.rec.RunLen(len(h.cells))
 	for i, cell := range h.cells {
 		if cell == cur {
 			*myRet = rets[i]
@@ -310,22 +327,35 @@ func (h *ccHandle) Apply(op, arg uint64) uint64 {
 	}
 	if len(h.ops) != 0 {
 		t, _ := h.Submit(op, arg)
-		return h.Wait(t)
+		return h.Wait(t) // Wait takes the latency sample
 	}
+	// One latency sample = one publish-to-completion call (including
+	// any inherited combining duty).
+	sampled := h.rec.Sample()
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
+	var ret uint64
 	if h.node == nil {
-		return h.complete(h.publish(op, arg))
-	}
-	nextNode := h.node
-	nextNode.wait.Store(true)
-	nextNode.completed = false
-	nextNode.next.Store(nil)
+		ret = h.complete(h.publish(op, arg))
+	} else {
+		nextNode := h.node
+		nextNode.wait.Store(true)
+		nextNode.completed = false
+		nextNode.next.Store(nil)
 
-	cur := h.c.tail.Swap(nextNode)
-	cur.op = op
-	cur.arg = arg
-	h.node = cur
-	cur.next.Store(nextNode) // publish after filling the request
-	return h.completeCell(cur)
+		cur := h.c.tail.Swap(nextNode)
+		cur.op = op
+		cur.arg = arg
+		h.node = cur
+		cur.next.Store(nextNode) // publish after filling the request
+		ret = h.completeCell(cur)
+	}
+	if sampled {
+		h.rec.Latency(t0)
+	}
+	return ret
 }
 
 // settleOldest completes the oldest outstanding submission, banking its
@@ -355,6 +385,7 @@ func (h *ccHandle) settleOldest() {
 func (h *ccHandle) submitOp(op, arg uint64, discard bool) uint64 {
 	if len(h.ops) >= h.c.depth {
 		h.c.ps.NoteStall()
+		h.c.tel.NoteSubmitStall()
 		h.settleOldest()
 	}
 	cell := h.publish(op, arg)
@@ -402,6 +433,11 @@ func (h *ccHandle) Wait(t core.Ticket) uint64 {
 	if !ok {
 		panic("shmsync: ccsynch: Wait on a ticket that is not outstanding (already waited, or issued by another handle)")
 	}
+	sampled := h.rec.Sample()
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
 	// An out-of-order Wait must not spin on a cell while an earlier
 	// unwaited cell of this same handle holds the round's dormant
 	// combiner duty — nobody else would ever serve us. Settle older
@@ -414,7 +450,11 @@ func (h *ccHandle) Wait(t core.Ticket) uint64 {
 		h.settleOldest()
 	}
 	delete(h.ops, seq) // its fifo entry is pruned lazily
-	return h.complete(op.cell)
+	v := h.complete(op.cell)
+	if sampled {
+		h.rec.Latency(t0)
+	}
+	return v
 }
 
 // TryWait implements core.Handle. A not-ready ticket's cell stays on
@@ -532,12 +572,18 @@ func (h *ccHandle) ApplyBatch(reqs []core.Req, results []uint64) {
 			sqs[i] = h.submitOp(r.Op, r.Arg, false)
 		}
 		for i, seq := range sqs {
-			v := h.Wait(core.NewTicket(seq))
+			v := h.Wait(core.NewTicket(seq)) // Wait takes the latency samples
 			if results != nil {
 				results[i] = v
 			}
 		}
 		return
+	}
+	// One latency sample covers the whole batch call.
+	sampled := h.rec.Sample()
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
 	}
 	depth := h.c.depth
 	for start := 0; start < len(reqs); start += depth {
@@ -560,5 +606,8 @@ func (h *ccHandle) ApplyBatch(reqs []core.Req, results []uint64) {
 				results[start+i] = v
 			}
 		}
+	}
+	if sampled {
+		h.rec.Latency(t0)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"hybsync/internal/backoff"
 	"hybsync/internal/core"
 	"hybsync/internal/pad"
+	"hybsync/internal/telemetry"
 )
 
 // SHMServer is the paper's SHM-SERVER: a simplified RCL. Each client
@@ -30,7 +31,23 @@ type SHMServer struct {
 	nextID atomic.Int32
 	stop   atomic.Bool
 	done   chan struct{}
+	// tel is atomic because the registry factory arms telemetry after
+	// NewSHMServer has already started the polling goroutine; the sweep
+	// attaches its recorder lazily on the first armed flush.
+	tel atomic.Pointer[telemetry.Telemetry]
 }
+
+// setTelemetry arms the metric core (nil is a no-op, leaving the
+// server disarmed). Call before handing out handles.
+func (s *SHMServer) setTelemetry(t *telemetry.Telemetry) {
+	if t != nil {
+		s.tel.Store(t)
+		s.Tel = t
+	}
+}
+
+// Telemetry implements core.TelemetrySource.
+func (s *SHMServer) Telemetry() *telemetry.Telemetry { return s.tel.Load() }
 
 // shmSlotHot is one client channel: req holds op+1 (0 = empty). The
 // server writes ret then clears req; the client spins on req. The
@@ -76,6 +93,13 @@ func (s *SHMServer) serve() {
 	pend := make([]*shmSlot, 0, len(s.slots))
 	reqs := make([]core.Req, 0, len(s.slots))
 	rets := make([]uint64, len(s.slots))
+	// The recorder attaches exactly once, at the first non-empty flush:
+	// telemetry arms after serve starts but before any handle exists
+	// (setTelemetry's contract), and a non-empty flush implies a client
+	// held a handle — so one load suffices, and a disarmed sweep never
+	// re-reads the atomic pointer on its per-op hot path.
+	var rec *telemetry.Recorder
+	recSet := false
 	flush := func() {
 		if len(pend) == 0 {
 			return
@@ -88,22 +112,39 @@ func (s *SHMServer) serve() {
 			slot.ret = rets[i]
 			slot.req.Store(0) // release: the client observes ret before this
 		}
+		// Record after the release stores: the sweep is the round trip's
+		// critical path, and even a nil-recorder call between publish and
+		// release delays every spinning client.
+		if !recSet {
+			rec, recSet = s.tel.Load().Recorder(), true
+		}
+		rec.RunLen(len(pend))
 		pend = pend[:0]
 		reqs = reqs[:0]
 	}
+	// The emptiness guard is hoisted to the call sites: flush outgrew
+	// the inlining budget when it learned to record run lengths, and an
+	// outlined call per empty slot taxes every sweep by a call per slot
+	// — a measurable per-op regression at one client, where each sweep
+	// scans the full slot array for one occupied entry. With the guard
+	// here, the empty-slot path stays call-free however flush grows.
 	sweep := func() (served bool) {
 		for i := range s.slots {
 			slot := &s.slots[i]
 			req := slot.req.Load()
 			if req == 0 {
-				flush() // end of a consecutive occupied run
+				if len(pend) != 0 {
+					flush() // end of a consecutive occupied run
+				}
 				continue
 			}
 			pend = append(pend, slot)
 			reqs = append(reqs, core.Req{Op: req - 1, Arg: slot.arg})
 			served = true
 		}
-		flush()
+		if len(pend) != 0 {
+			flush()
+		}
 		return served
 	}
 	for {
@@ -138,11 +179,16 @@ func (s *SHMServer) NewHandle() (core.Handle, error) {
 		return nil, fmt.Errorf("shmsync: more than %d clients (raise MaxThreads): %w",
 			len(s.slots), core.ErrTooManyHandles)
 	}
-	return &shmHandle{
+	h := &shmHandle{
 		s:    s,
 		slot: &s.slots[id],
+		rec:  s.tel.Load().Recorder(),
 		wb:   backoff.Armed(s.stall, "shmserver: waiting for server sweep"),
-	}, nil
+	}
+	// Set on the stored waiter: Armed returns by value, so a hook set
+	// on the temporary would be lost.
+	h.wb.SetOnStall(s.tel.Load().StallHook())
+	return h, nil
 }
 
 // Close stops the server once all in-flight requests are served (the
@@ -161,6 +207,7 @@ type shmHandle struct {
 	s    *SHMServer
 	slot *shmSlot
 	im   core.Immediate
+	rec  *telemetry.Recorder
 
 	// wb is the watched waiter for the slot spin, constructed once per
 	// handle and Reset per Apply so the per-operation path never zeroes
@@ -175,6 +222,13 @@ func (h *shmHandle) Apply(op, arg uint64) uint64 {
 	if h.s.Poisoned() {
 		return 0
 	}
+	// One latency sample = one slot round-trip. ApplyBatch loops Apply
+	// (one slot per client), so batch entries sample individually.
+	sampled := h.rec.Sample()
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
 	h.slot.arg = arg
 	h.slot.req.Store(op + 1)
 	if h.slot.req.Load() != 0 {
@@ -182,6 +236,9 @@ func (h *shmHandle) Apply(op, arg uint64) uint64 {
 		for h.slot.req.Load() != 0 {
 			h.wb.Wait()
 		}
+	}
+	if sampled {
+		h.rec.Latency(t0)
 	}
 	return h.slot.ret
 }

@@ -16,6 +16,7 @@ import (
 	"hybsync/internal/backoff"
 	"hybsync/internal/core"
 	"hybsync/internal/pad"
+	"hybsync/internal/telemetry"
 )
 
 // The lock-based executors self-register with the core registry so
@@ -27,6 +28,8 @@ func init() {
 		core.MustRegister(name, func(obj core.Object, o core.Options) (core.Executor, error) {
 			e := NewLockExecutor(obj, mk())
 			e.Algo = name
+			e.tel = o.Telemetry
+			e.Tel = o.Telemetry
 			return e, nil
 		})
 	}
@@ -226,8 +229,12 @@ type LockExecutor struct {
 	core.PoisonLatch
 	obj     core.Object
 	factory func() Lock
+	tel     *telemetry.Telemetry // metric core (Options.Telemetry; nil = disarmed)
 	closed  atomic.Bool
 }
+
+// Telemetry implements core.TelemetrySource.
+func (e *LockExecutor) Telemetry() *telemetry.Telemetry { return e.tel }
 
 // NewLockExecutor builds an executor over locks produced by factory (one
 // per handle for handle-based locks; return the same Lock for global
@@ -247,7 +254,7 @@ func (e *LockExecutor) NewHandle() (core.Handle, error) {
 	if e.closed.Load() {
 		return nil, fmt.Errorf("spin: lock executor: %w", core.ErrClosed)
 	}
-	return &lockHandle{e: e, obj: e.obj, lock: e.factory()}, nil
+	return &lockHandle{e: e, obj: e.obj, lock: e.factory(), rec: e.tel.Recorder()}, nil
 }
 
 // Close implements core.Executor. A lock executor owns no background
@@ -263,6 +270,7 @@ type lockHandle struct {
 	obj  core.Object
 	lock Lock
 	im   core.Immediate
+	rec  *telemetry.Recorder
 
 	one    [1]core.Req // scalar batch scratch
 	oneRet [1]uint64
@@ -277,10 +285,22 @@ func (h *lockHandle) Apply(op, arg uint64) uint64 {
 	if h.e.Poisoned() {
 		return 0
 	}
+	// One latency sample = one lock-protected critical section; every
+	// dispatch records its (length-1) run so the run-length histogram
+	// reflects the lock path's no-batching baseline.
+	sampled := h.rec.Sample()
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
 	h.one[0] = core.Req{Op: op, Arg: arg}
 	h.lock.Lock()
 	h.e.PoisonLatch.Dispatch(h.obj, h.one[:], h.oneRet[:])
 	h.lock.Unlock()
+	h.rec.RunLen(1)
+	if sampled {
+		h.rec.Latency(t0)
+	}
 	return h.oneRet[0]
 }
 
@@ -354,7 +374,16 @@ func (h *lockHandle) ApplyBatch(reqs []core.Req, results []uint64) {
 		}
 		res = h.drop[:len(reqs)]
 	}
+	sampled := h.rec.Sample()
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
 	h.lock.Lock()
 	h.e.PoisonLatch.Dispatch(h.obj, reqs, res[:len(reqs)])
 	h.lock.Unlock()
+	h.rec.RunLen(len(reqs))
+	if sampled {
+		h.rec.Latency(t0)
+	}
 }

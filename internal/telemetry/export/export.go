@@ -1,0 +1,137 @@
+// Package export publishes the telemetry registry over HTTP and
+// expvar. It is a separate package so that the constructions (and
+// anything importing internal/core) never pull net/http into their
+// dependency graph: only the binaries that actually serve the debug
+// endpoint import export.
+//
+// Two surfaces, same data:
+//
+//   - /debug/hybsync — a JSON document with one entry per live
+//     registered executor: label, derived percentiles for the latency
+//     and run-length histograms, and the fault/backpressure counters.
+//   - expvar — PublishExpvar exposes the same view under the "hybsync"
+//     key of /debug/vars, for collectors that already scrape expvar.
+//
+// Snapshots are merge-on-read and not consistent cuts; see package
+// telemetry.
+package export
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"sync"
+
+	"hybsync/internal/telemetry"
+)
+
+// view is the wire document of the debug endpoint.
+type view struct {
+	Schema    int        `json:"schema"`
+	Condemned uint64     `json:"timeout_condemns"`
+	Executors []execView `json:"executors"`
+}
+
+// execView is one registered executor, with the histograms reduced to
+// the derived statistics a human (or a scraper) wants. Quantiles are
+// log₂-bucket upper bounds — within 2× of the true value.
+type execView struct {
+	ID           uint64    `json:"id"`
+	Label        string    `json:"label"`
+	Latency      *histView `json:"latency_ns,omitempty"`
+	RunLen       *histView `json:"run_len,omitempty"`
+	Poisons      uint64    `json:"poisons"`
+	Stalls       uint64    `json:"stall_reports"`
+	SubmitStalls uint64    `json:"submit_stalls"`
+}
+
+type histView struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Max   uint64  `json:"max"`
+	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
+	P99   uint64  `json:"p99"`
+	P999  uint64  `json:"p999"`
+}
+
+func reduce(h telemetry.Hist) *histView {
+	if h.Count == 0 {
+		return nil
+	}
+	return &histView{
+		Count: h.Count,
+		Mean:  h.Mean(),
+		Max:   h.Max,
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+}
+
+func currentView() view {
+	ents := telemetry.Entries()
+	v := view{Schema: 1, Condemned: telemetry.CondemnedCount(), Executors: make([]execView, len(ents))}
+	for i, e := range ents {
+		v.Executors[i] = execView{
+			ID:           e.ID,
+			Label:        e.Label,
+			Latency:      reduce(e.Snap.Latency),
+			RunLen:       reduce(e.Snap.RunLen),
+			Poisons:      e.Snap.Poisons,
+			Stalls:       e.Snap.Stalls,
+			SubmitStalls: e.Snap.SubmitStalls,
+		}
+	}
+	return v
+}
+
+// Handler returns the /debug/hybsync handler: a JSON snapshot of every
+// live registered executor, computed per request. The handler holds no
+// state and starts no goroutines.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(currentView())
+	})
+}
+
+var publishOnce sync.Once
+
+// PublishExpvar exposes the registry view as the expvar variable
+// "hybsync" (idempotent; expvar.Publish panics on duplicates, hence
+// the Once).
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("hybsync", expvar.Func(func() any { return currentView() }))
+	})
+}
+
+// NewMux returns an http.ServeMux with the debug surface mounted:
+// /debug/hybsync (Handler) and /debug/vars (expvar, including the
+// published "hybsync" variable).
+func NewMux() *http.ServeMux {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/hybsync", Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// Start serves the debug surface on addr (e.g. "localhost:0") in a
+// background goroutine and returns the bound address. The listener
+// lives until the process exits — the intended use is a benchmark or
+// service flag, not a managed server.
+func Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: NewMux()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,135 @@
+package export
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"hybsync/internal/telemetry"
+)
+
+// readAll GETs path from the mux via httptest and returns the body.
+func readAll(t *testing.T, path string) []byte {
+	t.Helper()
+	srv := httptest.NewServer(NewMux())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return body
+}
+
+func TestHandlerJSON(t *testing.T) {
+	tel := telemetry.NewSampled(1)
+	rec := tel.Recorder()
+	rec.RunLen(8)
+	if rec.Sample() {
+		rec.Latency(time.Now().Add(-time.Millisecond))
+	}
+	tel.NoteStall()
+	defer telemetry.Register("export-test/mpserver", tel)()
+
+	body := readAll(t, "/debug/hybsync")
+	var v struct {
+		Schema    int `json:"schema"`
+		Executors []struct {
+			Label  string `json:"label"`
+			Stalls uint64 `json:"stall_reports"`
+			RunLen *struct {
+				Count uint64 `json:"count"`
+				P50   uint64 `json:"p50"`
+			} `json:"run_len"`
+			Latency *struct {
+				Count uint64 `json:"count"`
+			} `json:"latency_ns"`
+		} `json:"executors"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("endpoint emitted invalid JSON: %v\n%s", err, body)
+	}
+	if v.Schema != 1 {
+		t.Errorf("schema = %d, want 1", v.Schema)
+	}
+	found := false
+	for _, e := range v.Executors {
+		if e.Label != "export-test/mpserver" {
+			continue
+		}
+		found = true
+		if e.Stalls != 1 {
+			t.Errorf("stall_reports = %d, want 1", e.Stalls)
+		}
+		if e.RunLen == nil || e.RunLen.Count != 1 || e.RunLen.P50 != 8 {
+			t.Errorf("run_len = %+v, want count 1 p50 8", e.RunLen)
+		}
+		if e.Latency == nil || e.Latency.Count != 1 {
+			t.Errorf("latency_ns = %+v, want count 1", e.Latency)
+		}
+	}
+	if !found {
+		t.Fatalf("registered executor missing from endpoint:\n%s", body)
+	}
+}
+
+func TestExpvar(t *testing.T) {
+	tel := telemetry.New()
+	defer telemetry.Register("export-test/expvar", tel)()
+	PublishExpvar()
+	PublishExpvar() // idempotent, must not panic
+
+	v := expvar.Get("hybsync")
+	if v == nil {
+		t.Fatal(`expvar "hybsync" not published`)
+	}
+	if !strings.Contains(v.String(), "export-test/expvar") {
+		t.Errorf("expvar view misses the registered executor: %s", v.String())
+	}
+
+	body := readAll(t, "/debug/vars")
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal(body, &all); err != nil {
+		t.Fatalf("/debug/vars emitted invalid JSON: %v", err)
+	}
+	if _, ok := all["hybsync"]; !ok {
+		t.Errorf(`/debug/vars misses the "hybsync" key`)
+	}
+}
+
+// TestHandlerNoGoroutineLeak: the handler itself must start no
+// goroutines — serving N requests leaves the goroutine count where it
+// was once the test server closes.
+func TestHandlerNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv := httptest.NewServer(NewMux())
+	for i := 0; i < 20; i++ {
+		resp, err := srv.Client().Get(srv.URL + "/debug/hybsync")
+		if err != nil {
+			t.Fatalf("GET: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	srv.Close()
+	// The server's accept loop and keep-alive conns wind down
+	// asynchronously; poll briefly before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after 20 requests and close",
+		before, runtime.NumGoroutine())
+}

@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// seqModel is the obvious sequential histogram the lock-free one must
+// agree with at quiescence.
+type seqModel struct {
+	buckets [NumBuckets]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+func (m *seqModel) record(v uint64) {
+	m.buckets[bits.Len64(v)]++
+	m.count++
+	m.sum += v
+	if v > m.max {
+		m.max = v
+	}
+}
+
+// TestHistogramMatchesSequentialModel drives identical value streams
+// through the sharded histogram and the sequential model and requires
+// the merged snapshot to agree exactly, with special attention to the
+// bucket boundaries (0, 1, powers of two and their neighbours, and
+// MaxUint64).
+func TestHistogramMatchesSequentialModel(t *testing.T) {
+	boundary := []uint64{0, 1, 2, 3, 4, 7, 8, 1023, 1024, 1025}
+	for e := 1; e < 64; e++ {
+		p := uint64(1) << e
+		boundary = append(boundary, p-1, p, p+1)
+	}
+	boundary = append(boundary, math.MaxUint64-1, math.MaxUint64)
+
+	var h Histogram
+	var m seqModel
+	rng := rand.New(rand.NewSource(7))
+	vals := append([]uint64(nil), boundary...)
+	for i := 0; i < 10_000; i++ {
+		vals = append(vals, rng.Uint64()>>uint(rng.Intn(64)))
+	}
+	for i, v := range vals {
+		h.record(uint32(i%NumShards), v)
+		m.record(v)
+	}
+
+	snap := h.snapshot()
+	if snap.Count != m.count || snap.Sum != m.sum || snap.Max != m.max {
+		t.Fatalf("snapshot count/sum/max = %d/%d/%d, model %d/%d/%d",
+			snap.Count, snap.Sum, snap.Max, m.count, m.sum, m.max)
+	}
+	if snap.Buckets != m.buckets {
+		t.Fatalf("bucket arrays differ:\n got %v\nwant %v", snap.Buckets, m.buckets)
+	}
+}
+
+// TestBucketBoundaries pins the bucket mapping contract: bucket 0 holds
+// exactly the value 0, bucket i holds [2^(i-1), 2^i), and bucketMax is
+// the inclusive upper edge of each bucket.
+func TestBucketBoundaries(t *testing.T) {
+	if got := bucketOf(0); got != 0 {
+		t.Errorf("bucketOf(0) = %d, want 0", got)
+	}
+	for i := 1; i < NumBuckets; i++ {
+		lo := uint64(1) << (i - 1)
+		if got := bucketOf(lo); got != i {
+			t.Errorf("bucketOf(2^%d) = %d, want %d", i-1, got, i)
+		}
+		hi := bucketMax(i)
+		if got := bucketOf(hi); got != i {
+			t.Errorf("bucketOf(bucketMax(%d)=%d) = %d, want %d", i, hi, got, i)
+		}
+		if i < 64 {
+			if got := bucketOf(hi + 1); got != i+1 {
+				t.Errorf("bucketOf(bucketMax(%d)+1) = %d, want %d", i, got, i+1)
+			}
+		}
+	}
+	if bucketMax(0) != 0 {
+		t.Errorf("bucketMax(0) = %d, want 0", bucketMax(0))
+	}
+	if bucketMax(64) != math.MaxUint64 {
+		t.Errorf("bucketMax(64) = %d, want MaxUint64", bucketMax(64))
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines
+// (every shard row shared by several writers) and checks conservation
+// after the join: the merged totals equal what the writers put in.
+// Run under -race this also proves the record path is data-race free.
+func TestHistogramConcurrent(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 20_000
+	)
+	var h Histogram
+	var wg sync.WaitGroup
+	sums := make([]uint64, writers)
+	maxes := make([]uint64, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perW; i++ {
+				v := rng.Uint64() >> uint(rng.Intn(64))
+				h.record(uint32((w+i)%NumShards), v)
+				sums[w] += v
+				if v > maxes[w] {
+					maxes[w] = v
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var wantSum, wantMax uint64
+	for w := 0; w < writers; w++ {
+		wantSum += sums[w]
+		if maxes[w] > wantMax {
+			wantMax = maxes[w]
+		}
+	}
+	snap := h.snapshot()
+	if snap.Count != writers*perW {
+		t.Errorf("count = %d, want %d", snap.Count, writers*perW)
+	}
+	if snap.Sum != wantSum {
+		t.Errorf("sum = %d, want %d", snap.Sum, wantSum)
+	}
+	if snap.Max != wantMax {
+		t.Errorf("max = %d, want %d", snap.Max, wantMax)
+	}
+}
+
+// TestSnapshotDuringRecording reads snapshots concurrently with
+// recording: every observed count must be monotonic and bounded by the
+// total in flight (the merge-on-read contract — no consistent cut, but
+// no invented values either).
+func TestSnapshotDuringRecording(t *testing.T) {
+	const total = 50_000
+	var h Histogram
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			h.record(uint32(i%NumShards), uint64(i))
+		}
+	}()
+	var prev uint64
+	for {
+		snap := h.snapshot()
+		if snap.Count < prev {
+			t.Fatalf("count went backwards: %d after %d", snap.Count, prev)
+		}
+		if snap.Count > total {
+			t.Fatalf("count %d exceeds records in flight %d", snap.Count, total)
+		}
+		prev = snap.Count
+		select {
+		case <-done:
+			if got := h.snapshot().Count; got != total {
+				t.Fatalf("final count = %d, want %d", got, total)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNilDisarmed pins the disarmed contract: a nil *Telemetry hands
+// out nil Recorders, every method is a no-op, and nothing panics.
+func TestNilDisarmed(t *testing.T) {
+	var tel *Telemetry
+	rec := tel.Recorder()
+	if rec != nil {
+		t.Fatalf("nil Telemetry returned non-nil Recorder")
+	}
+	if rec.Sample() {
+		t.Errorf("nil Recorder sampled")
+	}
+	rec.Latency(time.Now())
+	rec.RunLen(5)
+	tel.NotePoison()
+	tel.NoteStall()
+	tel.NoteSubmitStall()
+	if hook := tel.StallHook(); hook != nil {
+		t.Errorf("nil Telemetry returned non-nil StallHook")
+	}
+	if snap := tel.Snapshot(); snap != (Snapshot{}) {
+		t.Errorf("nil Telemetry snapshot = %+v, want zero", snap)
+	}
+}
+
+// TestSampling checks the 1-in-every cadence: over N calls a Recorder
+// with interval k reports true N/k times, and an interval-1 Recorder
+// samples every call.
+func TestSampling(t *testing.T) {
+	tel := NewSampled(4)
+	rec := tel.Recorder()
+	hits := 0
+	for i := 0; i < 400; i++ {
+		if rec.Sample() {
+			hits++
+			rec.Latency(time.Now())
+		}
+	}
+	if hits != 100 {
+		t.Errorf("interval-4 recorder sampled %d/400, want 100", hits)
+	}
+	all := NewSampled(1).Recorder()
+	for i := 0; i < 10; i++ {
+		if !all.Sample() {
+			t.Fatalf("interval-1 recorder skipped call %d", i)
+		}
+	}
+	if got := tel.Snapshot().Latency.Count; got != 100 {
+		t.Errorf("latency count = %d, want 100", got)
+	}
+}
+
+// TestRecorderStagger: recorders from one Telemetry must not sample in
+// lockstep — their first sampled call differs by construction.
+func TestRecorderStagger(t *testing.T) {
+	tel := NewSampled(8)
+	first := map[int]bool{}
+	for r := 0; r < 8; r++ {
+		rec := tel.Recorder()
+		for i := 1; ; i++ {
+			if rec.Sample() {
+				first[i] = true
+				break
+			}
+		}
+	}
+	if len(first) < 2 {
+		t.Errorf("8 recorders all took their first sample on the same call")
+	}
+}
+
+func TestCountersAndRunLen(t *testing.T) {
+	tel := New()
+	tel.NotePoison()
+	tel.NoteStall()
+	tel.NoteStall()
+	tel.NoteSubmitStall()
+	hook := tel.StallHook()
+	if hook == nil {
+		t.Fatalf("armed Telemetry returned nil StallHook")
+	}
+	hook()
+	rec := tel.Recorder()
+	rec.RunLen(3)
+	rec.RunLen(5)
+	rec.RunLen(0)  // ignored
+	rec.RunLen(-1) // ignored
+
+	snap := tel.Snapshot()
+	if snap.Poisons != 1 || snap.Stalls != 3 || snap.SubmitStalls != 1 {
+		t.Errorf("counters = %d/%d/%d, want 1/3/1", snap.Poisons, snap.Stalls, snap.SubmitStalls)
+	}
+	if snap.RunLen.Count != 2 || snap.RunLen.Sum != 8 || snap.RunLen.Max != 5 {
+		t.Errorf("run-length = %+v, want count 2 sum 8 max 5", snap.RunLen)
+	}
+	if got := snap.RunLen.Mean(); got != 4 {
+		t.Errorf("run-length mean = %v, want 4", got)
+	}
+}
+
+func TestSnapshotDeltaMerge(t *testing.T) {
+	tel := NewSampled(1)
+	rec := tel.Recorder()
+	rec.RunLen(2)
+	tel.NoteStall()
+	s1 := tel.Snapshot()
+	rec.RunLen(4)
+	tel.NoteStall()
+	tel.NotePoison()
+	s2 := tel.Snapshot()
+
+	d := s2.Delta(s1)
+	if d.RunLen.Count != 1 || d.RunLen.Sum != 4 {
+		t.Errorf("delta run-length = %+v, want count 1 sum 4", d.RunLen)
+	}
+	if d.Stalls != 1 || d.Poisons != 1 {
+		t.Errorf("delta counters = stalls %d poisons %d, want 1/1", d.Stalls, d.Poisons)
+	}
+	// Max is documented as lifetime, not interval.
+	if d.RunLen.Max != s2.RunLen.Max {
+		t.Errorf("delta max = %d, want lifetime %d", d.RunLen.Max, s2.RunLen.Max)
+	}
+
+	m := s1.Merge(s2)
+	if m.RunLen.Count != s1.RunLen.Count+s2.RunLen.Count {
+		t.Errorf("merge count = %d, want %d", m.RunLen.Count, s1.RunLen.Count+s2.RunLen.Count)
+	}
+	if m.RunLen.Max != 4 {
+		t.Errorf("merge max = %d, want 4", m.RunLen.Max)
+	}
+	if m.Stalls != s1.Stalls+s2.Stalls {
+		t.Errorf("merge stalls = %d, want %d", m.Stalls, s1.Stalls+s2.Stalls)
+	}
+}
+
+// TestQuantile pins the quantile contract: empty histogram reports 0,
+// quantiles are bucket upper bounds clamped to the recorded maximum,
+// and a single-valued histogram reports that value at every quantile.
+func TestQuantile(t *testing.T) {
+	var empty Hist
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %d, want 0", got)
+	}
+
+	tel := NewSampled(1)
+	rec := tel.Recorder()
+	for i := 0; i < 100; i++ {
+		rec.RunLen(100) // bucket 7 ([64,128)), max 100
+	}
+	h := tel.Snapshot().RunLen
+	for _, q := range []float64{0.001, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 100 {
+			t.Errorf("single-value Quantile(%v) = %d, want 100 (clamped to max)", q, got)
+		}
+	}
+
+	// Two populations: 90 values of 1, 10 values of ~1000. The p50 must
+	// land in bucket 1 (exactly 1); the p99 in the 1000s bucket.
+	tel2 := NewSampled(1)
+	rec2 := tel2.Recorder()
+	for i := 0; i < 90; i++ {
+		rec2.RunLen(1)
+	}
+	for i := 0; i < 10; i++ {
+		rec2.RunLen(1000)
+	}
+	h2 := tel2.Snapshot().RunLen
+	if got := h2.Quantile(0.5); got != 1 {
+		t.Errorf("p50 = %d, want 1", got)
+	}
+	if got := h2.Quantile(0.99); got != 1000 {
+		t.Errorf("p99 = %d, want 1000 (bucket ub 1023 clamped to max 1000)", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	before := len(Entries())
+	tel := New()
+	unreg := Register("test/exec", tel)
+	ents := Entries()
+	if len(ents) != before+1 {
+		t.Fatalf("entries = %d, want %d", len(ents), before+1)
+	}
+	found := false
+	for _, e := range ents {
+		if e.Label == "test/exec" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("registered label not present in Entries")
+	}
+	unreg()
+	unreg() // idempotent
+	if got := len(Entries()); got != before {
+		t.Errorf("after unregister entries = %d, want %d", got, before)
+	}
+
+	// nil registers nothing and still hands back a callable.
+	noop := Register("nil/exec", nil)
+	if got := len(Entries()); got != before {
+		t.Errorf("nil Register changed entries: %d, want %d", got, before)
+	}
+	noop()
+}
+
+func TestNoteCondemned(t *testing.T) {
+	before := CondemnedCount()
+	NoteCondemned()
+	NoteCondemned()
+	if got := CondemnedCount(); got != before+2 {
+		t.Errorf("condemned = %d, want %d", got, before+2)
+	}
+}
+
+// TestLatencyClamp: a start time in the future must record 0, not wrap
+// to a huge unsigned duration.
+func TestLatencyClamp(t *testing.T) {
+	tel := NewSampled(1)
+	rec := tel.Recorder()
+	if !rec.Sample() {
+		t.Fatal("interval-1 recorder did not sample")
+	}
+	rec.Latency(time.Now().Add(time.Hour))
+	h := tel.Snapshot().Latency
+	if h.Count != 1 || h.Buckets[0] != 1 {
+		t.Errorf("future start recorded %+v, want one value in bucket 0", h)
+	}
+}
