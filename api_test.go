@@ -13,10 +13,11 @@ import (
 )
 
 // requiredAlgos are the constructions the registry must always expose:
-// the paper's four plus the spin-lock baselines.
+// the paper's four, the spin-lock baselines, and the adaptive hybrid.
 var requiredAlgos = []string{
 	"mpserver", "hybcomb", "ccsynch", "shmserver",
 	"tas-lock", "ttas-lock", "ticket-lock", "mcs-lock", "clh-lock",
+	"hybrid",
 }
 
 func TestAlgorithmsComplete(t *testing.T) {
@@ -144,14 +145,18 @@ func TestRegisterDuplicateRejected(t *testing.T) {
 func TestBadOptionsRejectedAtNew(t *testing.T) {
 	dispatch := func(op, arg uint64) uint64 { return 0 }
 	bad := map[string]hybsync.Option{
-		"WithMaxThreads(0)":  hybsync.WithMaxThreads(0),
-		"WithMaxThreads(-4)": hybsync.WithMaxThreads(-4),
-		"WithMaxOps(0)":      hybsync.WithMaxOps(0),
-		"WithMaxOps(-1)":     hybsync.WithMaxOps(-1),
-		"WithQueueCap(0)":    hybsync.WithQueueCap(0),
-		"WithQueueCap(-9)":   hybsync.WithQueueCap(-9),
-		"WithShards(0)":      hybsync.WithShards(0),
-		"WithShards(-2)":     hybsync.WithShards(-2),
+		"WithMaxThreads(0)":            hybsync.WithMaxThreads(0),
+		"WithMaxThreads(-4)":           hybsync.WithMaxThreads(-4),
+		"WithMaxOps(0)":                hybsync.WithMaxOps(0),
+		"WithMaxOps(-1)":               hybsync.WithMaxOps(-1),
+		"WithQueueCap(0)":              hybsync.WithQueueCap(0),
+		"WithQueueCap(-9)":             hybsync.WithQueueCap(-9),
+		"WithShards(0)":                hybsync.WithShards(0),
+		"WithShards(-2)":               hybsync.WithShards(-2),
+		"WithHybridBackend(shmserver)": hybsync.WithHybridBackend("shmserver"),
+		"WithHybridThreshold(0,1.25)":  hybsync.WithHybridThreshold(0, 1.25),
+		"WithHybridThreshold(0.5,0.5)": hybsync.WithHybridThreshold(0.5, 0.5),
+		"WithHybridWindow(0)":          hybsync.WithHybridWindow(0),
 	}
 	for name, opt := range bad {
 		t.Run(name, func(t *testing.T) {

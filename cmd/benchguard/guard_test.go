@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
 
 	"hybsync/internal/benchfmt"
@@ -88,6 +90,72 @@ func TestMedian(t *testing.T) {
 	}
 	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
 		t.Fatalf("even median = %v", m)
+	}
+}
+
+func TestScenarioKeyPairsAcrossAlgos(t *testing.T) {
+	lock := rec("phases", "mcs-lock", 1, 1, 1, 1, 2, "phase:5ms:0.5", "")
+	hyb := rec("phases", "hybrid", 1, 1, 1, 1, 2, "phase:5ms:0.5", "")
+	if scenarioKey(lock) != scenarioKey(hyb) {
+		t.Fatalf("same scenario, different keys: %q vs %q", scenarioKey(lock), scenarioKey(hyb))
+	}
+	other := rec("phases", "hybrid", 2, 1, 1, 1, 2, "phase:5ms:0.5", "")
+	if scenarioKey(lock) == scenarioKey(other) {
+		t.Fatalf("different thread counts share key %q", scenarioKey(lock))
+	}
+}
+
+func TestGuardSweepVs(t *testing.T) {
+	write := func(name string, recs []benchfmt.SweepRecord) string {
+		path := t.TempDir() + "/" + name
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		for _, r := range recs {
+			if err := enc.Encode(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return path
+	}
+	withNs := func(r benchfmt.SweepRecord, ns float64) benchfmt.SweepRecord {
+		r.NsPerOp = ns
+		return r
+	}
+	lock1 := rec("counter", "mcs-lock", 1, 1, 1, 1, 1, "uniform", "")
+	lock4 := rec("counter", "mcs-lock", 4, 1, 1, 1, 1, "uniform", "")
+	hyb1 := rec("counter", "hybrid", 1, 1, 1, 1, 1, "uniform", "")
+	hyb4 := rec("counter", "hybrid", 4, 1, 1, 1, 1, "uniform", "")
+
+	// hybrid within 10% of mcs-lock at t=1, way faster at t=4: passes.
+	runs := write("runs.jsonl", []benchfmt.SweepRecord{
+		withNs(lock1, 100), withNs(hyb1, 105),
+		withNs(lock4, 400), withNs(hyb4, 120),
+	})
+	failed, err := guardSweep(runs, []string{runs}, nil, "hybrid=mcs-lock", 0.10)
+	if err != nil || failed {
+		t.Fatalf("clean -vs gate: failed=%v err=%v", failed, err)
+	}
+
+	// hybrid 30% behind at t=1: fails — unless -where excludes t=1.
+	bad := write("bad.jsonl", []benchfmt.SweepRecord{
+		withNs(lock1, 100), withNs(hyb1, 130),
+		withNs(lock4, 400), withNs(hyb4, 120),
+	})
+	failed, err = guardSweep(bad, []string{bad}, nil, "hybrid=mcs-lock", 0.10)
+	if err != nil || !failed {
+		t.Fatalf("regressed -vs gate: failed=%v err=%v", failed, err)
+	}
+	failed, err = guardSweep(bad, []string{bad}, whereFlags{"threads=4"}, "hybrid=mcs-lock", 0.10)
+	if err != nil || failed {
+		t.Fatalf("-where filtered -vs gate: failed=%v err=%v", failed, err)
+	}
+
+	if _, err := guardSweep(runs, []string{runs}, nil, "hybrid", 0.10); err == nil {
+		t.Fatal("bad -vs spec accepted")
 	}
 }
 

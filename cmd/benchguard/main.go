@@ -32,6 +32,17 @@
 // "is one of". Clauses AND together. Skipped/failed baseline cells are
 // never gated.
 //
+// Sweep mode can also gate one algorithm AGAINST ANOTHER instead of
+// against its own history: -vs 'hybrid=mcs-lock' pairs each selected
+// mcs-lock cell with the hybrid cell at the same scenario (same bench,
+// threads, shards, dist, depth, batch, path, gomaxprocs) and fails if
+// the candidate algorithm's median ns/op exceeds the baseline
+// algorithm's by more than the tolerance. This is how CI enforces the
+// adaptive hybrid's "within 10% of the best lock at one thread" claim:
+//
+//	benchguard -sweep -vs 'hybrid=mcs-lock' -max-regress 0.10 \
+//	    -where 'threads=1' -baseline run1.jsonl run1.jsonl run2.jsonl run3.jsonl
+//
 // For every selected point the candidate ns/op is the MEDIAN across
 // the given run files (run an odd number, three is typical, so one
 // noisy run cannot fail or pass the gate alone). Exit status 1 means
@@ -64,6 +75,7 @@ func main() {
 	sweepMode := flag.Bool("sweep", false, "baseline and candidates are hybsweep JSONL artifacts gated per cell")
 	var where whereFlags
 	flag.Var(&where, "where", "sweep mode: cell selector like 'depth>1' or 'algo=mpserver,hybcomb' (repeatable, ANDed)")
+	vs := flag.String("vs", "", "sweep mode: cross-algorithm gate 'candidate=baseline' (e.g. 'hybrid=mcs-lock'): compare the candidate algo's cells against the baseline algo's at the same scenario instead of against history")
 	bench := flag.String("bench", "counter", "report mode: bench name to compare")
 	threads := flag.Int("threads", 1, "report mode: thread count to compare (1 = the blocking round-trip path)")
 	maxRegress := flag.Float64("max-regress", 0.10, "maximum allowed fractional ns/op regression vs baseline")
@@ -76,10 +88,10 @@ func main() {
 	var failed bool
 	var err error
 	if *sweepMode {
-		failed, err = guardSweep(*baselinePath, flag.Args(), where, *maxRegress)
+		failed, err = guardSweep(*baselinePath, flag.Args(), where, *vs, *maxRegress)
 	} else {
-		if len(where) > 0 {
-			err = fmt.Errorf("-where requires -sweep")
+		if len(where) > 0 || *vs != "" {
+			err = fmt.Errorf("-where and -vs require -sweep")
 		} else {
 			failed, err = guardReport(*baselinePath, flag.Args(), *bench, *threads, *maxRegress)
 		}
@@ -208,10 +220,32 @@ func loadSweep(path string) ([]benchfmt.SweepRecord, error) {
 	return recs, nil
 }
 
-func guardSweep(baselinePath string, candidatePaths []string, where whereFlags, maxRegress float64) (bool, error) {
+// scenarioKey is cellKey minus the algorithm — the pairing identity of
+// the -vs cross-algorithm gate.
+func scenarioKey(r benchfmt.SweepRecord) string {
+	return fmt.Sprintf("%s t=%d s=%d %s d=%d b=%d %s gmp=%d",
+		r.Bench, r.Threads, r.Shards, r.Dist, r.Depth, r.Batch, r.Path, r.GoMaxProcs)
+}
+
+func guardSweep(baselinePath string, candidatePaths []string, where whereFlags, vs string, maxRegress float64) (bool, error) {
 	sel, err := parseClauses(where)
 	if err != nil {
 		return false, err
+	}
+	candAlgo, baseAlgo := "", ""
+	if vs != "" {
+		var ok bool
+		if candAlgo, baseAlgo, ok = strings.Cut(vs, "="); !ok || candAlgo == "" || baseAlgo == "" {
+			return false, fmt.Errorf("bad -vs %q (want candidate=baseline, e.g. hybrid=mcs-lock)", vs)
+		}
+	}
+	// In -vs mode the baseline algo's cells anchor each scenario and the
+	// candidate algo's cells are gated against them; the key drops the
+	// algo so the two pair up. Otherwise cells gate against their own
+	// history under the full cell identity.
+	key := cellKey
+	if vs != "" {
+		key = scenarioKey
 	}
 	base, err := loadSweep(baselinePath)
 	if err != nil {
@@ -222,8 +256,11 @@ func guardSweep(baselinePath string, candidatePaths []string, where whereFlags, 
 		if r.Skip != "" || r.Error != "" || r.NsPerOp <= 0 {
 			continue
 		}
+		if vs != "" && r.Algo != baseAlgo {
+			continue
+		}
 		if sel.match(r) {
-			baseline[cellKey(r)] = r.NsPerOp
+			baseline[key(r)] = r.NsPerOp
 		}
 	}
 	if len(baseline) == 0 {
@@ -239,11 +276,19 @@ func guardSweep(baselinePath string, candidatePaths []string, where whereFlags, 
 			if r.Skip != "" || r.Error != "" || r.NsPerOp <= 0 {
 				continue
 			}
-			candidates[cellKey(r)] = append(candidates[cellKey(r)], r.NsPerOp)
+			if vs != "" && r.Algo != candAlgo {
+				continue
+			}
+			candidates[key(r)] = append(candidates[key(r)], r.NsPerOp)
 		}
 	}
-	fmt.Printf("benchguard: sweep cells where [%s], median of %d run(s) vs %s (tolerance +%.0f%%)\n",
-		where.String(), len(candidatePaths), baselinePath, maxRegress*100)
+	if vs != "" {
+		fmt.Printf("benchguard: sweep %s vs %s where [%s], median of %d run(s), baseline %s (tolerance +%.0f%%)\n",
+			candAlgo, baseAlgo, where.String(), len(candidatePaths), baselinePath, maxRegress*100)
+	} else {
+		fmt.Printf("benchguard: sweep cells where [%s], median of %d run(s) vs %s (tolerance +%.0f%%)\n",
+			where.String(), len(candidatePaths), baselinePath, maxRegress*100)
+	}
 	return compare(baseline, candidates, maxRegress), nil
 }
 

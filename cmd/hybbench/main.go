@@ -24,6 +24,7 @@
 //	hybbench -bench sharded -shards 1,8 -dist zipf:0.99 -json
 //	hybbench -bench async -depth 1,2,4,8 -json > BENCH_async.json
 //	hybbench -bench batch -batch 1,2,4,8,16,32 -json > BENCH_batch.json
+//	hybbench -bench phases -phase phase:5ms:0.5 -algos hybrid,mcs-lock,hybcomb -json
 package main
 
 import (
@@ -43,12 +44,13 @@ import (
 	"hybsync/object"
 )
 
-// defaultAlgos is the paper's four constructions plus one queue-lock
-// baseline; -algos all selects everything in the registry.
-var defaultAlgos = []string{"mpserver", "hybcomb", "shmserver", "ccsynch", "mcs-lock"}
+// defaultAlgos is the paper's four constructions, one queue-lock
+// baseline, and the adaptive hybrid that switches between the two
+// regimes; -algos all selects everything in the registry.
+var defaultAlgos = []string{"mpserver", "hybcomb", "shmserver", "ccsynch", "mcs-lock", "hybrid"}
 
 func main() {
-	bench := flag.String("bench", "all", "benchmark: counter, queue, stack, fairness, sharded, async, batch, chaos, all")
+	bench := flag.String("bench", "all", "benchmark: counter, queue, stack, fairness, sharded, async, batch, phases, chaos, all")
 	dur := flag.Duration("dur", 200*time.Millisecond, "measurement duration per point")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default scales to GOMAXPROCS)")
 	algosFlag := flag.String("algos", "", "comma-separated algorithm names from the registry (default a representative five; 'all' for every registered algorithm)")
@@ -56,6 +58,7 @@ func main() {
 	depthFlag := flag.String("depth", "1,2,4,8", "comma-separated outstanding-window depths for the async bench")
 	batchFlag := flag.String("batch", "1,2,4,8,16,32", "comma-separated ApplyBatch sizes for the batch bench")
 	distFlag := flag.String("dist", "uniform", "keyed-workload distribution for the sharded bench: uniform or zipf:theta (0<theta<1, e.g. zipf:0.99)")
+	phaseFlag := flag.String("phase", "phase:5ms:0.5", "phase-shifting load shape for the phases bench: phase:period:duty")
 	seedFlag := flag.Uint64("seed", 1, "chaos-bench seed for the schedule perturber and delay injector")
 	keysFlag := flag.Uint64("keys", 1<<16, "key-space size for the sharded bench")
 	list := flag.Bool("list", false, "print the registered algorithm names and exit")
@@ -114,6 +117,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hybbench: -dist: %v\n", err)
 		os.Exit(2)
 	}
+	phase, err := harness.ParsePhases(*phaseFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybbench: -phase: %v\n", err)
+		os.Exit(2)
+	}
 
 	var rep *benchfmt.Report
 	if *jsonFlag {
@@ -135,6 +143,8 @@ func main() {
 		benchAsync(algos, threads, depths, *dur, rep)
 	case "batch":
 		benchBatch(algos, threads, batchSizes, *dur, rep)
+	case "phases":
+		benchPhases(algos, threads, phase, *dur, rep)
 	case "chaos":
 		benchChaos(algos, threads, *seedFlag, *dur, rep)
 	case "all":
@@ -145,6 +155,7 @@ func main() {
 		benchSharded(algos, threads, shardCounts, dist, *dur, rep)
 		benchAsync(algos, threads, depths, *dur, rep)
 		benchBatch(algos, threads, batchSizes, *dur, rep)
+		benchPhases(algos, threads, phase, *dur, rep)
 	default:
 		fmt.Fprintf(os.Stderr, "hybbench: unknown bench %q\n", *bench)
 		os.Exit(2)
@@ -513,6 +524,40 @@ func benchBatch(algos []string, threads, batchSizes []int, dur time.Duration, re
 		if rep == nil {
 			t.Render(os.Stdout)
 		}
+	}
+}
+
+// benchPhases sweeps the phase-shifting counter workload: all threads
+// burst together for the duty fraction of each period, then idle (see
+// harness.Phases). Mops is duty-cycled throughput over the full window
+// — compare algorithms against each other within a row, not against
+// the flat counter bench. The interesting read is the adaptive hybrid
+// against the static constructions: under bursts it should promote to
+// its delegation backend and track the delegation column, through idle
+// tails demote and track the lock column (the JSON records carry its
+// transition counts).
+func benchPhases(algos []string, threads []int, ph harness.Phases, dur time.Duration, rep *benchfmt.Report) {
+	header := append([]string{"threads"}, algos...)
+	t := harness.NewTable(fmt.Sprintf(
+		"Phase-shifting counter throughput, %s (Mops/sec over the full duty-cycled window)", ph.Label()), header...)
+	for _, th := range threads {
+		row := []any{th}
+		for _, algo := range algos {
+			rec, err := measure.Phases(algo, ph, th, dur)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if rep != nil {
+				rep.Add(rec)
+			}
+			row = append(row, rec.Mops)
+		}
+		if rep == nil {
+			t.AddRow(row...)
+		}
+	}
+	if rep == nil {
+		t.Render(os.Stdout)
 	}
 }
 

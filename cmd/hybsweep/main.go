@@ -60,9 +60,12 @@ func defaultGrid() (*sweep.Grid, error) {
 
 // Skip reasons for grid corners the execution model does not define.
 const (
-	skipBatchDepth = "batch-and-depth-exclusive"
-	skipAsyncKeyed = "async-over-keyed-unsupported"
-	skipBatchKeyed = "batch-over-keyed-unsupported"
+	skipBatchDepth  = "batch-and-depth-exclusive"
+	skipAsyncKeyed  = "async-over-keyed-unsupported"
+	skipBatchKeyed  = "batch-over-keyed-unsupported"
+	skipPhaseAsync  = "phases-over-async-unsupported"
+	skipPhaseBatch  = "phases-over-batch-unsupported"
+	skipPhaseShards = "phases-over-sharded-unsupported"
 )
 
 // cellAxes is one cell's decoded bindings.
@@ -98,8 +101,22 @@ func decode(c sweep.Cell) (cellAxes, error) {
 // classify maps a cell to its bench leg, or to a skip reason when the
 // combination is undefined. A cell is keyed when it shards the object
 // or skews the key distribution; the async and batch legs drive the
-// scalar uniform counter workload only.
+// scalar uniform counter workload only. A phase:... dist value is not
+// a key distribution at all — it selects the phase-shifting leg, which
+// drives the scalar blocking counter workload only.
 func (a cellAxes) classify() (bench, skip string) {
+	if harness.IsPhaseSpec(a.dist) {
+		switch {
+		case a.depth > 1:
+			return "", skipPhaseAsync
+		case a.batch > 1:
+			return "", skipPhaseBatch
+		case a.shards > 1:
+			return "", skipPhaseShards
+		default:
+			return "phases", ""
+		}
+	}
 	keyed := a.shards > 1 || a.dist != "uniform"
 	switch {
 	case a.depth > 1 && a.batch > 1:
@@ -169,7 +186,16 @@ func main() {
 	}
 	distValues, _ := grid.Values("dist")
 	dists := make(map[string]harness.Dist, len(distValues))
+	phases := make(map[string]harness.Phases)
 	for _, label := range distValues {
+		if harness.IsPhaseSpec(label) {
+			p, err := harness.ParsePhases(label)
+			if err != nil {
+				fatalf("-grid: dist %q: %v", label, err)
+			}
+			phases[label] = p
+			continue
+		}
 		d, err := harness.ParseDist(label, *keys)
 		if err != nil {
 			fatalf("-grid: dist %q: %v", label, err)
@@ -226,6 +252,8 @@ func main() {
 				return measure.Async(a.algo, a.depth, a.threads, *dur)
 			case "batch":
 				return measure.Batch(a.algo, a.batch, a.threads, *dur)
+			case "phases":
+				return measure.Phases(a.algo, phases[a.dist], a.threads, *dur)
 			default:
 				return nil, fmt.Errorf("cell %s: no bench leg", c)
 			}

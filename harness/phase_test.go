@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParsePhases(t *testing.T) {
+	p, err := ParsePhases("phase:5ms:0.5")
+	if err != nil {
+		t.Fatalf("ParsePhases: %v", err)
+	}
+	if p.Label() != "phase:5ms:0.5" || p.Period() != 5*time.Millisecond || p.Duty() != 0.5 {
+		t.Fatalf("parsed %q period=%v duty=%v", p.Label(), p.Period(), p.Duty())
+	}
+	for _, bad := range []string{
+		"uniform",          // not a phase spec
+		"phase:5ms",        // missing duty
+		"phase:banana:0.5", // bad period
+		"phase:-5ms:0.5",   // non-positive period
+		"phase:5ms:0",      // duty at lower bound
+		"phase:5ms:1",      // duty at upper bound
+		"phase:5ms:x",      // bad duty
+	} {
+		if _, err := ParsePhases(bad); err == nil {
+			t.Errorf("ParsePhases(%q): want error", bad)
+		}
+	}
+	if !IsPhaseSpec("phase:5ms:0.5") || IsPhaseSpec("zipf:0.99") || IsPhaseSpec("uniform") {
+		t.Fatal("IsPhaseSpec misclassifies")
+	}
+}
+
+func TestRunPhasedCountsAndDrains(t *testing.T) {
+	p, err := ParsePhases("phase:2ms:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const threads = 2
+	var total atomic.Uint64
+	var drained atomic.Uint64
+	res := p.RunPhased(threads, 40*time.Millisecond, 0, func(thread int) (func(i uint64), func()) {
+		return func(i uint64) { total.Add(1) }, func() { drained.Add(1) }
+	})
+	if res.Ops == 0 || res.Ops != total.Load() {
+		t.Fatalf("Ops=%d body calls=%d", res.Ops, total.Load())
+	}
+	if drained.Load() != threads {
+		t.Fatalf("drain ran %d times, want %d", drained.Load(), threads)
+	}
+	if len(res.PerThread) != threads {
+		t.Fatalf("PerThread len=%d", len(res.PerThread))
+	}
+	for i, n := range res.PerThread {
+		if n == 0 {
+			t.Fatalf("thread %d performed no ops", i)
+		}
+	}
+	if res.Duration < 40*time.Millisecond {
+		t.Fatalf("Duration=%v shorter than the run window", res.Duration)
+	}
+}
+
+// TestRunPhasedIdles checks the duty cycle actually suppresses work:
+// at duty 0.25 with comfortable margins the run must complete far
+// fewer ops than the burst phases alone could sustain flat-out. We
+// bound loosely (2x the duty share of an unphased run) so scheduler
+// jitter cannot flake the test.
+func TestRunPhasedIdles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	p, err := ParsePhases("phase:4ms:0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := func(thread int) (func(i uint64), func()) {
+		return func(i uint64) { LocalWork(64) }, nil
+	}
+	flat := RunNativeDrain(1, 40*time.Millisecond, 0, body)
+	phased := p.RunPhased(1, 40*time.Millisecond, 0, body)
+	if limit := flat.Ops / 2; phased.Ops > limit {
+		t.Fatalf("phased run did %d ops; want <= %d (flat run did %d)",
+			phased.Ops, limit, flat.Ops)
+	}
+}

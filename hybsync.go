@@ -79,6 +79,18 @@ type StatsSource = core.StatsSource
 // like StatsSource.
 type PipelineStats = core.PipelineStats
 
+// RetryStats is implemented by the lock-path constructions (the spin
+// executors and "hybrid"): Retries counts contended lock acquisitions
+// — the attempts beyond the first that dispatching threads spent
+// spinning. It is the contention signal the adaptive hybrid promotes
+// on. Read at pipeline quiescence, like StatsSource.
+type RetryStats = core.RetryStats
+
+// AdaptiveStats is implemented by the adaptive constructions
+// ("hybrid"): Transitions reports how many times the executor promoted
+// (lock → delegation) and demoted (delegation → lock) so far.
+type AdaptiveStats = core.AdaptiveStats
+
 // Telemetry is an executor's metric core: lock-free latency and
 // run-length histograms plus fault/backpressure counters. Create one
 // with NewTelemetry, attach it with WithTelemetry, read it with
@@ -183,6 +195,26 @@ func WithChanQueues(on bool) Option { return core.WithChanQueues(on) }
 // disables the watchdog and keeps the hot path free of clock reads.
 func WithStallTimeout(d time.Duration) Option { return core.WithStallTimeout(d) }
 
+// WithHybridBackend selects the delegation construction the "hybrid"
+// executor promotes to: "hybcomb" (the default) or "mpserver". Other
+// constructions ignore it.
+func WithHybridBackend(name string) Option { return core.WithHybridBackend(name) }
+
+// WithHybridThreshold tunes the "hybrid" executor's transition points:
+// promote when the windowed contended-acquisition rate reaches promote
+// (retries per acquisition, default 0.5), start demotion credit when
+// the windowed mean delegation run length falls below demote (requests
+// per run, default 1.25, must be >= 1). Keep promote well above
+// demote's excess so the two regimes cannot oscillate.
+func WithHybridThreshold(promote, demote float64) Option {
+	return core.WithHybridThreshold(promote, demote)
+}
+
+// WithHybridWindow sets how many operations the "hybrid" executor
+// accumulates per adaptation decision (default 1024). Smaller windows
+// react faster; larger windows resist bursts.
+func WithHybridWindow(n int) Option { return core.WithHybridWindow(n) }
+
 // WithTelemetry attaches t as the executor's metric core: blocking
 // calls record sampled latency, every dispatch run records its length,
 // and poison/stall/submit-stall events are counted. One Telemetry may
@@ -194,9 +226,10 @@ func WithTelemetry(t *Telemetry) Option { return core.WithTelemetry(t) }
 // New constructs the named algorithm around a legacy scalar dispatch
 // function (wrapped in Func); NewObject is the batch-aware primary
 // entry point. Built-in names are "mpserver", "hybcomb", "ccsynch",
-// "shmserver" and the spin-lock executors "tas-lock", "ttas-lock",
-// "ticket-lock", "mcs-lock", "clh-lock"; Algorithms lists everything
-// registered. Unknown names fail with ErrUnknownAlgorithm; options
+// "shmserver", the adaptive "hybrid" (lock that promotes itself to
+// delegation under contention — see WithHybridBackend) and the
+// spin-lock executors "tas-lock", "ttas-lock", "ticket-lock",
+// "mcs-lock", "clh-lock"; Algorithms lists everything registered. Unknown names fail with ErrUnknownAlgorithm; options
 // explicitly set to invalid values fail with ErrBadOption.
 func New(name string, dispatch Dispatch, opts ...Option) (Executor, error) {
 	return core.New(name, dispatch, opts...)

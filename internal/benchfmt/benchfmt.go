@@ -108,6 +108,17 @@ type Faults struct {
 	TimeoutCondemns uint64 `json:"timeout_condemns"`
 }
 
+// Adaptive is the mode-transition payload of a record: how often an
+// adaptive construction promoted (lock → delegation) and demoted
+// (delegation → lock) during the run. Emitted only for executors
+// implementing hybsync.AdaptiveStats; zero values are meaningful (a
+// phased run where the hybrid never left lock mode is a finding), so
+// the whole struct is pointer-omitted like Pipeline.
+type Adaptive struct {
+	Promotions uint64 `json:"promotions"`
+	Demotions  uint64 `json:"demotions"`
+}
+
 // Record is one measured point. The shard_* fields appear only on
 // sharded-bench records: shard_ops is the per-shard occupancy profile
 // (how the keyed workload actually landed) and shard_fairness its
@@ -143,6 +154,7 @@ type Record struct {
 	Lat           *Latency   `json:"latency_ns,omitempty"`
 	RunLen        *RunLength `json:"run_len,omitempty"`
 	Faults        *Faults    `json:"faults,omitempty"`
+	Adapt         *Adaptive  `json:"adaptive,omitempty"`
 }
 
 // FromNative builds a Record from one harness measurement, deriving

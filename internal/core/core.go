@@ -238,6 +238,24 @@ type PipelineStats interface {
 	Pipeline() (submitStalls, maxDepth uint64)
 }
 
+// RetryStats is implemented by the executors whose mutual exclusion is
+// a lock (spin.LockExecutor, and the hybrid's lock side): Retries
+// reports the cumulative contended-acquisition steps across all
+// handles — acquisitions that found the lock held and had to wait or
+// retry. It is the lock-side contention gauge the adaptive hybrid
+// executor promotes on. Like Stats, exact only at quiescence.
+type RetryStats interface {
+	Retries() uint64
+}
+
+// AdaptiveStats is implemented by mode-switching executors (the hybrid
+// construction): Transitions reports how many times the executor
+// promoted (lock → delegation) and demoted (delegation → lock) since
+// construction. Monotonic and safe to read at any time.
+type AdaptiveStats interface {
+	Transitions() (promotions, demotions uint64)
+}
+
 // Lifecycle and registry errors. NewHandle and registry failures wrap
 // these sentinels, so callers test with errors.Is.
 var (
@@ -303,6 +321,24 @@ type Options struct {
 	// internal/telemetry). nil, the default, disarms recording: the
 	// disarmed hot path is one nil-receiver check per site.
 	Telemetry *telemetry.Telemetry
+
+	// HybridBackend names the delegation construction the hybrid
+	// executor promotes to: "hybcomb" (default) or "mpserver". The
+	// non-hybrid constructions ignore it.
+	HybridBackend string
+	// HybridPromote is the hybrid's promotion threshold: the executor
+	// switches to delegation when the contended-acquisition rate
+	// (retry steps per acquisition, see RetryStats) over an evaluation
+	// window reaches this value (default 0.5).
+	HybridPromote float64
+	// HybridDemote is the hybrid's demotion threshold: in delegation
+	// mode the executor switches back to the lock after hybridQuietWindows
+	// consecutive windows whose mean dispatch-run length stays below
+	// this value with no submit stalls (default 1.25).
+	HybridDemote float64
+	// HybridWindow is the minimum number of operations between the
+	// hybrid's signal evaluations (default 1024).
+	HybridWindow int
 
 	// err records the first invalid With* value; BuildOptions reports it.
 	err error
@@ -401,6 +437,55 @@ func WithTelemetry(t *telemetry.Telemetry) Option {
 // against the default lock-free ring).
 func WithChanQueues(on bool) Option { return func(o *Options) { o.UseChanQueues = on } }
 
+// WithHybridBackend selects the delegation construction the hybrid
+// executor promotes to: "hybcomb" (the default) or "mpserver". Any
+// other name is rejected with ErrBadOption at New time.
+func WithHybridBackend(name string) Option {
+	return func(o *Options) {
+		if name != "hybcomb" && name != "mpserver" {
+			if o.err == nil {
+				o.err = fmt.Errorf("core: WithHybridBackend(%q): want \"hybcomb\" or \"mpserver\": %w", name, ErrBadOption)
+			}
+			return
+		}
+		o.HybridBackend = name
+	}
+}
+
+// WithHybridThreshold sets the hybrid executor's transition thresholds:
+// promote is the contended-acquisition rate (retry steps per lock
+// acquisition, so roughly the fraction of acquisitions that queued)
+// at which the lock side promotes to delegation; demote is the mean
+// dispatch-run length below which the delegation side counts a window
+// as quiescent. promote must be positive; demote must be at least 1
+// (a run is never shorter than one request).
+func WithHybridThreshold(promote, demote float64) Option {
+	return func(o *Options) {
+		if promote <= 0 || demote < 1 {
+			if o.err == nil {
+				o.err = fmt.Errorf("core: WithHybridThreshold(%g, %g): want promote > 0 and demote >= 1: %w", promote, demote, ErrBadOption)
+			}
+			return
+		}
+		o.HybridPromote = promote
+		o.HybridDemote = demote
+	}
+}
+
+// WithHybridWindow sets the minimum number of operations the hybrid
+// executor observes between signal evaluations. Smaller windows react
+// faster and thrash easier; the default (1024) rides out sub-window
+// bursts.
+func WithHybridWindow(n int) Option {
+	return func(o *Options) {
+		if n <= 0 {
+			o.reject("WithHybridWindow", n)
+			return
+		}
+		o.HybridWindow = n
+	}
+}
+
 // BuildOptions folds opts over the zero Options, rejects explicitly-set
 // invalid values with an error wrapping ErrBadOption, and fills
 // defaults.
@@ -430,6 +515,18 @@ func (o *Options) fill() {
 	}
 	if o.Shards <= 0 {
 		o.Shards = 1
+	}
+	if o.HybridBackend == "" {
+		o.HybridBackend = "hybcomb"
+	}
+	if o.HybridPromote <= 0 {
+		o.HybridPromote = 0.5
+	}
+	if o.HybridDemote < 1 {
+		o.HybridDemote = 1.25
+	}
+	if o.HybridWindow <= 0 {
+		o.HybridWindow = 1024
 	}
 }
 

@@ -257,6 +257,52 @@ func Async(algo string, depth, th int, dur time.Duration) (benchfmt.Record, erro
 	return rec, nil
 }
 
+// Phases measures one phase-shifting point: th goroutines drive
+// blocking counter increments through algo, but only during the burst
+// half of each phase period (all threads burst together — see
+// harness.Phases). This is the workload the adaptive "hybrid"
+// construction targets: contention arrives in waves, so the right
+// construction differs between the burst and the tail of each period.
+// The record carries the phase spec in the dist field and, when algo
+// adapts, its promotion/demotion counts.
+func Phases(algo string, ph harness.Phases, th int, dur time.Duration) (benchfmt.Record, error) {
+	var state uint64
+	tel := newTel()
+	ex, err := hybsync.New(algo, func(op, arg uint64) uint64 {
+		v := state
+		state = v + 1
+		return v
+	}, opts(tel)...)
+	if err != nil {
+		return benchfmt.Record{}, fmt.Errorf("New(%s): %w", algo, err)
+	}
+	defer track(ex, "phases/"+algo, tel)()
+	res := ph.RunPhased(th, dur, 50, func(int) (func(uint64), func()) {
+		h := hybsync.MustHandle(ex)
+		return func(uint64) { h.Apply(0, 0) }, nil
+	})
+	rec := benchfmt.FromNative("phases", algo, th, res)
+	rec.Dist = ph.Label()
+	if s, ok := ex.(hybsync.StatsSource); ok {
+		rec.Rounds, rec.Combined = s.Stats()
+	}
+	rec.Pipe = pipeOf(ex)
+	if a, ok := ex.(hybsync.AdaptiveStats); ok {
+		p, d := a.Transitions()
+		rec.Adapt = &benchfmt.Adaptive{Promotions: p, Demotions: d}
+	}
+	if err := ex.Close(); err != nil {
+		return benchfmt.Record{}, fmt.Errorf("Close(%s): %w", algo, err)
+	}
+	if state != res.Ops {
+		return benchfmt.Record{}, fmt.Errorf("phases(%s): conservation violated: object executed %d ops, harness counted %d",
+			algo, state, res.Ops)
+	}
+	telFields(&rec, tel)
+	rec.Finish()
+	return rec, nil
+}
+
 // batchCounter is the batch bench's native object: a run of increments
 // reads the shared value once, hands out results from a register and
 // writes the sum back — the object-side amortization DispatchBatch

@@ -9,6 +9,7 @@ package spin
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 	"unsafe"
@@ -47,6 +48,20 @@ type Lock interface {
 	Unlock()
 }
 
+// CountingLock is a Lock whose acquisition also reports contention.
+// LockCounted acquires the lock and returns the number of contended
+// steps the acquisition took: 0 for an acquisition that succeeded on
+// the first attempt, and otherwise a lock-specific positive count
+// (failed swaps for tas/ttas, waiters ahead at arrival for ticket, 1
+// for the queue locks, which learn only "had a predecessor"). The
+// count feeds the per-handle retry cells below and, through them, the
+// adaptive hybrid executor's promotion signal. All locks in this
+// package implement it.
+type CountingLock interface {
+	Lock
+	LockCounted() uint64
+}
+
 // TASLock is a plain test-and-set lock: every acquisition attempt is a
 // remote atomic, so contention floods the interconnect.
 type TASLock struct {
@@ -55,11 +70,17 @@ type TASLock struct {
 }
 
 // Lock implements Lock.
-func (l *TASLock) Lock() {
+func (l *TASLock) Lock() { l.LockCounted() }
+
+// LockCounted implements CountingLock, counting failed swaps.
+func (l *TASLock) LockCounted() uint64 {
+	var r uint64
 	var b backoff.Backoff
 	for l.v.Swap(true) {
+		r++
 		b.Wait()
 	}
+	return r
 }
 
 // Unlock implements Lock.
@@ -73,15 +94,24 @@ type TTASLock struct {
 }
 
 // Lock implements Lock.
-func (l *TTASLock) Lock() {
+func (l *TTASLock) Lock() { l.LockCounted() }
+
+// LockCounted implements CountingLock, counting each pass that found
+// the lock held (the read-spin entry) or lost the swap race.
+func (l *TTASLock) LockCounted() uint64 {
+	var r uint64
 	var b backoff.Backoff
 	for {
-		for l.v.Load() {
-			b.Wait()
+		if l.v.Load() {
+			r++
+			for l.v.Load() {
+				b.Wait()
+			}
 		}
 		if !l.v.Swap(true) {
-			return
+			return r
 		}
+		r++
 	}
 }
 
@@ -98,12 +128,18 @@ type TicketLock struct {
 }
 
 // Lock implements Lock.
-func (l *TicketLock) Lock() {
+func (l *TicketLock) Lock() { l.LockCounted() }
+
+// LockCounted implements CountingLock; the count is the queue depth at
+// arrival (tickets ahead of ours when we drew).
+func (l *TicketLock) LockCounted() uint64 {
 	t := l.next.Add(1) - 1
+	r := t - l.owner.Load()
 	var b backoff.Backoff
 	for l.owner.Load() != t {
 		b.Wait()
 	}
+	return r
 }
 
 // Unlock implements Lock.
@@ -138,19 +174,24 @@ func (l *MCSLock) NewMCSHandle() *MCSHandle {
 }
 
 // Lock acquires the lock, spinning locally on this handle's node.
-func (h *MCSHandle) Lock() {
+func (h *MCSHandle) Lock() { h.LockCounted() }
+
+// LockCounted implements CountingLock: 1 when the tail swap revealed a
+// predecessor to queue behind, 0 for the uncontended fast path.
+func (h *MCSHandle) LockCounted() uint64 {
 	n := h.node
 	n.next.Store(nil)
 	n.locked.Store(true)
 	pred := h.l.tail.Swap(n)
 	if pred == nil {
-		return
+		return 0
 	}
 	pred.next.Store(n)
 	var b backoff.Backoff
 	for n.locked.Load() {
 		b.Wait()
 	}
+	return 1
 }
 
 // Unlock releases the lock, handing it to the queue successor if any.
@@ -201,13 +242,21 @@ func (l *CLHLock) NewCLHHandle() *CLHHandle {
 }
 
 // Lock acquires the lock, spinning on the predecessor's node.
-func (h *CLHHandle) Lock() {
+func (h *CLHHandle) Lock() { h.LockCounted() }
+
+// LockCounted implements CountingLock: 1 when the predecessor still
+// held its node locked on arrival, 0 otherwise.
+func (h *CLHHandle) LockCounted() uint64 {
 	h.node.locked.Store(true)
 	h.pred = h.l.tail.Swap(h.node)
+	if !h.pred.locked.Load() {
+		return 0
+	}
 	var b backoff.Backoff
 	for h.pred.locked.Load() {
 		b.Wait()
 	}
+	return 1
 }
 
 // Unlock releases the lock; the predecessor's node is recycled as this
@@ -231,10 +280,55 @@ type LockExecutor struct {
 	factory func() Lock
 	tel     *telemetry.Telemetry // metric core (Options.Telemetry; nil = disarmed)
 	closed  atomic.Bool
+
+	mu    sync.Mutex
+	cells []*retryCell // one per handle, appended under mu
+}
+
+// retryCellHot is one handle's acquisition counters: acq counts lock
+// acquisitions (= dispatch runs), retries the contended steps those
+// acquisitions reported (see CountingLock).
+type retryCellHot struct {
+	acq     atomic.Uint64
+	retries atomic.Uint64
+}
+
+// retryCell pads the counters to a whole cache line so each handle's
+// hot-path increments stay on a private line; the executor sums them
+// only on the Stats/Retries read path.
+type retryCell struct {
+	retryCellHot
+	_ [pad.CacheLine - unsafe.Sizeof(retryCellHot{})%pad.CacheLine]byte
 }
 
 // Telemetry implements core.TelemetrySource.
 func (e *LockExecutor) Telemetry() *telemetry.Telemetry { return e.tel }
+
+// Stats implements core.StatsSource: every acquisition dispatches its
+// own run and nothing is ever combined on behalf of another thread, so
+// rounds is the acquisition count and combined is always 0. Like every
+// StatsSource, the totals are exact only at quiescence.
+func (e *LockExecutor) Stats() (rounds, combined uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, c := range e.cells {
+		rounds += c.acq.Load()
+	}
+	return rounds, 0
+}
+
+// Retries implements core.RetryStats: the cumulative contended-
+// acquisition steps across all handles — the contention gauge the
+// adaptive hybrid executor promotes on. Exact at quiescence.
+func (e *LockExecutor) Retries() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var r uint64
+	for _, c := range e.cells {
+		r += c.retries.Load()
+	}
+	return r
+}
 
 // NewLockExecutor builds an executor over locks produced by factory (one
 // per handle for handle-based locks; return the same Lock for global
@@ -254,7 +348,13 @@ func (e *LockExecutor) NewHandle() (core.Handle, error) {
 	if e.closed.Load() {
 		return nil, fmt.Errorf("spin: lock executor: %w", core.ErrClosed)
 	}
-	return &lockHandle{e: e, obj: e.obj, lock: e.factory(), rec: e.tel.Recorder()}, nil
+	cell := &retryCell{}
+	e.mu.Lock()
+	e.cells = append(e.cells, cell)
+	e.mu.Unlock()
+	h := &lockHandle{e: e, obj: e.obj, lock: e.factory(), cell: cell, rec: e.tel.Recorder()}
+	h.counted, _ = h.lock.(CountingLock)
+	return h, nil
 }
 
 // Close implements core.Executor. A lock executor owns no background
@@ -266,15 +366,31 @@ func (e *LockExecutor) Close() error {
 }
 
 type lockHandle struct {
-	e    *LockExecutor
-	obj  core.Object
-	lock Lock
-	im   core.Immediate
-	rec  *telemetry.Recorder
+	e       *LockExecutor
+	obj     core.Object
+	lock    Lock
+	counted CountingLock // h.lock when it counts (all built-ins); nil otherwise
+	cell    *retryCell
+	im      core.Immediate
+	rec     *telemetry.Recorder
 
 	one    [1]core.Req // scalar batch scratch
 	oneRet [1]uint64
 	drop   []uint64 // discarded-results scratch for ApplyBatch(reqs, nil)
+}
+
+// acquire takes the handle's lock, feeding the acquisition and any
+// contended-retry steps into the handle's padded cell (and the armed
+// telemetry core, on the contended path only — an uncontended
+// acquisition pays one private-line add and nothing shared).
+func (h *lockHandle) acquire() {
+	if h.counted == nil {
+		h.lock.Lock()
+	} else if r := h.counted.LockCounted(); r != 0 {
+		h.cell.retries.Add(r)
+		h.e.tel.NoteLockRetries(r)
+	}
+	h.cell.acq.Add(1)
 }
 
 // Apply implements core.Handle: a critical section is a 1-batch. The
@@ -294,7 +410,7 @@ func (h *lockHandle) Apply(op, arg uint64) uint64 {
 		t0 = time.Now()
 	}
 	h.one[0] = core.Req{Op: op, Arg: arg}
-	h.lock.Lock()
+	h.acquire()
 	h.e.PoisonLatch.Dispatch(h.obj, h.one[:], h.oneRet[:])
 	h.lock.Unlock()
 	h.rec.RunLen(1)
@@ -379,7 +495,7 @@ func (h *lockHandle) ApplyBatch(reqs []core.Req, results []uint64) {
 	if sampled {
 		t0 = time.Now()
 	}
-	h.lock.Lock()
+	h.acquire()
 	h.e.PoisonLatch.Dispatch(h.obj, reqs, res[:len(reqs)])
 	h.lock.Unlock()
 	h.rec.RunLen(len(reqs))

@@ -59,6 +59,13 @@ type Telemetry struct {
 	stalls       atomic.Uint64
 	submitStalls atomic.Uint64
 
+	// Adaptive-executor counters: mode transitions are rare by
+	// construction (hysteresis), and a contended lock acquisition is
+	// already a multi-hundred-cycle event, so these too are direct adds.
+	promotions  atomic.Uint64
+	demotions   atomic.Uint64
+	lockRetries atomic.Uint64
+
 	sampleEvery uint32
 	nextRec     atomic.Uint32
 }
@@ -124,6 +131,33 @@ func (t *Telemetry) NoteSubmitStall() {
 	}
 }
 
+// NotePromotion counts one lock→delegation mode switch by an adaptive
+// executor attached to this core.
+func (t *Telemetry) NotePromotion() {
+	if t != nil {
+		t.promotions.Add(1)
+	}
+}
+
+// NoteDemotion counts one delegation→lock mode switch by an adaptive
+// executor attached to this core.
+func (t *Telemetry) NoteDemotion() {
+	if t != nil {
+		t.demotions.Add(1)
+	}
+}
+
+// NoteLockRetries counts n contended lock acquisitions (acquisitions
+// that found the lock held and had to wait or retry) — the promotion
+// signal of the adaptive executor and the spin executors' contention
+// gauge. Called on the contended path only, where the wait already
+// dwarfs the add.
+func (t *Telemetry) NoteLockRetries(n uint64) {
+	if t != nil && n != 0 {
+		t.lockRetries.Add(n)
+	}
+}
+
 // StallHook returns a callback for backoff.Watched.SetOnStall that
 // counts watchdog firings here, or nil when disarmed (SetOnStall
 // treats nil as "no hook").
@@ -147,6 +181,9 @@ func (t *Telemetry) Snapshot() Snapshot {
 		Poisons:      t.poisons.Load(),
 		Stalls:       t.stalls.Load(),
 		SubmitStalls: t.submitStalls.Load(),
+		Promotions:   t.promotions.Load(),
+		Demotions:    t.demotions.Load(),
+		LockRetries:  t.lockRetries.Load(),
 	}
 }
 
@@ -207,6 +244,9 @@ type Snapshot struct {
 	Poisons      uint64 `json:"poisons"`
 	Stalls       uint64 `json:"stall_reports"`
 	SubmitStalls uint64 `json:"submit_stalls"`
+	Promotions   uint64 `json:"promotions"`
+	Demotions    uint64 `json:"demotions"`
+	LockRetries  uint64 `json:"lock_retries"`
 }
 
 // Delta returns the change from prev to s — the interval view a
@@ -220,6 +260,9 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 		Poisons:      s.Poisons - prev.Poisons,
 		Stalls:       s.Stalls - prev.Stalls,
 		SubmitStalls: s.SubmitStalls - prev.SubmitStalls,
+		Promotions:   s.Promotions - prev.Promotions,
+		Demotions:    s.Demotions - prev.Demotions,
+		LockRetries:  s.LockRetries - prev.LockRetries,
 	}
 }
 
@@ -232,6 +275,9 @@ func (s Snapshot) Merge(other Snapshot) Snapshot {
 		Poisons:      s.Poisons + other.Poisons,
 		Stalls:       s.Stalls + other.Stalls,
 		SubmitStalls: s.SubmitStalls + other.SubmitStalls,
+		Promotions:   s.Promotions + other.Promotions,
+		Demotions:    s.Demotions + other.Demotions,
+		LockRetries:  s.LockRetries + other.LockRetries,
 	}
 }
 
