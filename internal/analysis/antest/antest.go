@@ -1,0 +1,239 @@
+// Package antest runs lintkit analyzers over fixture packages, in the
+// style of golang.org/x/tools/go/analysis/analysistest: each analyzer
+// keeps Go source fixtures under testdata/src/<pkg>/, annotated with
+//
+//	x := busyWait() // want `raw spin loop`
+//
+// comments, and the test fails on any diagnostic without a matching
+// expectation or expectation without a matching diagnostic — so every
+// fixture proves both that the analyzer fires and that it would fail
+// without the analyzer.
+//
+// Fixture packages import each other by bare directory name (a fixture
+// "core" package stands in for hybsync/internal/core) and may import
+// the real standard library, which is type-checked from GOROOT source
+// so the suite runs offline. Fixtures are type-checked with the gc
+// sizes for amd64 regardless of host, keeping padcheck expectations
+// host-independent.
+package antest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"hybsync/internal/analysis/lintkit"
+)
+
+// Run loads each fixture package under testdata/src and applies a to
+// it, checking diagnostics against the // want comments in that
+// package's files.
+func Run(t *testing.T, a *lintkit.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := newLoader(t, filepath.Join("testdata", "src"))
+	for _, path := range pkgpaths {
+		pkg := l.load(path)
+		var diags []lintkit.Diagnostic
+		pass := &lintkit.Pass{
+			Analyzer:   a,
+			Fset:       l.fset,
+			Files:      pkg.files,
+			Pkg:        pkg.pkg,
+			TypesInfo:  pkg.info,
+			TypesSizes: fixtureSizes,
+			Report:     func(d lintkit.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Errorf("%s: analyzer %s failed: %v", path, a.Name, err)
+			continue
+		}
+		checkWants(t, l.fset, path, pkg.files, diags)
+	}
+}
+
+// fixtureSizes pins fixture layouts to gc/amd64 so expectations do not
+// depend on the host the tests run on.
+var fixtureSizes = types.SizesFor("gc", "amd64")
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	t       *testing.T
+	root    string
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*loadedPkg
+	loading map[string]bool
+}
+
+func newLoader(t *testing.T, root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		t:       t,
+		root:    root,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*loadedPkg),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import makes the loader a types.Importer: fixture directories win,
+// anything else resolves against the standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.root, path); isDir(dir) {
+		return l.load(path).pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) *loadedPkg {
+	l.t.Helper()
+	if p, ok := l.pkgs[path]; ok {
+		return p
+	}
+	if l.loading[path] {
+		l.t.Fatalf("fixture import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		l.t.Fatalf("fixture package %q: %v", path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		l.t.Fatalf("fixture package %q has no Go files", path)
+	}
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			l.t.Fatalf("fixture package %q: %v", path, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tc := &types.Config{Importer: l, Sizes: fixtureSizes}
+	pkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		l.t.Fatalf("fixture package %q does not type-check: %v", path, err)
+	}
+	p := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = p
+	return p
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+// A want is one expectation: a diagnostic whose message matches re
+// must be reported on this file and line.
+type want struct {
+	pos     token.Position // of the comment, for failure messages
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE pulls the quoted or backquoted patterns off a want comment.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string]map[int][]*want {
+	t.Helper()
+	wants := make(map[string]map[int][]*want)
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				pats := wantRE.FindAllString(rest, -1)
+				if len(pats) == 0 {
+					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, pat := range pats {
+					pat = pat[1 : len(pat)-1] // strip quotes
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					byLine := wants[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int][]*want)
+						wants[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], &want{pos: pos, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, pkg string, files []*ast.File, diags []lintkit.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants[pos.Filename][pos.Line] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, byLine := range wants {
+		lines := make([]int, 0, len(byLine))
+		for line := range byLine {
+			lines = append(lines, line)
+		}
+		sort.Ints(lines)
+		for _, line := range lines {
+			for _, w := range byLine[line] {
+				if !w.matched {
+					t.Errorf("%s: expected diagnostic matching %q, got none (package %s)", w.pos, w.re, pkg)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package backoffcheck flags raw spin loops in hot-path packages.
+//
+// PR 2 consolidated every wait loop onto internal/backoff — the
+// spin→Gosched→sleep adaptive waiter — and PR 7 hung the stall
+// watchdog and the chaos perturbation hook off its wait points. A new
+// `for x.Load() {}` loop therefore does not just burn a core: it waits
+// at a point the watchdog cannot see and chaos cannot perturb. This
+// analyzer flags for-loops that only spin — every statement in the
+// body is pure waiting (atomic loads, runtime.Gosched, time.Sleep,
+// bookkeeping) and the loop reads atomic state — so the fix is to
+// route the wait through a backoff.Backoff/backoff.Watched, whose
+// Wait call makes the loop body impure and the loop legal.
+//
+// Exemptions: the backoff package itself (it implements the waiter),
+// the chaos package (its Delay/Perturber sleep raw by design),
+// _test.go files, and loops waived with //hyblint:rawspin.
+package backoffcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hybsync/internal/analysis/lintkit"
+)
+
+// Analyzer is the backoffcheck analysis.
+var Analyzer = &lintkit.Analyzer{
+	Name: "backoffcheck",
+	Doc:  "flags raw spin loops outside internal/backoff; wait through backoff.Backoff",
+	Run:  run,
+}
+
+// exemptPkgs are package names whose raw waiting is the point.
+var exemptPkgs = map[string]bool{"backoff": true, "chaos": true}
+
+func run(pass *lintkit.Pass) error {
+	if exemptPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	c := &checker{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			c.checkLoop(loop)
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass *lintkit.Pass
+}
+
+func (c *checker) checkLoop(loop *ast.ForStmt) {
+	if c.pass.InTestFile(loop.Pos()) || c.pass.Directive(loop, "rawspin") {
+		return
+	}
+	if loop.Cond != nil && !c.pureReadExpr(loop.Cond) {
+		return // work happens in the condition (e.g. a CAS): not a spin wait
+	}
+	if loop.Init != nil && !c.pureWaitStmt(loop.Init) {
+		return
+	}
+	if loop.Post != nil && !c.pureWaitStmt(loop.Post) {
+		return
+	}
+	for _, s := range loop.Body.List {
+		if !c.pureWaitStmt(s) {
+			return
+		}
+	}
+	// All-pure body: it is a raw spin if the loop reads atomic state
+	// anywhere (condition, init/post, or body). A pure loop with no
+	// atomic involvement (a counting loop, a timer loop) is left to
+	// other tools.
+	if !c.hasAtomicLoad(loop) {
+		return
+	}
+	c.pass.Reportf(loop.Pos(), "raw spin loop: wait through internal/backoff so the stall watchdog and chaos perturbation see it (or waive with //hyblint:rawspin)")
+}
+
+// pureWaitStmt reports whether s does nothing but wait: no work a
+// backoff waiter would not subsume.
+func (c *checker) pureWaitStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.EmptyStmt, *ast.BranchStmt, *ast.ReturnStmt, *ast.IncDecStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		return ok && c.pureWaitCall(call)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if !c.pureReadExpr(rhs) {
+				return false
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil && !c.pureWaitStmt(s.Init) {
+			return false
+		}
+		if !c.pureReadExpr(s.Cond) {
+			return false // the branch condition itself does work (e.g. a CAS)
+		}
+		for _, b := range s.Body.List {
+			if !c.pureWaitStmt(b) {
+				return false
+			}
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			for _, b := range e.List {
+				if !c.pureWaitStmt(b) {
+					return false
+				}
+			}
+			return true
+		case *ast.IfStmt:
+			return c.pureWaitStmt(e)
+		}
+		return false
+	}
+	return false
+}
+
+// pureWaitCall reports whether call is one of the recognized waiting
+// primitives: an atomic load, runtime.Gosched, or time.Sleep.
+func (c *checker) pureWaitCall(call *ast.CallExpr) bool {
+	if c.isAtomicLoad(call) {
+		return true
+	}
+	return c.isPkgFunc(call, "runtime", "Gosched") || c.isPkgFunc(call, "time", "Sleep")
+}
+
+// pureReadExpr reports whether e computes a value without doing work
+// beyond reads and atomic loads.
+func (c *checker) pureReadExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.BasicLit, *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.UnaryExpr:
+		return e.Op != token.ARROW && c.pureReadExpr(e.X)
+	case *ast.BinaryExpr:
+		return c.pureReadExpr(e.X) && c.pureReadExpr(e.Y)
+	case *ast.CallExpr:
+		return c.isAtomicLoad(e)
+	}
+	return false
+}
+
+// isAtomicLoad recognizes both forms of atomic read: a Load method on
+// a sync/atomic type (x.seq.Load()) and a sync/atomic package-level
+// load function (atomic.LoadUint64(&x)).
+func (c *checker) isAtomicLoad(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if selection, ok := c.pass.TypesInfo.Selections[sel]; ok {
+		// Method call: receiver must be a sync/atomic type.
+		if !strings.HasPrefix(sel.Sel.Name, "Load") {
+			return false
+		}
+		t := selection.Recv()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic"
+	}
+	// Package function call.
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" &&
+		strings.HasPrefix(fn.Name(), "Load")
+}
+
+func (c *checker) isPkgFunc(call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// hasAtomicLoad reports whether any part of the loop (condition,
+// init, post, or body) performs an atomic load.
+func (c *checker) hasAtomicLoad(loop *ast.ForStmt) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && c.isAtomicLoad(call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package backoffcheck_test
+
+import (
+	"testing"
+
+	"hybsync/internal/analysis/antest"
+	"hybsync/internal/analysis/backoffcheck"
+)
+
+func TestBackoffCheck(t *testing.T) {
+	antest.Run(t, backoffcheck.Analyzer, "hot", "backoff", "chaos")
+}

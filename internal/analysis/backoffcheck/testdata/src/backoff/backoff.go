@@ -1,0 +1,28 @@
+// Package backoff is a fixture standing in for hybsync/internal/backoff:
+// the one place raw spinning is allowed, because this is the waiter
+// everything else must use.
+package backoff
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Backoff is the adaptive waiter.
+type Backoff struct{ n int }
+
+// Wait performs one wait step.
+func (b *Backoff) Wait() {
+	b.n++
+	if b.n > 4 {
+		runtime.Gosched()
+	}
+}
+
+// Drain shows the exemption: inside package backoff a raw spin loop is
+// the implementation, not a violation.
+func Drain(flag *atomic.Bool) {
+	for flag.Load() {
+		runtime.Gosched()
+	}
+}

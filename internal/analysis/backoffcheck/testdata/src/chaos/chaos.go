@@ -1,0 +1,16 @@
+// Package chaos is a fixture standing in for hybsync/internal/chaos:
+// its perturbers sleep and spin raw by design, so the whole package is
+// exempt.
+package chaos
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stall busy-sleeps until released; deliberate fault injection.
+func Stall(released *atomic.Bool) {
+	for !released.Load() {
+		time.Sleep(time.Microsecond)
+	}
+}

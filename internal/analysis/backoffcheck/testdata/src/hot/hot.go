@@ -1,0 +1,93 @@
+// Package hot exercises backoffcheck in a hot-path package: raw spin
+// loops are flagged, waits routed through backoff are not, and
+// lock-free retry loops (which do work per iteration) are left alone.
+package hot
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"backoff"
+)
+
+func emptySpin(flag *atomic.Bool) {
+	for flag.Load() { // want `raw spin loop`
+	}
+}
+
+func goschedSpin(locked *atomic.Bool) {
+	for locked.Load() { // want `raw spin loop`
+		runtime.Gosched()
+	}
+}
+
+func sleepSpin(seq *atomic.Uint64, pos uint64) {
+	for { // want `raw spin loop`
+		if seq.Load() == pos {
+			break
+		}
+		time.Sleep(time.Microsecond)
+	}
+}
+
+func legacyAtomicSpin(p *uint32) {
+	for atomic.LoadUint32(p) != 0 { // want `raw spin loop`
+		runtime.Gosched()
+	}
+}
+
+func assignSpin(next *atomic.Pointer[int]) *int {
+	var v *int
+	for v = next.Load(); v == nil; v = next.Load() { // want `raw spin loop`
+	}
+	return v
+}
+
+func countedSpin(flag *atomic.Bool) (retries uint64) {
+	for flag.Load() { // want `raw spin loop`
+		retries++
+	}
+	return retries
+}
+
+// backoffWait is the required pattern: the Wait call is the loop's
+// work, so the body is not pure waiting.
+func backoffWait(locked *atomic.Bool) {
+	var b backoff.Backoff
+	for locked.Load() {
+		b.Wait()
+	}
+}
+
+// casRetry is a lock-free retry loop, not a spin wait: the CAS does
+// real work each iteration.
+func casRetry(v *atomic.Uint64) {
+	for {
+		old := v.Load()
+		if v.CompareAndSwap(old, old+1) {
+			return
+		}
+	}
+}
+
+// drainWork reads atomics but does per-iteration work.
+func drainWork(head *atomic.Uint64, serve func(uint64)) {
+	for head.Load() != 0 {
+		serve(head.Load())
+	}
+}
+
+// waived documents a reviewed exception.
+func waived(flag *atomic.Bool) {
+	//hyblint:rawspin two-iteration handoff window, measured cheaper than a waiter
+	for flag.Load() {
+	}
+}
+
+// timerLoop involves no atomic state: out of scope.
+func timerLoop(done func() bool) {
+	for !done() {
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,13 @@
+package hot
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Test files are exempt: tests may busy-wait on completion flags.
+func spinInTest(done *atomic.Bool) {
+	for !done.Load() {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,255 @@
+// Package borrowcheck enforces the DispatchBatch aliasing contract
+// from PR 5: the reqs and results slices are borrowed only for the
+// call. Constructions reuse both buffers for the next run the moment
+// DispatchBatch returns, so an implementation that stores either slice
+// (or a reslice of it) into a field, global, channel, or escaping
+// closure holds an alias whose contents will be silently rewritten
+// mid-flight — the classic torn-batch bug.
+//
+// What counts as retaining is the backing array, not the data: copying
+// elements out (copy, append onto a separate buffer, element reads and
+// writes) is fine and idiomatic; only aliases of the parameter slices
+// themselves — the bare identifier, a reslice of it, or a local alias
+// of either — may not outlive the call. Deferred closures run before
+// DispatchBatch returns and may touch the slices (the PoisonLatch's
+// own recover does); goroutines outlive the call and may not.
+package borrowcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hybsync/internal/analysis/lintkit"
+)
+
+// Analyzer is the borrowcheck analysis.
+var Analyzer = &lintkit.Analyzer{
+	Name: "borrowcheck",
+	Doc:  "DispatchBatch must not retain its reqs/results slices beyond the call",
+	Run:  run,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.Name != "DispatchBatch" {
+				continue
+			}
+			if params := objectShapeParams(pass, fd); params != nil {
+				checkBody(pass, fd, params)
+			}
+		}
+	}
+	return nil
+}
+
+// objectShapeParams returns the parameter variables if fd has the
+// Object contract shape (two slice parameters), else nil.
+func objectShapeParams(pass *lintkit.Pass, fd *ast.FuncDecl) []*types.Var {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 2 {
+		return nil
+	}
+	var params []*types.Var
+	for i := 0; i < 2; i++ {
+		p := sig.Params().At(i)
+		if _, ok := p.Type().Underlying().(*types.Slice); !ok {
+			return nil
+		}
+		params = append(params, p)
+	}
+	return params
+}
+
+type checker struct {
+	pass *lintkit.Pass
+	// borrowed maps each alias (the parameters plus locals assigned
+	// from them) to the parameter whose backing array it shares, so
+	// diagnostics name the root.
+	borrowed map[types.Object]types.Object
+}
+
+func checkBody(pass *lintkit.Pass, fd *ast.FuncDecl, params []*types.Var) {
+	c := &checker{pass: pass, borrowed: make(map[types.Object]types.Object)}
+	for _, p := range params {
+		if p.Name() != "" && p.Name() != "_" {
+			c.borrowed[p] = p
+		}
+	}
+	c.collectAliases(fd.Body)
+	c.findViolations(fd.Body)
+}
+
+// collectAliases grows the borrowed set with locals assigned a direct
+// alias (the slice itself or a reslice of it), iterating to a
+// fixpoint so chains like `r := reqs; s := r[1:]` are tracked.
+func (c *checker) collectAliases(body *ast.BlockStmt) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				root := c.aliasRoot(rhs)
+				if root == nil {
+					continue
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := c.pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = c.pass.TypesInfo.Uses[id]
+				}
+				if lv, ok := obj.(*types.Var); ok && c.borrowed[lv] == nil && lv.Parent() != lv.Pkg().Scope() {
+					c.borrowed[lv] = root
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// aliasRoot returns the borrowed parameter e aliases, or nil. Only
+// expressions sharing the backing array count: the identifier itself,
+// a reslice, or a parenthesization. Anything that copies elements
+// (append to another buffer, copy) is not an alias.
+func (c *checker) aliasRoot(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := c.pass.TypesInfo.Uses[e]; obj != nil {
+			return c.borrowed[obj]
+		}
+	case *ast.SliceExpr:
+		return c.aliasRoot(e.X)
+	}
+	return nil
+}
+
+func (c *checker) findViolations(body *ast.BlockStmt) {
+	// FuncLits in these positions do not escape the call.
+	invoked := make(map[*ast.FuncLit]bool)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if root := c.aliasRoot(n.Rhs[i]); root != nil && c.escapingTarget(lhs) {
+					c.pass.Reportf(n.Pos(), "DispatchBatch stores an alias of %s into %s: reqs/results are borrowed only for the call", root.Name(), describeTarget(lhs))
+				}
+			}
+		case *ast.SendStmt:
+			if root := c.aliasRoot(n.Value); root != nil {
+				c.pass.Reportf(n.Pos(), "DispatchBatch sends an alias of %s on a channel: reqs/results are borrowed only for the call", root.Name())
+			}
+		case *ast.GoStmt:
+			// The goroutine outlives the call whatever it was given.
+			for _, arg := range n.Call.Args {
+				if root := c.aliasRoot(arg); root != nil {
+					c.pass.Reportf(n.Pos(), "DispatchBatch passes an alias of %s to a goroutine that outlives the call", root.Name())
+				}
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				if root := c.captures(lit); root != nil {
+					c.pass.Reportf(n.Pos(), "DispatchBatch starts a goroutine capturing %s, which outlives the call", root.Name())
+				}
+				invoked[lit] = true // reported here; skip the generic closure pass
+			}
+		case *ast.DeferStmt:
+			// Deferred calls run before DispatchBatch returns: allowed
+			// (the PoisonLatch recover is one).
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				invoked[lit] = true
+			}
+		case *ast.CallExpr:
+			if lit, ok := n.Fun.(*ast.FuncLit); ok {
+				invoked[lit] = true // immediately invoked: runs within the call
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if root := c.aliasRoot(res); root != nil {
+					c.pass.Reportf(n.Pos(), "DispatchBatch returns an alias of %s: reqs/results are borrowed only for the call", root.Name())
+				}
+			}
+		}
+		return true
+	})
+
+	// Any remaining closure that captures a borrowed slice may be
+	// stored or passed onward — assume it escapes.
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok || invoked[lit] {
+			return true
+		}
+		if root := c.captures(lit); root != nil {
+			c.pass.Reportf(lit.Pos(), "closure captures %s and may escape DispatchBatch: reqs/results are borrowed only for the call", root.Name())
+			return false
+		}
+		return true
+	})
+}
+
+// captures returns a borrowed object referenced inside lit, or nil.
+func (c *checker) captures(lit *ast.FuncLit) types.Object {
+	var found types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Uses[id]; obj != nil && c.borrowed[obj] != nil {
+				found = c.borrowed[obj]
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// escapingTarget reports whether assigning to lhs stores the value
+// somewhere that outlives the call: a field or qualified variable, a
+// package-level variable, or an element of a non-local container.
+func (c *checker) escapingTarget(lhs ast.Expr) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		v, ok := c.pass.TypesInfo.ObjectOf(lhs).(*types.Var)
+		return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		// results[i] = v writes an element (fine); flagging matters
+		// when the container itself is non-local: s.runs[i] = reqs.
+		return c.escapingTarget(lhs.X)
+	case *ast.StarExpr:
+		return true // store through a pointer: assume it outlives
+	}
+	return false
+}
+
+func describeTarget(lhs ast.Expr) string {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return "package-level " + lhs.Name
+	case *ast.SelectorExpr:
+		return "field or variable " + lhs.Sel.Name
+	case *ast.IndexExpr:
+		return "a non-local container element"
+	case *ast.StarExpr:
+		return "a pointer target"
+	}
+	return "an escaping location"
+}

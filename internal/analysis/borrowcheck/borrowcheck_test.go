@@ -1,0 +1,12 @@
+package borrowcheck_test
+
+import (
+	"testing"
+
+	"hybsync/internal/analysis/antest"
+	"hybsync/internal/analysis/borrowcheck"
+)
+
+func TestBorrowCheck(t *testing.T) {
+	antest.Run(t, borrowcheck.Analyzer, "obj")
+}

@@ -1,0 +1,139 @@
+// Package obj exercises borrowcheck: DispatchBatch implementations
+// that retain their borrowed slices are flagged; element copies,
+// immediate closures, and deferred teardown are not.
+package obj
+
+// Req mirrors the core contract's request.
+type Req struct{ Op, Arg uint64 }
+
+var lastBatch []Req // a package-level stash, for the global-store case
+
+// fieldStore retains reqs in a field.
+type fieldStore struct {
+	stash   []Req
+	results []uint64
+}
+
+func (o *fieldStore) DispatchBatch(reqs []Req, results []uint64) {
+	o.stash = reqs // want `stores an alias of reqs into field or variable stash`
+	for i := range reqs {
+		results[i] = reqs[i].Arg
+	}
+}
+
+// resliceStore retains a sub-slice — still the same backing array.
+type resliceStore struct{ tail []uint64 }
+
+func (o *resliceStore) DispatchBatch(reqs []Req, results []uint64) {
+	o.tail = results[1:] // want `stores an alias of results into field or variable tail`
+}
+
+// globalStore retains reqs in a package-level variable.
+type globalStore struct{}
+
+func (globalStore) DispatchBatch(reqs []Req, results []uint64) {
+	lastBatch = reqs // want `stores an alias of reqs into package-level lastBatch`
+}
+
+// localAliasStore launders the alias through a local first.
+type localAliasStore struct{ stash []Req }
+
+func (o *localAliasStore) DispatchBatch(reqs []Req, results []uint64) {
+	r := reqs
+	sub := r[:1]
+	o.stash = sub // want `stores an alias of reqs into field or variable stash`
+}
+
+// chanSend hands the borrowed slice to another goroutine's inbox.
+type chanSend struct{ ch chan []Req }
+
+func (o *chanSend) DispatchBatch(reqs []Req, results []uint64) {
+	o.ch <- reqs // want `sends an alias of reqs on a channel`
+}
+
+// goCapture starts a goroutine that touches the batch after return.
+type goCapture struct{ sum uint64 }
+
+func (o *goCapture) DispatchBatch(reqs []Req, results []uint64) {
+	go func() { // want `starts a goroutine capturing reqs`
+		for _, r := range reqs {
+			o.sum += r.Arg
+		}
+	}()
+}
+
+// storedClosure keeps a closure over the batch for later.
+type storedClosure struct{ replay func() }
+
+func (o *storedClosure) DispatchBatch(reqs []Req, results []uint64) {
+	o.replay = func() { // want `closure captures reqs and may escape DispatchBatch`
+		_ = reqs[0]
+	}
+}
+
+// cleanCounter is the idiomatic implementation: reads elements, writes
+// results, retains nothing.
+type cleanCounter struct{ v uint64 }
+
+func (o *cleanCounter) DispatchBatch(reqs []Req, results []uint64) {
+	for i, r := range reqs {
+		o.v += r.Arg
+		results[i] = o.v
+	}
+}
+
+// copier keeps the data (not the slices) by copying elements out —
+// the sanctioned way to retain a batch.
+type copier struct {
+	log []Req
+	buf []uint64
+}
+
+func (o *copier) DispatchBatch(reqs []Req, results []uint64) {
+	o.log = append(o.log[:0], reqs...)     // element copy into own buffer
+	o.buf = append([]uint64{}, results...) // clone
+	copy(o.buf, results)
+	for i := range results {
+		results[i] = 0
+	}
+}
+
+// deferredZero touches results in a defer: deferred calls run before
+// DispatchBatch returns, exactly like the PoisonLatch recover.
+type deferredZero struct{ poisoned bool }
+
+func (o *deferredZero) DispatchBatch(reqs []Req, results []uint64) {
+	defer func() {
+		if recover() != nil {
+			o.poisoned = true
+			for i := range results {
+				results[i] = 0
+			}
+		}
+	}()
+	results[0] = reqs[0].Arg
+}
+
+// immediateClosure runs within the call: allowed.
+type immediateClosure struct{ v uint64 }
+
+func (o *immediateClosure) DispatchBatch(reqs []Req, results []uint64) {
+	func() {
+		for i := range reqs {
+			results[i] = o.v
+		}
+	}()
+}
+
+// passAlong lends the borrow downward — calls receive the slices under
+// the same contract, which is how the latch itself passes them on.
+type passAlong struct {
+	inner interface{ apply([]Req, []uint64) }
+}
+
+func (o *passAlong) DispatchBatch(reqs []Req, results []uint64) {
+	o.inner.apply(reqs, results)
+}
+
+// otherShape is not the Object contract; borrowcheck ignores it.
+func DispatchBatch(n int, keep bool) {}

@@ -1,0 +1,24 @@
+// Package hyblint assembles the repo's analyzer suite: the five
+// machine-checked concurrency contracts that code review used to carry
+// by convention. cmd/hyblint exposes the suite as a go vet -vettool.
+package hyblint
+
+import (
+	"hybsync/internal/analysis/backoffcheck"
+	"hybsync/internal/analysis/borrowcheck"
+	"hybsync/internal/analysis/latchdispatch"
+	"hybsync/internal/analysis/lintkit"
+	"hybsync/internal/analysis/padcheck"
+	"hybsync/internal/analysis/sentinelerr"
+)
+
+// Analyzers returns the full hyblint suite in reporting order.
+func Analyzers() []*lintkit.Analyzer {
+	return []*lintkit.Analyzer{
+		padcheck.Analyzer,
+		backoffcheck.Analyzer,
+		latchdispatch.Analyzer,
+		borrowcheck.Analyzer,
+		sentinelerr.Analyzer,
+	}
+}

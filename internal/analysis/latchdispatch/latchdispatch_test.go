@@ -1,0 +1,12 @@
+package latchdispatch_test
+
+import (
+	"testing"
+
+	"hybsync/internal/analysis/antest"
+	"hybsync/internal/analysis/latchdispatch"
+)
+
+func TestLatchDispatch(t *testing.T) {
+	antest.Run(t, latchdispatch.Analyzer, "core", "shmsync", "measure")
+}

@@ -1,0 +1,81 @@
+// Package core is a fixture mirror of hybsync/internal/core: the
+// Object contract, the PoisonLatch, and construction code that must
+// dispatch through it.
+package core
+
+// Req is one operation of a batch.
+type Req struct{ Op, Arg uint64 }
+
+// Object is the batch-aware execution contract.
+type Object interface {
+	DispatchBatch(reqs []Req, results []uint64)
+}
+
+// Func adapts a legacy dispatch function; its DispatchBatch calls the
+// function, not another DispatchBatch, so it reports nothing.
+type Func func(op, arg uint64) uint64
+
+// DispatchBatch implements Object.
+func (f Func) DispatchBatch(reqs []Req, results []uint64) {
+	for i, r := range reqs {
+		results[i] = f(r.Op, r.Arg)
+	}
+}
+
+// PoisonLatch is the fault-containment latch.
+type PoisonLatch struct{ poisoned bool }
+
+// Dispatch is the guarded servicing call: the one place a direct
+// DispatchBatch call is legitimate.
+func (l *PoisonLatch) Dispatch(obj Object, reqs []Req, results []uint64) {
+	defer func() {
+		if recover() != nil {
+			l.poisoned = true
+			for i := range results {
+				results[i] = 0
+			}
+		}
+	}()
+	if l.poisoned {
+		return
+	}
+	obj.DispatchBatch(reqs, results)
+}
+
+// goodServer routes its run through the latch.
+type goodServer struct {
+	latch PoisonLatch
+	obj   Object
+}
+
+func (s *goodServer) serve(reqs []Req, results []uint64) {
+	s.latch.Dispatch(s.obj, reqs, results)
+}
+
+// badServer bypasses the latch: a panic in obj would deadlock its
+// waiters instead of poisoning the executor.
+type badServer struct{ obj Object }
+
+func (s *badServer) serve(reqs []Req, results []uint64) {
+	s.obj.DispatchBatch(reqs, results) // want `direct Object.DispatchBatch call bypasses fault containment`
+}
+
+// concreteBypass shows the shape match catches concrete receivers,
+// not just the Object interface.
+func concreteBypass(f Func, reqs []Req, results []uint64) {
+	f.DispatchBatch(reqs, results) // want `direct Object.DispatchBatch call bypasses fault containment`
+}
+
+// waived documents a reviewed exception.
+func waived(obj Object, reqs []Req, results []uint64) {
+	obj.DispatchBatch(reqs, results) //hyblint:latchok fixture: pre-latch bootstrap path
+}
+
+// unrelated DispatchBatch shapes are not the Object contract.
+type scheduler struct{}
+
+func (scheduler) DispatchBatch(n int, flush bool) {}
+
+func otherShape(s scheduler) {
+	s.DispatchBatch(1, true) // two non-slice params: not Object.DispatchBatch
+}

@@ -1,0 +1,7 @@
+package core
+
+// Test files are exempt: tests drive objects directly to assert
+// dispatch semantics without a construction in the way.
+func driveDirect(obj Object, reqs []Req, results []uint64) {
+	obj.DispatchBatch(reqs, results)
+}

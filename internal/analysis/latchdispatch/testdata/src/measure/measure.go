@@ -1,0 +1,11 @@
+// Package measure is an out-of-scope fixture: packages beside the
+// constructions (chaos wrappers, measurement cores, native objects)
+// may call DispatchBatch directly.
+package measure
+
+import "core"
+
+// Probe drives an object directly; not a construction, not flagged.
+func Probe(obj core.Object, reqs []core.Req, results []uint64) {
+	obj.DispatchBatch(reqs, results)
+}

@@ -1,0 +1,27 @@
+// Package shmsync is an in-scope fixture construction that imports
+// the core fixture: the latch choke point spans packages.
+package shmsync
+
+import "core"
+
+// Server embeds the latch like the real constructions do.
+type Server struct {
+	Latch core.PoisonLatch
+	Obj   core.Object
+}
+
+func (s *Server) serveGood(reqs []core.Req, results []uint64) {
+	s.Latch.Dispatch(s.Obj, reqs, results)
+}
+
+func (s *Server) serveBad(reqs []core.Req, results []uint64) {
+	s.Obj.DispatchBatch(reqs, results) // want `direct Object.DispatchBatch call bypasses fault containment`
+}
+
+// A closure does not escape the rule.
+func (s *Server) serveDeferred(reqs []core.Req, results []uint64) {
+	run := func() {
+		s.Obj.DispatchBatch(reqs, results) // want `direct Object.DispatchBatch call bypasses fault containment`
+	}
+	run()
+}

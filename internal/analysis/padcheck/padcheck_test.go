@@ -1,0 +1,12 @@
+package padcheck_test
+
+import (
+	"testing"
+
+	"hybsync/internal/analysis/antest"
+	"hybsync/internal/analysis/padcheck"
+)
+
+func TestPadCheck(t *testing.T) {
+	antest.Run(t, padcheck.Analyzer, "a")
+}

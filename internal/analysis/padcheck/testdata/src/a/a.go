@@ -1,0 +1,113 @@
+// Package a exercises padcheck: marked structs are laid out for both
+// amd64 and 386 with pad expressions re-evaluated per target, and pad
+// idioms without a marker are reported.
+package a
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"pad"
+)
+
+// cellHot is the hot interior of a padded element: 32 bytes on both
+// targets, with its 64-bit atomic leading so it stays 8-aligned.
+type cellHot struct {
+	seq atomic.Uint64
+	val [3]uint64
+}
+
+// cell is the idiomatic padded element: clean on both targets.
+//
+//hyblint:padded
+type cell struct {
+	hot cellHot
+	_   [pad.CacheLine - unsafe.Sizeof(cellHot{})%pad.CacheLine]byte
+}
+
+// unmarked uses the tail-pad idiom without opting into verification.
+type unmarked struct { // want `no //hyblint:padded marker`
+	hot cellHot
+	_   [pad.CacheLine - unsafe.Sizeof(cellHot{})%pad.CacheLine]byte
+}
+
+// sepUnmarked uses pad.Line without opting into verification.
+type sepUnmarked struct { // want `no //hyblint:padsep marker`
+	n uint64
+	_ pad.Line
+	m uint64
+}
+
+// badHot places a 64-bit atomic after a 1-word field: fine on amd64
+// (natural padding lands it at offset 8), but on 386 it sits at offset
+// 4 and only the compiler's align64 fixup would rescue it.
+type badHot struct {
+	flag atomic.Bool
+	seq  atomic.Uint64
+}
+
+//hyblint:padded
+type badAlign struct { // want `seq of badAlign sits at offset 4 on 386`
+	hot badHot
+	_   [pad.CacheLine - unsafe.Sizeof(badHot{})%pad.CacheLine]byte
+}
+
+// handPad hand-counted its pad for 64-bit pointers: 8+56 = 64 on
+// amd64, but 4+56 = 60 on 386 — the stale-pad bug padcheck exists for.
+//
+//hyblint:padded
+type handPad struct { // want `60 bytes on 386`
+	p uintptr
+	_ [56]byte
+}
+
+// header is the idiomatic padsep header: a full pad.Line between the
+// hot fields, no whole-line size requirement.
+//
+//hyblint:padsep
+type header struct {
+	head atomic.Uint64
+	_    pad.Line
+	tail atomic.Uint64
+}
+
+// weak pads, but not enough: 8 bytes of separation leaves both fields
+// on the first cache line of the struct on every target.
+//
+//hyblint:padsep
+type weak struct { // want `share a cache line on amd64` `share a cache line on 386`
+	a atomic.Uint32
+	_ [8]byte
+	b atomic.Uint32
+}
+
+var one uintptr
+
+// padArr pads out the remainder of a line after one uintptr; being a
+// named type, its length must still be re-evaluated per target (56 on
+// amd64, 60 on 386).
+type padArr [pad.CacheLine - unsafe.Sizeof(one)]byte
+
+// namedPadHdr is clean only if padArr's length is recomputed for 386;
+// with the host-folded 56 the fields would share a line there.
+//
+//hyblint:padsep
+type namedPadHdr struct {
+	x uintptr
+	_ padArr
+	y uint64
+}
+
+type offTarget struct{ a, b uint64 }
+
+// offpad computes its pad with unsafe.Offsetof, which padcheck does
+// not model: it must say so rather than guess.
+//
+//hyblint:padded
+type offpad struct { // want `cannot verify layout of offpad for amd64` `cannot verify layout of offpad for 386`
+	t offTarget
+	_ [pad.CacheLine - unsafe.Offsetof(offTarget{}.b)%pad.CacheLine]byte
+}
+
+// plain uses no pad idiom: padcheck ignores it entirely.
+type plain struct{ a, b uint64 }

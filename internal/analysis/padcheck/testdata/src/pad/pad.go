@@ -1,0 +1,9 @@
+// Package pad mirrors the real internal/pad for padcheck fixtures:
+// the analyzer recognizes the separator type by its pad.Line name.
+package pad
+
+// CacheLine is the assumed cache-line size in bytes.
+const CacheLine = 64
+
+// Line is one cache line of padding.
+type Line [CacheLine]byte

@@ -1,0 +1,144 @@
+// Package sentinelerr flags direct ==/!= comparisons against sentinel
+// error values.
+//
+// The repository's fault containment (PR 7) wraps its sentinels: a
+// poisoned executor reports a *PoisonError that only Unwraps to
+// core.ErrPoisoned, so `err == ErrPoisoned` is silently false exactly
+// when it matters. The contract is therefore errors.Is everywhere —
+// for ErrPoisoned, and uniformly for the bare sentinels (ErrClosed,
+// ErrNotReady, ErrWaitTimeout, ...) so call sites stay correct if a
+// later PR wraps those too.
+//
+// A sentinel is any package-level variable of type error whose name
+// matches ^Err[A-Z0-9]. Both binary comparisons and switch cases over
+// an error tag are flagged. Two escapes are deliberate: the body of an
+// `Is(error) bool` method (the errors.Is protocol is where identity
+// comparison belongs), and a //hyblint:senteq waiver on the line.
+package sentinelerr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"hybsync/internal/analysis/lintkit"
+)
+
+// Analyzer is the sentinelerr analysis.
+var Analyzer = &lintkit.Analyzer{
+	Name: "sentinelerr",
+	Doc:  "flags ==/!= against sentinel errors; poisoning wraps them, so use errors.Is",
+	Run:  run,
+}
+
+var sentinelName = regexp.MustCompile(`^Err[A-Z0-9]`)
+
+func run(pass *lintkit.Pass) error {
+	errType := types.Universe.Lookup("error").Type()
+
+	// isSentinel reports whether e names a package-level error variable
+	// following the ErrXxx convention, in any package.
+	isSentinel := func(e ast.Expr) bool {
+		var id *ast.Ident
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			id = e
+		case *ast.SelectorExpr:
+			id = e.Sel
+		default:
+			return false
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+			return false
+		}
+		return sentinelName.MatchString(v.Name()) && types.Identical(v.Type(), errType)
+	}
+
+	isNil := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+		return ok && tv.IsNil()
+	}
+
+	check := func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return
+			}
+			for _, side := range []ast.Expr{n.X, n.Y} {
+				if isSentinel(side) && !isNil(n.X) && !isNil(n.Y) {
+					if !pass.Directive(n, "senteq") {
+						pass.Reportf(n.Pos(), "comparison %s sentinel error %s: poisoning wraps sentinels, use errors.Is", n.Op, exprString(side))
+					}
+					return
+				}
+			}
+		case *ast.SwitchStmt:
+			if n.Tag == nil {
+				return
+			}
+			tv, ok := pass.TypesInfo.Types[n.Tag]
+			if !ok || !types.Identical(tv.Type, errType) {
+				return
+			}
+			for _, stmt := range n.Body.List {
+				cc := stmt.(*ast.CaseClause)
+				for _, e := range cc.List {
+					if isSentinel(e) && !pass.Directive(cc, "senteq") {
+						pass.Reportf(e.Pos(), "switch case on sentinel error %s: poisoning wraps sentinels, use errors.Is", exprString(e))
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && isIsMethod(pass, fd) {
+				// The errors.Is protocol: an Is(error) bool method is
+				// where identity comparison against sentinels belongs.
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				if n != nil {
+					check(n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isIsMethod reports whether fd is a method named Is with signature
+// func(error) bool.
+func isIsMethod(pass *lintkit.Pass, fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "Is" || fd.Recv == nil {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	errType := types.Universe.Lookup("error").Type()
+	return sig.Params().Len() == 1 &&
+		types.Identical(sig.Params().At(0).Type(), errType) &&
+		sig.Results().Len() == 1 &&
+		types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+}
+
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok {
+			return x.Name + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	}
+	return "?"
+}

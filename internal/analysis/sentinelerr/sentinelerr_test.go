@@ -1,0 +1,12 @@
+package sentinelerr_test
+
+import (
+	"testing"
+
+	"hybsync/internal/analysis/antest"
+	"hybsync/internal/analysis/sentinelerr"
+)
+
+func TestSentinelErr(t *testing.T) {
+	antest.Run(t, sentinelerr.Analyzer, "a")
+}

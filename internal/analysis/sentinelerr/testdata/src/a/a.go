@@ -1,0 +1,72 @@
+// Package a exercises sentinelerr: direct comparisons against
+// sentinel errors are flagged, errors.Is and the Is-method protocol
+// are not.
+package a
+
+import (
+	"errors"
+
+	"perr"
+)
+
+var ErrLocal = errors.New("local sentinel")
+
+var errUnexported = errors.New("unexported: not a sentinel by convention")
+
+func compare(err error) int {
+	if err == ErrLocal { // want `comparison == sentinel error ErrLocal`
+		return 1
+	}
+	if err != perr.ErrPoisoned { // want `comparison != sentinel error perr.ErrPoisoned`
+		return 2
+	}
+	if perr.ErrNotReady == err { // want `comparison == sentinel error perr.ErrNotReady`
+		return 3
+	}
+	if err == errUnexported { // lowercase name: outside the ErrXxx convention
+		return 4
+	}
+	if err == nil || ErrLocal == nil { // nil checks are identity-safe
+		return 5
+	}
+	if errors.Is(err, perr.ErrPoisoned) { // the required form
+		return 6
+	}
+	if err == perr.ErrNotReady { //hyblint:senteq identity intended: never wrapped here
+		return 7
+	}
+	return 0
+}
+
+func switches(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case perr.ErrPoisoned: // want `switch case on sentinel error perr.ErrPoisoned`
+		return 1
+	case ErrLocal: // want `switch case on sentinel error ErrLocal`
+		return 2
+	}
+	switch n := compare(err); n { // non-error tag: ignored
+	case 1:
+		return n
+	}
+	return -1
+}
+
+// WrapErr wraps sentinels, making the direct comparisons above wrong.
+type WrapErr struct{ inner error }
+
+func (w *WrapErr) Error() string { return "wrap: " + w.inner.Error() }
+
+// Is implements the errors.Is protocol; identity comparison against
+// the sentinel is the point here and must not be flagged.
+func (w *WrapErr) Is(target error) bool {
+	return target == perr.ErrPoisoned || target == w.inner
+}
+
+// IsNotReady has the wrong shape for the protocol (no receiver use is
+// fine, but it is not named Is): still flagged.
+func IsNotReady(err error) bool {
+	return err == perr.ErrNotReady // want `comparison == sentinel error perr.ErrNotReady`
+}

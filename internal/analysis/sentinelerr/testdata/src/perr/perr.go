@@ -1,0 +1,14 @@
+// Package perr is a fixture dependency: a package exporting sentinel
+// errors, standing in for hybsync/internal/core.
+package perr
+
+import "errors"
+
+var (
+	ErrPoisoned = errors.New("executor poisoned")
+	ErrNotReady = errors.New("operation not ready")
+)
+
+// NotAnError shares the Err prefix but is not an error value; the
+// analyzer must ignore it.
+var ErrCount = 0

@@ -72,7 +72,9 @@ type HybComb struct {
 // spun on by different threads at different times (registering threads
 // FAA nOps while the successor spins on done), so each lives on its own
 // cache line; the pads are sized from the fields themselves and the
-// layout is machine-verified by TestHybCombNodeLayout.
+// layout is machine-verified by TestHybCombNodeLayout and hyblint.
+//
+//hyblint:padded
 type hcNode struct {
 	threadID atomic.Int32
 	_        [pad.CacheLine - unsafe.Sizeof(atomic.Int32{})%pad.CacheLine]byte

@@ -132,6 +132,8 @@ type hybCellHot struct {
 // hybCell pads the counters to a whole cache line so the lock-mode hot
 // path increments a private line; sums are taken only on the read path
 // (Stats, Retries, controller evaluations).
+//
+//hyblint:padded
 type hybCell struct {
 	hybCellHot
 	_ [pad.CacheLine - unsafe.Sizeof(hybCellHot{})%pad.CacheLine]byte
@@ -151,6 +153,7 @@ type hybNodeHot struct {
 	next   atomic.Pointer[hybNode]
 }
 
+//hyblint:padded
 type hybNode struct {
 	hybNodeHot
 	_ [pad.CacheLine - unsafe.Sizeof(hybNodeHot{})%pad.CacheLine]byte

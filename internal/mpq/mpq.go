@@ -96,6 +96,7 @@ type ringCellHot struct {
 	msg Msg
 }
 
+//hyblint:padded
 type ringCell struct {
 	ringCellHot
 	_ [pad.CacheLine - unsafe.Sizeof(ringCellHot{})%pad.CacheLine]byte
@@ -116,6 +117,8 @@ func ringSize(cap int) int {
 // position. It is the fully general backend — when the producer or
 // consumer side is known to be single, prefer Mpsc or Spsc, which shed
 // the CAS loops.
+//
+//hyblint:padsep
 type Ring struct {
 	_    pad.Line
 	enq  atomic.Uint64

@@ -19,6 +19,8 @@ import (
 // Recv/TryRecv/RecvBatch/TryRecvBatch over the queue's lifetime;
 // concurrent producers (or consumers) are a data race by contract.
 // Empty is safe from anywhere but advisory.
+//
+//hyblint:padsep
 type Spsc struct {
 	_ pad.Line
 	// enq is written only by the producer; deqCache is the producer's

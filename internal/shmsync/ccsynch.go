@@ -92,6 +92,7 @@ type ccNodeHot struct {
 	next      atomic.Pointer[ccNode]
 }
 
+//hyblint:padded
 type ccNode struct {
 	ccNodeHot
 	_ [pad.CacheLine - unsafe.Sizeof(ccNodeHot{})%pad.CacheLine]byte

@@ -59,6 +59,7 @@ type shmSlotHot struct {
 	ret uint64
 }
 
+//hyblint:padded
 type shmSlot struct {
 	shmSlotHot
 	_ [pad.CacheLine - unsafe.Sizeof(shmSlotHot{})%pad.CacheLine]byte

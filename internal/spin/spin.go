@@ -64,6 +64,8 @@ type CountingLock interface {
 
 // TASLock is a plain test-and-set lock: every acquisition attempt is a
 // remote atomic, so contention floods the interconnect.
+//
+//hyblint:padded
 type TASLock struct {
 	v atomic.Bool
 	_ [pad.CacheLine - unsafe.Sizeof(atomic.Bool{})%pad.CacheLine]byte
@@ -88,6 +90,8 @@ func (l *TASLock) Unlock() { l.v.Store(false) }
 
 // TTASLock spins on a local read and only attempts the swap when the
 // lock looks free, eliminating most remote atomics.
+//
+//hyblint:padded
 type TTASLock struct {
 	v atomic.Bool
 	_ [pad.CacheLine - unsafe.Sizeof(atomic.Bool{})%pad.CacheLine]byte
@@ -120,6 +124,8 @@ func (l *TTASLock) Unlock() { l.v.Store(false) }
 
 // TicketLock grants the lock in FIFO order with a fetch-and-add ticket
 // dispenser (Mellor-Crummey & Scott 1991, §2).
+//
+//hyblint:padsep
 type TicketLock struct {
 	next  atomic.Uint64
 	_     [pad.CacheLine - unsafe.Sizeof(atomic.Uint64{})%pad.CacheLine]byte
@@ -157,6 +163,7 @@ type mcsNodeHot struct {
 	next   atomic.Pointer[mcsNode]
 }
 
+//hyblint:padded
 type mcsNode struct {
 	mcsNodeHot
 	_ [pad.CacheLine - unsafe.Sizeof(mcsNodeHot{})%pad.CacheLine]byte
@@ -216,6 +223,7 @@ type CLHLock struct {
 	tail atomic.Pointer[clhNode]
 }
 
+//hyblint:padded
 type clhNode struct {
 	locked atomic.Bool
 	_      [pad.CacheLine - unsafe.Sizeof(atomic.Bool{})%pad.CacheLine]byte
@@ -296,6 +304,8 @@ type retryCellHot struct {
 // retryCell pads the counters to a whole cache line so each handle's
 // hot-path increments stay on a private line; the executor sums them
 // only on the Stats/Retries read path.
+//
+//hyblint:padded
 type retryCell struct {
 	retryCellHot
 	_ [pad.CacheLine - unsafe.Sizeof(retryCellHot{})%pad.CacheLine]byte
